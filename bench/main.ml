@@ -1,0 +1,160 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Tables I-III, Figs. 1-6), runs the extension experiments (ablation,
+   gate-level BIST coverage), then times the pipeline stages with
+   Bechamel (one Test.make per table/figure family). *)
+
+module B = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Testable_alloc = Bistpath_core.Testable_alloc
+module Report = Bistpath_report.Report
+module Bist_sim = Bistpath_gatelevel.Bist_sim
+
+let section title body =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n\n";
+  print_endline body
+
+let coverage_section () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun tag ->
+      match B.by_tag tag with
+      | None -> ()
+      | Some inst ->
+        let r =
+          Flow.run ~style:(Flow.Testable Testable_alloc.default_options) inst.B.dfg
+            inst.B.massign ~policy:inst.B.policy
+        in
+        let rep = Bist_sim.run ~width:8 ~pattern_count:255 r.Flow.datapath r.Flow.bist in
+        Buffer.add_string buf (Format.asprintf "%s:@.%a@.@." tag Bist_sim.pp rep))
+    [ "ex1"; "Paulin" ];
+  Buffer.contents buf
+
+let run_reports () =
+  section "Table I (paper: 30-46% BIST-area reduction, same register counts)"
+    (Report.table1 ());
+  section "Table II (paper: testable flow needs fewer CBILBOs)" (Report.table2 ());
+  section "Table III (paper: ours beats RALLOC and SYNTEST on Paulin)"
+    (Report.table3 ());
+  section "Fig. 2 (ex1 scheduled DFG)" (Report.fig2 ());
+  section "Fig. 4 (conflict graph, SD/MCS, walkthrough)" (Report.fig4 ());
+  section "Fig. 5 (ex1 data paths, testable vs traditional)" (Report.fig5 ());
+  section "Fig. 1/3 (simple I-paths)" (Report.fig1_3 ());
+  section "Fig. 6 (register merge cases)" (Report.fig6 ());
+  section "Ablation (ours)" (Report.ablation ());
+  section "Transparent I-paths (ours)" (Report.transparency ());
+  section "Area vs test time Pareto (ours)" (Report.pareto ());
+  section "Partial scan vs BIST (ours)" (Report.scan_vs_bist ());
+  section "I/O conversion-cost sensitivity (ours)" (Report.io_sensitivity ());
+  section "Width sweep (ours)" (Report.width_sweep ());
+  section "Module-library testability: SCOAP + PODEM (ours)" (Report.testability ());
+  section "Gate-level BIST coverage (ours; paper asserts high coverage)"
+    (coverage_section ())
+
+(* --- Bechamel timing benches ------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let flow_test tag =
+  let inst = match B.by_tag tag with Some i -> i | None -> assert false in
+  Test.make ~name:(Printf.sprintf "flow:%s" tag)
+    (Staged.stage (fun () ->
+         ignore
+           (Flow.run ~style:(Flow.Testable Testable_alloc.default_options) inst.B.dfg
+              inst.B.massign ~policy:inst.B.policy)))
+
+let table_tests =
+  [
+    Test.make ~name:"table1" (Staged.stage (fun () -> ignore (Report.table1 ())));
+    Test.make ~name:"table2" (Staged.stage (fun () -> ignore (Report.table2 ())));
+    Test.make ~name:"table3" (Staged.stage (fun () -> ignore (Report.table3 ())));
+    Test.make ~name:"fig4+fig5"
+      (Staged.stage (fun () ->
+           ignore (Report.fig4 ());
+           ignore (Report.fig5 ())));
+    Test.make ~name:"fig6" (Staged.stage (fun () -> ignore (Report.fig6 ())));
+  ]
+
+let alloc_tests = List.map flow_test [ "ex1"; "ex2"; "Tseng1"; "Paulin"; "ewf" ]
+
+let podem_test =
+  Test.make ~name:"podem:multiplier-w4"
+    (Staged.stage (fun () ->
+         ignore
+           (Bistpath_gatelevel.Podem.classify_all
+              (Bistpath_gatelevel.Library.array_multiplier ~width:4))))
+
+let pareto_test =
+  let inst = B.ex1 () in
+  let r =
+    Flow.run ~style:(Flow.Testable Testable_alloc.default_options) inst.B.dfg
+      inst.B.massign ~policy:inst.B.policy
+  in
+  Test.make ~name:"pareto:ex1"
+    (Staged.stage (fun () -> ignore (Bistpath_bist.Pareto.explore r.Flow.datapath)))
+
+let rtl_test =
+  let inst = B.paulin () in
+  let r =
+    Flow.run ~style:(Flow.Testable Testable_alloc.default_options) inst.B.dfg
+      inst.B.massign ~policy:inst.B.policy
+  in
+  Test.make ~name:"rtl+goldens:Paulin"
+    (Staged.stage (fun () ->
+         let golden =
+           Bistpath_rtl.Rtl_sim.golden_signatures r.Flow.datapath r.Flow.bist
+             r.Flow.sessions
+         in
+         ignore
+           (Bistpath_rtl.Verilog.emit ~bist:r.Flow.bist ~sessions:r.Flow.sessions
+              r.Flow.datapath);
+         ignore
+           (Bistpath_rtl.Bist_wrapper.emit ~golden r.Flow.datapath r.Flow.bist
+              r.Flow.sessions)))
+
+let coverage_test =
+  let inst = B.ex1 () in
+  let r =
+    Flow.run ~style:(Flow.Testable Testable_alloc.default_options) inst.B.dfg
+      inst.B.massign ~policy:inst.B.policy
+  in
+  Test.make ~name:"faultsim:ex1"
+    (Staged.stage (fun () ->
+         ignore (Bist_sim.run ~width:8 ~pattern_count:63 r.Flow.datapath r.Flow.bist)))
+
+let benchmark () =
+  let test =
+    Test.make_grouped ~name:"bistpath"
+      (table_tests @ alloc_tests @ [ podem_test; pareto_test; rtl_test; coverage_test ])
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  Printf.printf "\n================================================================\n";
+  Printf.printf "Timing (Bechamel, monotonic clock, ns per run)\n";
+  Printf.printf "================================================================\n\n";
+  Hashtbl.iter
+    (fun measure tbl ->
+      if String.equal measure (Measure.label Instance.monotonic_clock) then begin
+        let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) tbl [] in
+        List.iter
+          (fun (name, result) ->
+            match Analyze.OLS.estimates result with
+            | Some (est :: _) -> Printf.printf "  %-28s %14.0f ns/run\n" name est
+            | Some [] | None -> Printf.printf "  %-28s (no estimate)\n" name)
+          (List.sort compare rows)
+      end)
+    results
+
+let () =
+  run_reports ();
+  match Sys.getenv_opt "BISTPATH_SKIP_TIMING" with
+  | Some _ -> print_endline "\n(timing skipped: BISTPATH_SKIP_TIMING set)"
+  | None -> benchmark ()

@@ -1,0 +1,381 @@
+(* bistpath command-line driver: synthesize benchmark or user DFGs with
+   the traditional and BIST-aware flows, reproduce the paper's tables and
+   figures, emit RTL/DOT, and run gate-level self-test simulation. *)
+
+module B = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Testable_alloc = Bistpath_core.Testable_alloc
+module Policy = Bistpath_dfg.Policy
+module Parser = Bistpath_dfg.Parser
+module Report = Bistpath_report.Report
+module Verilog = Bistpath_rtl.Verilog
+module Dot = Bistpath_rtl.Dot
+module Bist_sim = Bistpath_gatelevel.Bist_sim
+
+open Cmdliner
+
+let instance_of_dfg dfg =
+  let massign = Bistpath_core.Module_assign.single_function dfg in
+  { B.tag = dfg.Bistpath_dfg.Dfg.name; dfg; massign; policy = Policy.default }
+
+let load_instance spec =
+  match B.by_tag spec with
+  | Some inst -> Ok inst
+  | None ->
+    if Sys.file_exists spec then
+      if Filename.check_suffix spec ".beh" then
+        (* behavioural program: compile, schedule as soon as possible *)
+        let text = In_channel.with_open_text spec In_channel.input_all in
+        let name = Filename.remove_extension (Filename.basename spec) in
+        Result.map instance_of_dfg (Bistpath_dfg.Frontend.compile ~name text)
+      else
+        match Parser.parse_file spec with
+        | Error msg -> Error msg
+        | Ok u -> Result.map instance_of_dfg (Parser.to_dfg u)
+    else
+      Error
+        (Printf.sprintf "unknown benchmark %S (and no such file); known: %s" spec
+           (String.concat ", " B.all_tags))
+
+let instance_arg =
+  let doc = "Benchmark tag (see $(b,synth list)) or path to a DFG file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DFG" ~doc)
+
+let width_arg =
+  let doc = "Datapath bit width for the area model and simulations." in
+  Arg.(value & opt int 8 & info [ "width" ] ~docv:"BITS" ~doc)
+
+let flow_arg =
+  let doc = "Allocation flow: $(b,testable) (default) or $(b,traditional)." in
+  Arg.(value & opt string "testable" & info [ "flow" ] ~docv:"FLOW" ~doc)
+
+let transparency_arg =
+  let doc = "Let pattern generators reach ports through transparent units." in
+  Arg.(value & flag & info [ "transparency" ] ~doc)
+
+let style_of_flow = function
+  | "traditional" -> Ok Flow.Traditional
+  | "testable" -> Ok (Flow.Testable Testable_alloc.default_options)
+  | s -> Error (Printf.sprintf "unknown flow %S (use testable or traditional)" s)
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    prerr_endline ("synth: " ^ msg);
+    exit 1
+
+let run_cmd =
+  let run spec width flow transparency =
+    let inst = or_die (load_instance spec) in
+    let style = or_die (style_of_flow flow) in
+    let r =
+      Flow.run ~width ~transparency ~style inst.B.dfg inst.B.massign
+        ~policy:inst.B.policy
+    in
+    Format.printf "%a@.@.%a@." Bistpath_dfg.Dfg.pp inst.B.dfg Flow.pp_result r;
+    Format.printf "@.test sessions: %a@." Bistpath_bist.Session.pp r.Flow.sessions
+  in
+  let doc = "Synthesize a data path and report its minimal-area BIST solution." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ instance_arg $ width_arg $ flow_arg $ transparency_arg)
+
+let compare_cmd =
+  let run spec width =
+    let inst = or_die (load_instance spec) in
+    let c = Report.compare_instance ~width inst in
+    Format.printf "=== traditional ===@.%a@.@.=== testable ===@.%a@.@.reduction: %.2f%%@."
+      Flow.pp_result c.Report.traditional Flow.pp_result c.Report.testable
+      (Flow.reduction_percent ~traditional:c.Report.traditional
+         ~testable:c.Report.testable)
+  in
+  let doc = "Run both flows on one DFG and show the BIST overhead reduction." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ instance_arg $ width_arg)
+
+let tables_cmd =
+  let run width =
+    print_endline (Report.table1 ~width ());
+    print_newline ();
+    print_endline (Report.table2 ~width ());
+    print_newline ();
+    print_endline (Report.table3 ~width ())
+  in
+  let doc = "Reproduce the paper's Tables I, II and III." in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ width_arg)
+
+let figures_cmd =
+  let run width =
+    List.iter
+      (fun s ->
+        print_endline s;
+        print_newline ())
+      [ Report.fig2 (); Report.fig4 (); Report.fig5 ~width (); Report.fig1_3 ~width (); Report.fig6 () ]
+  in
+  let doc = "Reproduce the paper's figures (2, 4, 5, 1/3, 6)." in
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ width_arg)
+
+let ablation_cmd =
+  let run width = print_endline (Report.ablation ~width ()) in
+  let doc = "Ablate the testable allocator's ingredients across benchmarks." in
+  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ width_arg)
+
+let rtl_cmd =
+  let bist_arg =
+    let doc = "Instantiate BIST register variants per the minimal-area solution." in
+    Arg.(value & flag & info [ "bist" ] ~doc)
+  in
+  let wrapper_arg =
+    let doc = "Also emit the self-test wrapper (implies $(b,--bist))." in
+    Arg.(value & flag & info [ "wrapper" ] ~doc)
+  in
+  let run spec width flow bist wrapper =
+    let inst = or_die (load_instance spec) in
+    let style = or_die (style_of_flow flow) in
+    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let bist = bist || wrapper in
+    print_endline (Verilog.primitives ~width);
+    print_endline
+      (Verilog.emit ~width
+         ?bist:(if bist then Some r.Flow.bist else None)
+         ?sessions:(if wrapper then Some r.Flow.sessions else None)
+         r.Flow.datapath);
+    if wrapper then begin
+      let golden =
+        Bistpath_rtl.Rtl_sim.golden_signatures ~width r.Flow.datapath r.Flow.bist
+          r.Flow.sessions
+      in
+      print_endline
+        (Bistpath_rtl.Bist_wrapper.emit ~width ~golden r.Flow.datapath r.Flow.bist
+           r.Flow.sessions)
+    end
+  in
+  let doc = "Emit structural Verilog for the synthesized data path." in
+  Cmd.v (Cmd.info "rtl" ~doc)
+    Term.(const run $ instance_arg $ width_arg $ flow_arg $ bist_arg $ wrapper_arg)
+
+let dot_cmd =
+  let what_arg =
+    let doc = "What to draw: $(b,datapath) (default) or $(b,dfg)." in
+    Arg.(value & opt string "datapath" & info [ "what" ] ~docv:"KIND" ~doc)
+  in
+  let run spec width flow what =
+    let inst = or_die (load_instance spec) in
+    match what with
+    | "dfg" -> print_endline (Dot.of_dfg inst.B.dfg)
+    | "datapath" ->
+      let style = or_die (style_of_flow flow) in
+      let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+      print_endline (Dot.of_datapath ~bist:r.Flow.bist r.Flow.datapath)
+    | s -> or_die (Error (Printf.sprintf "unknown kind %S" s))
+  in
+  let doc = "Emit Graphviz DOT for a DFG or synthesized data path." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ instance_arg $ width_arg $ flow_arg $ what_arg)
+
+let coverage_cmd =
+  let patterns_arg =
+    let doc = "Number of LFSR patterns per test session." in
+    Arg.(value & opt int 255 & info [ "patterns" ] ~docv:"N" ~doc)
+  in
+  let run spec width flow patterns =
+    let inst = or_die (load_instance spec) in
+    let style = or_die (style_of_flow flow) in
+    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let rep = Bist_sim.run ~width ~pattern_count:patterns r.Flow.datapath r.Flow.bist in
+    Format.printf "%a@." Bist_sim.pp rep
+  in
+  let doc = "Gate-level stuck-at coverage of the chosen BIST configuration." in
+  Cmd.v
+    (Cmd.info "coverage" ~doc)
+    Term.(const run $ instance_arg $ width_arg $ flow_arg $ patterns_arg)
+
+let vcd_cmd =
+  let inputs_arg =
+    let doc = "Input values as name=value pairs (defaults to a seeded random vector)." in
+    Arg.(value & opt_all string [] & info [ "set" ] ~docv:"VAR=VAL" ~doc)
+  in
+  let run spec width flow sets =
+    let inst = or_die (load_instance spec) in
+    let style = or_die (style_of_flow flow) in
+    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let used =
+      List.filter
+        (fun v -> Bistpath_dfg.Dfg.consumers inst.B.dfg v <> [])
+        inst.B.dfg.Bistpath_dfg.Dfg.inputs
+    in
+    let rng = Bistpath_util.Prng.create 1 in
+    let defaults = List.map (fun v -> (v, Bistpath_util.Prng.int rng (1 lsl width))) used in
+    let overrides =
+      List.map
+        (fun s ->
+          match String.split_on_char '=' s with
+          | [ k; v ] -> (k, int_of_string v)
+          | _ -> or_die (Error (Printf.sprintf "bad --set %S (want VAR=VAL)" s)))
+        sets
+    in
+    let inputs =
+      List.map
+        (fun (v, x) ->
+          (v, match List.assoc_opt v overrides with Some o -> o | None -> x))
+        defaults
+    in
+    print_endline (Bistpath_rtl.Vcd.dump_run r.Flow.datapath ~width ~inputs)
+  in
+  let doc = "Interpret the data path and dump a VCD waveform (view in GTKWave)." in
+  Cmd.v (Cmd.info "vcd" ~doc)
+    Term.(const run $ instance_arg $ width_arg $ flow_arg $ inputs_arg)
+
+let tb_cmd =
+  let count_arg =
+    let doc = "Number of random test vectors." in
+    Arg.(value & opt int 5 & info [ "vectors" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed for the vectors." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let run spec width flow count seed =
+    let inst = or_die (load_instance spec) in
+    let style = or_die (style_of_flow flow) in
+    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let rng = Bistpath_util.Prng.create seed in
+    let vectors =
+      Bistpath_rtl.Testbench.random_vectors rng r.Flow.datapath ~width ~count
+    in
+    print_endline (Verilog.primitives ~width);
+    print_endline (Verilog.emit ~width r.Flow.datapath);
+    print_endline (Bistpath_rtl.Testbench.generate ~width r.Flow.datapath ~vectors)
+  in
+  let doc =
+    "Emit a complete compilation unit: primitives, datapath and a self-checking testbench."
+  in
+  Cmd.v (Cmd.info "tb" ~doc)
+    Term.(const run $ instance_arg $ width_arg $ flow_arg $ count_arg $ seed_arg)
+
+let area_cmd =
+  let run spec width flow =
+    let inst = or_die (load_instance spec) in
+    let style = or_die (style_of_flow flow) in
+    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let m = Bistpath_datapath.Area.default in
+    Format.printf "functional: %a@."
+      Bistpath_datapath.Area.pp_breakdown
+      (Bistpath_datapath.Area.breakdown m ~width r.Flow.datapath);
+    Format.printf "BIST modifications: +%d gates (%.2f%%)@."
+      r.Flow.bist.Bistpath_bist.Allocator.delta_gates r.Flow.overhead_percent;
+    Format.printf "clock: ~%d gate levels; schedule: %d steps@."
+      (Bistpath_datapath.Timing.clock_levels ~width r.Flow.datapath)
+      (Bistpath_datapath.Timing.schedule_latency r.Flow.datapath);
+    Format.printf "test time: %a@."
+      Bistpath_datapath.Timing.pp_test_time
+      (Bistpath_datapath.Timing.test_time ~width r.Flow.datapath
+         ~sessions:(Bistpath_bist.Session.num_sessions r.Flow.sessions));
+    Format.printf "partial-scan alternative: %.2f%% (scan regs: %s)@."
+      (Bistpath_core.Partial_scan.overhead_percent ~width r.Flow.datapath)
+      (String.concat ", " (Bistpath_core.Partial_scan.mfvs r.Flow.datapath))
+  in
+  let doc = "Area breakdown, timing estimate and DFT cost summary." in
+  Cmd.v (Cmd.info "area" ~doc) Term.(const run $ instance_arg $ width_arg $ flow_arg)
+
+let pareto_cmd =
+  let run spec width flow =
+    let inst = or_die (load_instance spec) in
+    let style = or_die (style_of_flow flow) in
+    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    Format.printf "%a@." Bistpath_bist.Pareto.pp
+      (Bistpath_bist.Pareto.explore ~width r.Flow.datapath)
+  in
+  let doc = "Area vs test-session Pareto front for one design." in
+  Cmd.v (Cmd.info "pareto" ~doc) Term.(const run $ instance_arg $ width_arg $ flow_arg)
+
+let check_cmd =
+  let vectors_arg =
+    let doc = "Number of random vectors for the equivalence check." in
+    Arg.(value & opt int 25 & info [ "vectors" ] ~docv:"N" ~doc)
+  in
+  let run spec width vectors =
+    let inst = or_die (load_instance spec) in
+    let failures = ref 0 in
+    let ok name cond =
+      Printf.printf "  [%s] %s\n" (if cond then "ok" else "FAIL") name;
+      if not cond then incr failures
+    in
+    List.iter
+      (fun (label, style) ->
+        Printf.printf "%s flow:\n" label;
+        let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+        let rng = Bistpath_util.Prng.create 42 in
+        let equivalent = ref true in
+        for _ = 1 to vectors do
+          let inputs =
+            List.map
+              (fun v -> (v, Bistpath_util.Prng.int rng (1 lsl width)))
+              inst.B.dfg.Bistpath_dfg.Dfg.inputs
+          in
+          if not (Bistpath_datapath.Interp.equivalent_to_dfg r.Flow.datapath ~width ~inputs)
+          then equivalent := false
+        done;
+        ok
+          (Printf.sprintf "datapath computes the DFG on %d random vectors" vectors)
+          !equivalent;
+        ok "register assignment valid"
+          (Bistpath_datapath.Regalloc.is_valid_for r.Flow.regalloc inst.B.dfg
+             ~policy:inst.B.policy);
+        ok "minimum register count"
+          (r.Flow.registers
+          = Bistpath_dfg.Lifetime.min_registers ~policy:inst.B.policy inst.B.dfg);
+        ok "BIST search completed exactly" r.Flow.bist.Bistpath_bist.Allocator.exact;
+        ok "every unit testable" (r.Flow.bist.Bistpath_bist.Allocator.untestable = []);
+        let goldens =
+          try
+            Some
+              (Bistpath_rtl.Rtl_sim.golden_signatures ~width r.Flow.datapath
+                 r.Flow.bist r.Flow.sessions)
+          with Invalid_argument _ -> None
+        in
+        match goldens with
+        | Some gs ->
+          ok "RTL golden signatures healthy"
+            (gs <> [] && List.for_all (fun (g : Bistpath_rtl.Rtl_sim.golden) ->
+                 g.Bistpath_rtl.Rtl_sim.signature >= 0) gs)
+        | None -> ())
+      [ ("traditional", Flow.Traditional);
+        ("testable", Flow.Testable Testable_alloc.default_options) ];
+    if !failures > 0 then begin
+      Printf.printf "%d check(s) failed\n" !failures;
+      exit 1
+    end
+    else print_endline "all checks passed"
+  in
+  let doc = "Self-verify a design: equivalence, allocation and BIST sanity." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ instance_arg $ width_arg $ vectors_arg)
+
+let export_cmd =
+  let run spec =
+    let inst = or_die (load_instance spec) in
+    print_string (Parser.to_string inst.B.dfg)
+  in
+  let doc = "Print a design in the textual DFG format (re-loadable by every command)." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ instance_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun tag ->
+        match B.by_tag tag with
+        | None -> ()
+        | Some inst ->
+          Printf.printf "%-8s %2d ops, %d steps, %s\n" tag
+            (List.length inst.B.dfg.Bistpath_dfg.Dfg.ops)
+            (Bistpath_dfg.Dfg.num_csteps inst.B.dfg)
+            (Bistpath_dfg.Massign.describe inst.B.massign inst.B.dfg))
+      B.all_tags
+  in
+  let doc = "List the built-in benchmark DFGs." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "BIST-aware data path allocation (Parulkar/Gupta/Breuer, DAC 1995)" in
+  let info = Cmd.info "synth" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ run_cmd; compare_cmd; tables_cmd; figures_cmd; ablation_cmd; rtl_cmd;
+      dot_cmd; coverage_cmd; tb_cmd; vcd_cmd; area_cmd; pareto_cmd; check_cmd;
+      export_cmd; list_cmd ]))

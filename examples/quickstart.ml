@@ -1,0 +1,43 @@
+(* Quickstart: describe a scheduled DFG with the library API, bind its
+   operations to functional units, and compare the traditional and the
+   BIST-aware register allocation end to end.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Op = Bistpath_dfg.Op
+module Dfg = Bistpath_dfg.Dfg
+module Massign = Bistpath_dfg.Massign
+module Policy = Bistpath_dfg.Policy
+module Flow = Bistpath_core.Flow
+
+let () =
+  (* v = (a + b) * (c + d), w = (c + d) + e, over three control steps
+     with one adder and one multiplier. *)
+  let ops =
+    [
+      { Op.id = "+1"; kind = Op.Add; left = "a"; right = "b"; out = "s1" };
+      { Op.id = "+2"; kind = Op.Add; left = "c"; right = "d"; out = "s2" };
+      { Op.id = "*1"; kind = Op.Mul; left = "s1"; right = "s2"; out = "v" };
+      { Op.id = "+3"; kind = Op.Add; left = "s2"; right = "e"; out = "w" };
+    ]
+  in
+  let dfg =
+    Dfg.make ~name:"quickstart" ~ops
+      ~inputs:[ "a"; "b"; "c"; "d"; "e" ]
+      ~outputs:[ "v"; "w" ]
+      ~schedule:[ ("+1", 1); ("+2", 2); ("*1", 3); ("+3", 3) ]
+  in
+  let massign =
+    Massign.make dfg
+      ~units:
+        [ { mid = "ADD"; kinds = [ Op.Add ] }; { mid = "MUL"; kinds = [ Op.Mul ] } ]
+      ~bind:[ ("+1", "ADD"); ("+2", "ADD"); ("+3", "ADD"); ("*1", "MUL") ]
+  in
+  Format.printf "%a@." Dfg.pp dfg;
+  Format.printf "minimum registers: %d@.@." (Bistpath_dfg.Lifetime.min_registers dfg);
+  let run style = Flow.run ~style dfg massign ~policy:Policy.default in
+  let traditional = run Flow.Traditional in
+  let testable = run (Flow.Testable Bistpath_core.Testable_alloc.default_options) in
+  Format.printf "%a@.@.%a@.@." Flow.pp_result traditional Flow.pp_result testable;
+  Format.printf "BIST area reduction: %.1f%%@."
+    (Flow.reduction_percent ~traditional ~testable)

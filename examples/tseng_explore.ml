@@ -1,0 +1,40 @@
+(* Module-assignment exploration on the Tseng benchmark: the paper's
+   Table I evaluates the same DFG under a single-function assignment
+   (Tseng1) and a multifunction-ALU assignment (Tseng2). This example
+   also derives assignments automatically with the library's two module
+   assigners and shows how the choice changes mux count, BIST resources
+   and overhead.
+
+   Run with: dune exec examples/tseng_explore.exe *)
+
+module B = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Module_assign = Bistpath_core.Module_assign
+module Massign = Bistpath_dfg.Massign
+module Policy = Bistpath_dfg.Policy
+module Allocator = Bistpath_bist.Allocator
+module Resource = Bistpath_bist.Resource
+
+let report name dfg massign =
+  let run style = Flow.run ~style dfg massign ~policy:Policy.default in
+  let traditional = run Flow.Traditional in
+  let testable = run (Flow.Testable Bistpath_core.Testable_alloc.default_options) in
+  let mix r =
+    Allocator.style_counts r.Flow.bist
+    |> List.map (fun (s, n) -> Printf.sprintf "%d %s" n (Resource.style_label s))
+    |> String.concat ", "
+  in
+  Printf.printf "%-22s units=%-28s " name (Massign.describe massign dfg);
+  Printf.printf "trad %5.2f%% [%s]  ours %5.2f%% [%s]  reduction %5.1f%%\n"
+    traditional.Flow.overhead_percent (mix traditional)
+    testable.Flow.overhead_percent (mix testable)
+    (Flow.reduction_percent ~traditional ~testable)
+
+let () =
+  let t1 = B.tseng1 () and t2 = B.tseng2 () in
+  let dfg = t1.B.dfg in
+  print_endline "Tseng benchmark under four module assignments:\n";
+  report "Tseng1 (paper)" dfg t1.B.massign;
+  report "Tseng2 (paper)" dfg t2.B.massign;
+  report "auto single-function" dfg (Module_assign.single_function dfg);
+  report "auto ALU-packed" dfg (Module_assign.alu_pack dfg)

@@ -1,0 +1,55 @@
+(** Minimal-area BIST resource allocation — our reimplementation of the
+    role the BITS system plays in the paper's evaluation (DESIGN.md §3).
+
+    Given a data path, pick one BIST embedding per functional unit so that
+    the total modification cost (gates added to upgrade registers to
+    their accumulated styles) is minimal. Branch-and-bound with a greedy
+    warm start and incremental cost maintenance: units in
+    fewest-embeddings-first order, branches in cheapest-delta-first
+    order, pruning on the running cost. The paper-scale designs are
+    solved exactly; a node budget caps the search on large generated
+    designs (the [exact] flag reports which happened). *)
+
+type solution = {
+  embeddings : Bistpath_ipath.Ipath.embedding list;  (** one per testable unit *)
+  styles : (string * Resource.style) list;  (** per register, Normal included *)
+  untestable : string list;  (** units with no usable embedding *)
+  delta_gates : int;  (** total modification cost *)
+  exact : bool;  (** search completed within the node budget *)
+}
+
+val solve :
+  ?model:Bistpath_datapath.Area.model ->
+  ?width:int ->
+  ?forbidden:Resource.style list ->
+  ?node_budget:int ->
+  ?io_penalty_percent:int ->
+  ?transparency:bool ->
+  Bistpath_datapath.Datapath.t ->
+  solution
+(** Default model {!Bistpath_datapath.Area.default}, width 8, node budget
+    200_000. Units with no operations bound to them are skipped (they
+    exist only on paper). [forbidden] styles are rejected outright (used
+    by the SYNTEST-like baseline, whose self-testable template never
+    mixes generate and compact duties on one register); a unit whose
+    every embedding would need a forbidden style is reported untestable.
+    [io_penalty_percent] (default 100 = no penalty) scales the
+    modification cost of {e dedicated} I/O registers — pad-ring
+    registers are costlier to convert than datapath registers; the
+    sensitivity study in the bench harness sweeps this. With
+    [~transparency:true] (default false) pattern generators may reach a
+    port through one transparent unit ({!Bistpath_ipath.Ipath}), which
+    can only lower the minimum. Deterministic. *)
+
+val style_counts : solution -> (Resource.style * int) list
+(** Histogram of non-[Normal] styles (Table II's resource mixes). *)
+
+val overhead_percent :
+  ?model:Bistpath_datapath.Area.model ->
+  ?width:int ->
+  Bistpath_datapath.Datapath.t ->
+  solution ->
+  float
+(** 100 * delta / functional gates of the unmodified data path. *)
+
+val pp_solution : Format.formatter -> solution -> unit

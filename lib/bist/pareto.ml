@@ -1,0 +1,101 @@
+module Area = Bistpath_datapath.Area
+module Datapath = Bistpath_datapath.Datapath
+module Massign = Bistpath_dfg.Massign
+module Ipath = Bistpath_ipath.Ipath
+
+type point = {
+  delta_gates : int;
+  sessions : int;
+  solution : Allocator.solution;
+}
+
+let solution_of dp model width embeddings =
+  let tbl = Hashtbl.create 16 in
+  let push rid role =
+    Hashtbl.replace tbl rid
+      (role :: (match Hashtbl.find_opt tbl rid with Some l -> l | None -> []))
+  in
+  List.iter
+    (fun (e : Ipath.embedding) ->
+      push e.l_tpg (Resource.Generates e.mid);
+      push e.r_tpg (Resource.Generates e.mid);
+      push e.sa (Resource.Compacts e.mid))
+    embeddings;
+  let styles =
+    List.map
+      (fun (r : Datapath.reg) ->
+        let roles = match Hashtbl.find_opt tbl r.rid with Some l -> l | None -> [] in
+        (r.rid, Resource.style_of_roles roles))
+      dp.Datapath.regs
+  in
+  let delta =
+    Bistpath_util.Listx.sum_by
+      (fun (_, s) -> Resource.delta_gates model ~width s)
+      styles
+  in
+  {
+    Allocator.embeddings =
+      List.sort (fun (a : Ipath.embedding) b -> compare a.mid b.mid) embeddings;
+    styles;
+    untestable = [];
+    delta_gates = delta;
+    exact = true;
+  }
+
+let explore ?(model = Area.default) ?(width = 8) ?(transparency = false)
+    ?(slack_percent = 50) ?(leaf_budget = 20_000) dp =
+  let minimum = Allocator.solve ~model ~width ~transparency dp in
+  let bound = minimum.Allocator.delta_gates * (100 + slack_percent) / 100 in
+  let units =
+    dp.Datapath.massign.Massign.units
+    |> List.filter (fun (u : Massign.hw) ->
+           Massign.temporal_multiplicity dp.Datapath.massign dp.Datapath.dfg u.mid > 0)
+    |> List.filter_map (fun (u : Massign.hw) ->
+           match Ipath.embeddings ~transparency dp u.mid with
+           | [] -> None
+           | es -> Some es)
+  in
+  let leaves = ref [] in
+  let count = ref 0 in
+  let rec enumerate chosen = function
+    | [] ->
+      incr count;
+      if !count <= leaf_budget then begin
+        let sol = solution_of dp model width chosen in
+        if sol.Allocator.delta_gates <= bound then
+          leaves :=
+            ( sol.Allocator.delta_gates,
+              Session.num_sessions (Session.schedule sol),
+              sol )
+            :: !leaves
+      end
+    | es :: rest ->
+      if !count <= leaf_budget then
+        List.iter (fun e -> enumerate (e :: chosen) rest) es
+  in
+  enumerate [] units;
+  (* Always include the true minimum (the enumeration may be cut). *)
+  let min_point =
+    ( minimum.Allocator.delta_gates,
+      Session.num_sessions (Session.schedule minimum),
+      minimum )
+  in
+  let candidates = min_point :: !leaves in
+  let dominated (d, s, _) =
+    List.exists
+      (fun (d', s', _) -> d' <= d && s' <= s && (d' < d || s' < s))
+      candidates
+  in
+  candidates
+  |> List.filter (fun p -> not (dominated p))
+  |> List.sort_uniq (fun (d, s, _) (d', s', _) -> compare (d, s) (d', s'))
+  |> List.map (fun (delta_gates, sessions, solution) -> { delta_gates; sessions; solution })
+
+let pp ppf points =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%5d gates, %d session%s@," p.delta_gates p.sessions
+        (if p.sessions = 1 then "" else "s"))
+    points;
+  Format.fprintf ppf "@]"

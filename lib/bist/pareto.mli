@@ -1,0 +1,31 @@
+(** Area / test-time trade-off exploration.
+
+    Minimal modification area is the paper's objective, but every extra
+    test session multiplies test time (each session runs its own pattern
+    budget). Different embedding choices trade the two: sharing one SA
+    register across units saves gates yet serializes their sessions.
+    This module enumerates embedding combinations within an area slack
+    of the minimum and reports the Pareto front over
+    (modification gates, number of sessions). *)
+
+type point = {
+  delta_gates : int;
+  sessions : int;
+  solution : Allocator.solution;
+}
+
+val explore :
+  ?model:Bistpath_datapath.Area.model ->
+  ?width:int ->
+  ?transparency:bool ->
+  ?slack_percent:int ->
+  ?leaf_budget:int ->
+  Bistpath_datapath.Datapath.t ->
+  point list
+(** Points sorted by [delta_gates], mutually non-dominated (no point is
+    at least as good on both axes as another). [slack_percent] (default
+    50) bounds the search to cost <= minimum * (100+slack)/100;
+    [leaf_budget] (default 20_000) caps the enumeration. The minimum-
+    area solution's cost is always represented. *)
+
+val pp : Format.formatter -> point list -> unit

@@ -1,0 +1,23 @@
+(** Test-session scheduling.
+
+    Minimal BIST area deliberately does not test every unit at once
+    (Section II); units whose chosen embeddings place incompatible duties
+    on the same register must run in different sessions:
+
+    - two units sharing an SA register conflict (one MISR input per
+      cycle);
+    - a register generating for one unit and compacting for another
+      conflicts unless it became a CBILBO (whose two halves are
+      independent).
+
+    Sessions are assigned by greedy coloring of this conflict graph. *)
+
+type t = {
+  sessions : string list list;  (** unit ids per session, session order *)
+}
+
+val schedule : Allocator.solution -> t
+
+val num_sessions : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+module Dfg = Bistpath_dfg.Dfg
+module Massign = Bistpath_dfg.Massign
+module Sset = Bistpath_dfg.Dfg.Sset
+module Listx = Bistpath_util.Listx
+
+type verdict = {
+  mid : string;
+  case_i : string list;
+  case_ii : (string * string) list;
+}
+
+let check_module ctx massign dfg ~mid ~classes =
+  let out = Sharing.out_set ctx mid in
+  let instance_ops = Massign.instance_operands massign dfg mid in
+  let set_of vars = Sset.of_list vars in
+  let covers_instances vars =
+    let vs = set_of vars in
+    instance_ops <> []
+    && List.for_all (fun ij -> not (Sset.is_empty (Sset.inter vs ij))) instance_ops
+  in
+  let out_part vars = Sset.inter (set_of vars) out in
+  let case_i =
+    classes
+    |> List.filter_map (fun (rid, vars) ->
+           if
+             (not (Sset.is_empty out))
+             && Sset.equal (out_part vars) out
+             && covers_instances vars
+           then Some rid
+           else None)
+  in
+  let case_ii =
+    Listx.pairs classes
+    |> List.concat_map (fun ((rx, vx), (ry, vy)) ->
+           let ox = out_part vx and oy = out_part vy in
+           if
+             (not (Sset.is_empty ox))
+             && (not (Sset.is_empty oy))
+             && (not (Sset.equal ox out))
+             && (not (Sset.equal oy out))
+             && Sset.equal (Sset.union ox oy) out
+             && covers_instances vx && covers_instances vy
+           then [ (rx, ry) ]
+           else [])
+  in
+  { mid; case_i; case_ii }
+
+let forced v = v.case_i <> [] || v.case_ii <> []
+
+let verdicts ctx massign dfg ~classes =
+  List.map (fun mid -> check_module ctx massign dfg ~mid ~classes) (Sharing.units ctx)
+
+let any_forced ctx massign dfg ~classes =
+  List.exists forced (verdicts ctx massign dfg ~classes)
+
+(* Greedy cover: each forced module offers candidate registers (case i
+   registers, both members of case ii pairs); repeatedly commit the
+   register covering the most remaining modules. *)
+let min_cbilbo_count ctx massign dfg ~classes =
+  let offers =
+    verdicts ctx massign dfg ~classes
+    |> List.filter forced
+    |> List.map (fun v ->
+           List.sort_uniq compare
+             (v.case_i @ List.concat_map (fun (x, y) -> [ x; y ]) v.case_ii))
+  in
+  let rec cover count remaining =
+    match remaining with
+    | [] -> count
+    | _ ->
+      let candidates = List.sort_uniq compare (List.concat remaining) in
+      let gain r = List.length (List.filter (List.mem r) remaining) in
+      let best =
+        match Listx.max_by gain candidates with
+        | Some r -> r
+        | None -> assert false
+      in
+      cover (count + 1) (List.filter (fun offer -> not (List.mem best offer)) remaining)
+  in
+  cover 0 offers

@@ -1,0 +1,61 @@
+(** The paper's Lemma 1 and Lemma 2: register-assignment conditions under
+    which, after minimum interconnect assignment, some register must be a
+    CBILBO in {e every} BIST embedding of a module.
+
+    Lemma 2: register Rx is a CBILBO in all embeddings of module M iff
+    Rx intersects every instance's operand set I_M^j and either
+    (i) Rx contains all of O_M, or (ii) Rx contains part of O_M and some
+    register Ry holds the rest of O_M while also intersecting every
+    I_M^j (then either of Rx, Ry can be the CBILBO).
+
+    The lemma is stated under the paper's assumptions (all operators
+    commutative, minimum interconnect). In this repository it serves as
+    the allocator's {e predictive} check — it runs during coloring, when
+    no data path exists yet — while the exact post-interconnect ground
+    truth is {!Bistpath_ipath.Ipath.cbilbo_unavoidable}. Measured
+    against that ground truth on randomly generated designs (see
+    test_cbilbo), the prediction has perfect precision and ~90% recall
+    on all-commutative units; rare escapes occur when minimum-connection
+    orientations tie and the interconnect optimizer picks a balanced one
+    the lemma's model did not anticipate. For non-commutative units the
+    pinned operand sides make it a further over-approximation — still
+    safe for the avoidance filter, which only uses the verdict to prefer
+    one merge over another. *)
+
+type verdict = {
+  mid : string;
+  case_i : string list;  (** registers triggering case (i) *)
+  case_ii : (string * string) list;  (** (Rx, Ry) pairs triggering case (ii) *)
+}
+
+val check_module :
+  Sharing.ctx ->
+  Bistpath_dfg.Massign.t ->
+  Bistpath_dfg.Dfg.t ->
+  mid:string ->
+  classes:(string * string list) list ->
+  verdict
+(** Evaluate Lemma 2 for one module against a (possibly partial) register
+    assignment given as register-id/variable-list classes. *)
+
+val forced : verdict -> bool
+(** Does the verdict force a CBILBO for this module? *)
+
+val any_forced :
+  Sharing.ctx ->
+  Bistpath_dfg.Massign.t ->
+  Bistpath_dfg.Dfg.t ->
+  classes:(string * string list) list ->
+  bool
+(** Does any module end up with a forced CBILBO under this assignment? *)
+
+val min_cbilbo_count :
+  Sharing.ctx ->
+  Bistpath_dfg.Massign.t ->
+  Bistpath_dfg.Dfg.t ->
+  classes:(string * string list) list ->
+  int
+(** Lower bound on CBILBOs implied by the lemma: number of modules with a
+    forced verdict, collapsed by shared registers (one CBILBO register
+    can cover several modules' forced situations when the same register
+    triggers each of them). *)

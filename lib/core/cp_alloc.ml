@@ -1,0 +1,22 @@
+module Lifetime = Bistpath_dfg.Lifetime
+module Ugraph = Bistpath_graphs.Ugraph
+module Clique_partition = Bistpath_graphs.Clique_partition
+module Regalloc = Bistpath_datapath.Regalloc
+
+let allocate dfg massign ~policy =
+  let conflict, idx = Lifetime.conflict_graph ~policy dfg in
+  let compat = Ugraph.complement conflict in
+  let ctx = Sharing.make dfg massign in
+  (* pairwise merge gain: how much sharing the two variables have in
+     common (merging them concentrates test-resource potential) *)
+  let weight i j =
+    let u = idx.Lifetime.of_index i and v = idx.Lifetime.of_index j in
+    Sharing.sd_var ctx u + Sharing.sd_var ctx v - Sharing.sd_vars ctx [ u; v ]
+  in
+  let cliques = Clique_partition.greedy ~weight compat in
+  Regalloc.make
+    (List.mapi
+       (fun k clique ->
+         ( Printf.sprintf "R%d" (k + 1),
+           List.map idx.Lifetime.of_index (Ugraph.Iset.elements clique) ))
+       cliques)

@@ -1,0 +1,18 @@
+(** Alternative testable register allocation by clique partitioning.
+
+    The classical dual of conflict-graph coloring: build the
+    {e compatibility} graph (variables whose lifetimes do not overlap),
+    weight each compatible pair by the sharing-degree gain of merging
+    them, and greedily partition into cliques — each clique a register.
+    Included as an algorithmic comparison point for the paper's
+    reverse-PVES coloring (the two explore the same solution space from
+    opposite directions); the ablation section reports both. *)
+
+val allocate :
+  Bistpath_dfg.Dfg.t ->
+  Bistpath_dfg.Massign.t ->
+  policy:Bistpath_dfg.Policy.t ->
+  Bistpath_datapath.Regalloc.t
+(** Always a valid register assignment; register count is the greedy
+    clique-partition size (at least the clique-cover number, usually
+    equal on interval graphs). *)

@@ -1,0 +1,77 @@
+module Area = Bistpath_datapath.Area
+module Regalloc = Bistpath_datapath.Regalloc
+module Datapath = Bistpath_datapath.Datapath
+module Interconnect = Bistpath_datapath.Interconnect
+module Allocator = Bistpath_bist.Allocator
+module Session = Bistpath_bist.Session
+
+type style = Traditional | Testable of Testable_alloc.options
+
+type result = {
+  style : style;
+  regalloc : Regalloc.t;
+  datapath : Datapath.t;
+  bist : Allocator.solution;
+  sessions : Session.t;
+  registers : int;
+  muxes : int;
+  overhead_percent : float;
+}
+
+(* One sharing context and a memo per flow run: the interconnect
+   optimizer queries the weight many times per register. *)
+let sd_weight dfg massign regalloc =
+  let ctx = Sharing.make dfg massign in
+  let cache = Hashtbl.create 8 in
+  fun rid ->
+    match Hashtbl.find_opt cache rid with
+    | Some w -> w
+    | None ->
+      let w =
+        match List.assoc_opt rid regalloc.Regalloc.classes with
+        | Some vars -> Sharing.sd_vars ctx vars
+        | None -> 0
+      in
+      Hashtbl.replace cache rid w;
+      w
+
+let run ?(model = Area.default) ?(width = 8) ?(io_penalty_percent = 100)
+    ?(transparency = false) ~style dfg massign ~policy =
+  let regalloc =
+    match style with
+    | Traditional -> Traditional_alloc.allocate dfg ~policy
+    | Testable options ->
+      fst (Testable_alloc.allocate ~options dfg massign ~policy)
+  in
+  let objective =
+    match style with
+    | Traditional -> { Interconnect.weight = (fun _ -> 0) }
+    | Testable _ -> { Interconnect.weight = sd_weight dfg massign regalloc }
+  in
+  let datapath = Interconnect.optimize dfg massign regalloc ~policy ~objective in
+  let bist = Allocator.solve ~model ~width ~io_penalty_percent ~transparency datapath in
+  let sessions = Session.schedule bist in
+  {
+    style;
+    regalloc;
+    datapath;
+    bist;
+    sessions;
+    registers = Datapath.allocated_register_count datapath;
+    muxes = Datapath.mux_count datapath;
+    overhead_percent = Allocator.overhead_percent ~model ~width datapath bist;
+  }
+
+let reduction_percent ~traditional ~testable =
+  if traditional.overhead_percent = 0.0 then 0.0
+  else
+    100.0
+    *. (traditional.overhead_percent -. testable.overhead_percent)
+    /. traditional.overhead_percent
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>%s flow: %d registers, %d muxes, BIST overhead %.2f%%@,%a@,%a@]"
+    (match r.style with Traditional -> "traditional" | Testable _ -> "testable")
+    r.registers r.muxes r.overhead_percent Regalloc.pp r.regalloc
+    Allocator.pp_solution r.bist

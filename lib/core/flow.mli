@@ -1,0 +1,40 @@
+(** End-to-end synthesis flows: register assignment, interconnect
+    assignment, data path construction and minimal-area BIST allocation,
+    packaged with the metrics Table I reports. *)
+
+type style =
+  | Traditional  (** left-edge registers, unweighted minimum interconnect *)
+  | Testable of Testable_alloc.options
+      (** the paper's allocation; interconnect weighted by register
+          sharing degrees *)
+
+type result = {
+  style : style;
+  regalloc : Bistpath_datapath.Regalloc.t;
+  datapath : Bistpath_datapath.Datapath.t;
+  bist : Bistpath_bist.Allocator.solution;
+  sessions : Bistpath_bist.Session.t;
+  registers : int;  (** allocated registers (Table I "# Reg") *)
+  muxes : int;  (** Table I "# Mux" *)
+  overhead_percent : float;  (** Table I "% BIST area" *)
+}
+
+val run :
+  ?model:Bistpath_datapath.Area.model ->
+  ?width:int ->
+  ?io_penalty_percent:int ->
+  ?transparency:bool ->
+  style:style ->
+  Bistpath_dfg.Dfg.t ->
+  Bistpath_dfg.Massign.t ->
+  policy:Bistpath_dfg.Policy.t ->
+  result
+(** Deterministic. [width] defaults to 8 bits; [io_penalty_percent]
+    (default 100) is forwarded to the BIST allocation — see
+    {!Bistpath_bist.Allocator.solve}. *)
+
+val reduction_percent : traditional:result -> testable:result -> float
+(** Table I's "% Reduction in BIST area":
+    100 * (trad - testable) / trad. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,19 @@
+(** Module assignment algorithms (the paper uses existing area-driven
+    methods; Section III fixes the assignment before register binding).
+
+    Two classical strategies are provided: minimum-count single-function
+    units via clique partitioning of the operation compatibility graph,
+    and ALU packing (SYNTEST-style multifunction units, one per
+    concurrent operation slot). *)
+
+val single_function :
+  Bistpath_dfg.Dfg.t -> Bistpath_dfg.Massign.t
+(** Operations of the same kind that run in different control steps may
+    share a unit; a minimum clique partition (weighted toward operand
+    sharing to keep interconnect small) yields the units, named
+    "<sym><n>". *)
+
+val alu_pack : Bistpath_dfg.Dfg.t -> Bistpath_dfg.Massign.t
+(** Pack all operations onto the fewest multifunction ALUs: as many units
+    as the widest control step, first-fit by step. Each ALU's kind list
+    is exactly the kinds it executes. *)

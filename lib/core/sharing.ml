@@ -1,0 +1,70 @@
+module Dfg = Bistpath_dfg.Dfg
+module Massign = Bistpath_dfg.Massign
+module Sset = Bistpath_dfg.Dfg.Sset
+
+type ctx = {
+  unit_ids : string list;
+  ins : (string * Sset.t) list;
+  outs : (string * Sset.t) list;
+  sources : (string * string list) list;  (* variable -> producing units *)
+  dests : (string * string list) list;  (* variable -> consuming units *)
+}
+
+let make dfg massign =
+  let unit_ids =
+    massign.Massign.units
+    |> List.filter_map (fun (u : Massign.hw) ->
+           if Massign.temporal_multiplicity massign dfg u.mid > 0 then Some u.mid
+           else None)
+    |> List.sort compare
+  in
+  let ins = List.map (fun m -> (m, Massign.input_variable_set massign dfg m)) unit_ids in
+  let outs = List.map (fun m -> (m, Massign.output_variable_set massign dfg m)) unit_ids in
+  let vars = Dfg.variables dfg in
+  let sources =
+    List.map
+      (fun v ->
+        ( v,
+          match Dfg.producer dfg v with
+          | Some op -> [ (Massign.unit_of_op massign op.Bistpath_dfg.Op.id).Massign.mid ]
+          | None -> [] ))
+      vars
+  in
+  let dests =
+    List.map
+      (fun v ->
+        ( v,
+          Dfg.consumers dfg v
+          |> List.map (fun (op : Bistpath_dfg.Op.t) ->
+                 (Massign.unit_of_op massign op.id).Massign.mid)
+          |> List.sort_uniq compare ))
+      vars
+  in
+  { unit_ids; ins; outs; sources; dests }
+
+let units t = t.unit_ids
+
+let in_set t mid =
+  match List.assoc_opt mid t.ins with Some s -> s | None -> Sset.empty
+
+let out_set t mid =
+  match List.assoc_opt mid t.outs with Some s -> s | None -> Sset.empty
+
+let sd_var t v =
+  let count sets = List.length (List.filter (fun (_, s) -> Sset.mem v s) sets) in
+  count t.ins + count t.outs
+
+let sd_vars t vars =
+  let vs = Sset.of_list vars in
+  let hits sets =
+    List.length (List.filter (fun (_, s) -> not (Sset.is_empty (Sset.inter vs s))) sets)
+  in
+  hits t.ins + hits t.outs
+
+let delta_sd t reg v = sd_vars t (v :: reg) - sd_vars t reg
+
+let source_units t v =
+  match List.assoc_opt v t.sources with Some l -> l | None -> []
+
+let dest_units t v =
+  match List.assoc_opt v t.dests with Some l -> l | None -> []

@@ -1,0 +1,36 @@
+(** Sharing degrees (Definitions 4 and 5): how many module variable sets
+    a variable or a register intersects. A register with a high sharing
+    degree can serve as test-pattern generator (input sets) or signature
+    analyzer (output sets) for many modules at once. *)
+
+type ctx
+(** Precomputed I_M / O_M sets for a (DFG, module assignment) pair;
+    modules with no bound operations are ignored. *)
+
+val make : Bistpath_dfg.Dfg.t -> Bistpath_dfg.Massign.t -> ctx
+
+val units : ctx -> string list
+(** Module ids with at least one instance, sorted. *)
+
+val in_set : ctx -> string -> Bistpath_dfg.Dfg.Sset.t
+(** I_M of a unit. *)
+
+val out_set : ctx -> string -> Bistpath_dfg.Dfg.Sset.t
+(** O_M of a unit. *)
+
+val sd_var : ctx -> string -> int
+(** SD(v) = #{M : v in I_M} + #{M : v in O_M}. *)
+
+val sd_vars : ctx -> string list -> int
+(** SD of a register holding the given variables: the number of distinct
+    input sets plus distinct output sets intersected (Definition 5). *)
+
+val delta_sd : ctx -> string list -> string -> int
+(** [delta_sd ctx reg v] = SD(reg + v) - SD(reg): the increase in the
+    register's sharing degree from absorbing [v]. *)
+
+val source_units : ctx -> string -> string list
+(** Units producing the variable (0 or 1 for a well-formed DFG). *)
+
+val dest_units : ctx -> string -> string list
+(** Units consuming the variable, sorted, distinct. *)

@@ -1,0 +1,155 @@
+module Dfg = Bistpath_dfg.Dfg
+module Lifetime = Bistpath_dfg.Lifetime
+module Massign = Bistpath_dfg.Massign
+module Sset = Bistpath_dfg.Dfg.Sset
+module Chordal = Bistpath_graphs.Chordal
+module Ugraph = Bistpath_graphs.Ugraph
+module Regalloc = Bistpath_datapath.Regalloc
+module Listx = Bistpath_util.Listx
+
+type options = {
+  sd_ordering : bool;
+  case_preferences : bool;
+  cbilbo_avoidance : bool;
+}
+
+let default_options =
+  { sd_ordering = true; case_preferences = true; cbilbo_avoidance = true }
+
+type trace_step = {
+  vertex : string;
+  chosen : string;
+  fresh : bool;
+  reason : string;
+}
+
+(* Interconnect affinity (the paper's final tie-break "taking into
+   consideration the effect of the assignment on interconnect cost"):
+   merging v into a register whose variables share source or destination
+   units avoids new multiplexer inputs (Fig. 6 cases 3-5). *)
+let affinity ctx vars v =
+  let units_of f vs = List.sort_uniq compare (List.concat_map f vs) in
+  let srcs = units_of (Sharing.source_units ctx) vars in
+  let dsts = units_of (Sharing.dest_units ctx) vars in
+  let v_srcs = Sharing.source_units ctx v in
+  let v_dsts = Sharing.dest_units ctx v in
+  List.length (List.filter (fun u -> List.mem u srcs) v_srcs)
+  + List.length (List.filter (fun u -> List.mem u dsts) v_dsts)
+
+let allocate ?(options = default_options) dfg massign ~policy =
+  let g, idx = Lifetime.conflict_graph ~policy dfg in
+  let ctx = Sharing.make dfg massign in
+  let mcs = Chordal.max_clique_size_per_vertex g in
+  let mcs_of i = match List.assoc_opt i mcs with Some m -> m | None -> 1 in
+  let sd_of i = Sharing.sd_var ctx (idx.Lifetime.of_index i) in
+  let prefer u v =
+    if options.sd_ordering then
+      compare (sd_of u, mcs_of u, idx.Lifetime.of_index u)
+        (sd_of v, mcs_of v, idx.Lifetime.of_index v)
+    else 0
+  in
+  let peo = Chordal.peo_with_preference g ~prefer in
+  let order = List.rev peo in
+  (* Mutable classes: (register id, variables in insertion order). *)
+  let classes : (string * string list) list ref = ref [] in
+  let trace = ref [] in
+  let conflicts i rid =
+    let vars = List.assoc rid !classes in
+    let nbrs = Ugraph.neighbors g i in
+    List.exists (fun v -> Ugraph.Iset.mem (idx.Lifetime.to_index v) nbrs) vars
+  in
+  let snapshot_with rid v =
+    List.map
+      (fun (r, vars) -> (r, if String.equal r rid then v :: vars else vars))
+      !classes
+  in
+  let choose i =
+    let v = idx.Lifetime.of_index i in
+    let nonconf = List.filter (fun (rid, _) -> not (conflicts i rid)) !classes in
+    match nonconf with
+    | [] ->
+      let rid = Printf.sprintf "R%d" (List.length !classes + 1) in
+      classes := !classes @ [ (rid, [ v ]) ];
+      trace := { vertex = v; chosen = rid; fresh = true; reason = "conflict-all" } :: !trace
+    | _ ->
+      (* CBILBO avoidance: restrict to candidates whose assignment does
+         not create a Lemma-2 situation, unless none qualifies. *)
+      let safe =
+        if not options.cbilbo_avoidance then nonconf
+        else
+          let baseline =
+            Cbilbo_rules.min_cbilbo_count ctx massign dfg ~classes:!classes
+          in
+          let ok (rid, _) =
+            Cbilbo_rules.min_cbilbo_count ctx massign dfg
+              ~classes:(snapshot_with rid v)
+            <= baseline
+          in
+          match List.filter ok nonconf with [] -> nonconf | l -> l
+      in
+      let delta (_, vars) = Sharing.delta_sd ctx vars v in
+      let sd_reg (_, vars) = Sharing.sd_vars ctx vars in
+      let sd_with (_, vars) = Sharing.sd_vars ctx (v :: vars) in
+      let aff (_, vars) = affinity ctx vars v in
+      (* Primary choice: maximize Delta-SD; ties by register SD, then by
+         interconnect affinity, then by creation order (stable). *)
+      let rank c = (-delta c, -sd_reg c, -aff c) in
+      let best_by_rank = function
+        | [] -> invalid_arg "Testable_alloc: empty candidate set"
+        | c :: rest ->
+          List.fold_left (fun acc c' -> if rank c' < rank acc then c' else acc) c rest
+      in
+      let ri = best_by_rank safe in
+      let ri_final_sd = sd_with ri in
+      let case_candidates =
+        if not options.case_preferences then []
+        else begin
+          (* Case 1: v is an output variable of unit M and a register
+             already holds an output variable of M. *)
+          let case1 =
+            Sharing.units ctx
+            |> List.filter (fun m -> Sset.mem v (Sharing.out_set ctx m))
+            |> List.concat_map (fun m ->
+                   List.filter
+                     (fun (_, vars) ->
+                       List.exists (fun w -> Sset.mem w (Sharing.out_set ctx m)) vars)
+                     safe)
+          in
+          (* Case 2: v is an input variable of unit M and at least two
+             registers already hold input variables of M. *)
+          let case2 =
+            Sharing.units ctx
+            |> List.filter (fun m -> Sset.mem v (Sharing.in_set ctx m))
+            |> List.concat_map (fun m ->
+                   let holders =
+                     List.filter
+                       (fun (_, vars) ->
+                         List.exists (fun w -> Sset.mem w (Sharing.in_set ctx m)) vars)
+                       !classes
+                   in
+                   if List.length holders >= 2 then
+                     List.filter
+                       (fun (rid, _) -> List.mem_assoc rid holders)
+                       safe
+                   else [])
+          in
+          (case1 @ case2)
+          |> List.sort_uniq compare
+          |> List.filter (fun c ->
+                 (not (String.equal (fst c) (fst ri))) && sd_reg c > ri_final_sd)
+        end
+      in
+      let chosen, reason =
+        match case_candidates with
+        | [] -> (ri, "delta-sd")
+        | cs -> (best_by_rank cs, "case-preference")
+      in
+      let rid = fst chosen in
+      classes :=
+        List.map
+          (fun (r, vars) -> (r, if String.equal r rid then vars @ [ v ] else vars))
+          !classes;
+      trace := { vertex = v; chosen = rid; fresh = false; reason } :: !trace
+  in
+  List.iter choose order;
+  (Regalloc.make !classes, List.rev !trace)

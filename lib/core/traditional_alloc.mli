@@ -1,0 +1,12 @@
+(** Traditional register allocation: the left-edge algorithm (Kurdahi &
+    Parker / Tseng-Siewiorek practice) — minimum register count, no
+    testability consideration. This is the "Traditional HLS" column of
+    Table I. *)
+
+val allocate :
+  Bistpath_dfg.Dfg.t ->
+  policy:Bistpath_dfg.Policy.t ->
+  Bistpath_datapath.Regalloc.t
+(** Variables sorted by (birth, death, name), first-fit into registers.
+    Always uses the minimum number of registers (left-edge optimality on
+    interval conflicts). *)

@@ -1,0 +1,37 @@
+(** Controller synthesis: the per-control-step words that drive the data
+    path — multiplexer selects, ALU function selects and register
+    enables. Step 0 is the input-load phase (primary inputs latched into
+    their registers); steps 1..T mirror the schedule, with each step's
+    results latched at its end. *)
+
+type write = {
+  rid : string;
+  source_index : int;  (** index into the register's writer list *)
+  variable : string;  (** the value being latched (result or input) *)
+}
+
+type unit_op = {
+  mid : string;
+  opid : string;
+  l_select : int;  (** index into the unit's left-port source list *)
+  r_select : int;  (** index into the right-port source list *)
+  f_select : int;  (** index into the unit's kind list (0 for single-function) *)
+}
+
+type step = {
+  index : int;  (** 0 = load phase, then 1..T *)
+  ops : unit_op list;  (** units computing during this step *)
+  writes : write list;  (** registers latching at the end of this step *)
+}
+
+type t = { steps : step list (* by index, 0..T *) }
+
+val build : Datapath.t -> t
+(** Derive the full control table. Raises [Invalid_argument] if some
+    register would have to latch two values in one step (impossible for
+    a valid register assignment — the lifetimes would overlap). *)
+
+val register_enables : t -> string -> int list
+(** Steps at whose end the register latches. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+module Dfg = Bistpath_dfg.Dfg
+module Op = Bistpath_dfg.Op
+
+type trace_entry = {
+  step : int;
+  register_file : (string * int) list;
+}
+
+let run ?(trace = false) (dp : Datapath.t) ~width ~inputs =
+  let dfg = dp.Datapath.dfg in
+  let used_inputs = List.filter (fun v -> Dfg.consumers dfg v <> []) dfg.Dfg.inputs in
+  List.iter
+    (fun v ->
+      if not (List.mem_assoc v inputs) then
+        invalid_arg (Printf.sprintf "Interp.run: missing value for input %s" v))
+    used_inputs;
+  let pin v =
+    match List.assoc_opt v inputs with
+    | Some x -> x land ((1 lsl width) - 1)
+    | None -> invalid_arg (Printf.sprintf "Interp.run: no pin %s" v)
+  in
+  let control = Control.build dp in
+  let regs = Hashtbl.create 16 in
+  List.iter (fun (r : Datapath.reg) -> Hashtbl.replace regs r.Datapath.rid 0) dp.Datapath.regs;
+  let reg_value rid = Hashtbl.find regs rid in
+  let route_of opid =
+    List.find (fun (rt : Datapath.route) -> String.equal rt.opid opid) dp.Datapath.routes
+  in
+  let captured = Hashtbl.create 8 in
+  let capture_step v =
+    match Dfg.producer dfg v with
+    | Some op -> Dfg.cstep dfg op.Op.id
+    | None -> 0
+  in
+  let traces = ref [] in
+  List.iter
+    (fun (s : Control.step) ->
+      (* compute phase: every active unit reads the current registers *)
+      let unit_results = Hashtbl.create 8 in
+      List.iter
+        (fun (uop : Control.unit_op) ->
+          let rt = route_of uop.Control.opid in
+          let op =
+            match Dfg.op_by_id dfg uop.Control.opid with
+            | Some op -> op
+            | None -> assert false
+          in
+          let result =
+            Op.eval op.Op.kind ~width (reg_value rt.Datapath.l_reg)
+              (reg_value rt.Datapath.r_reg)
+          in
+          Hashtbl.replace unit_results uop.Control.mid result)
+        s.Control.ops;
+      (* latch phase *)
+      let pending =
+        List.map
+          (fun (w : Control.write) ->
+            let writers = List.assoc w.Control.rid dp.Datapath.reg_writers in
+            let value =
+              match List.nth writers w.Control.source_index with
+              | Datapath.From_unit mid -> (
+                match Hashtbl.find_opt unit_results mid with
+                | Some x -> x
+                | None ->
+                  invalid_arg
+                    (Printf.sprintf "Interp.run: %s latches from idle unit %s"
+                       w.Control.rid mid))
+              | Datapath.From_port v -> pin v
+            in
+            (w.Control.rid, value))
+          s.Control.writes
+      in
+      List.iter (fun (rid, x) -> Hashtbl.replace regs rid x) pending;
+      (* capture primary outputs that became available this step *)
+      List.iter
+        (fun (v, rid) ->
+          if capture_step v = s.Control.index && not (Hashtbl.mem captured v) then
+            Hashtbl.replace captured v
+              (match Dfg.producer dfg v with
+              | Some _ -> reg_value rid
+              | None -> pin v))
+        dp.Datapath.outputs;
+      if trace then
+        traces :=
+          {
+            step = s.Control.index;
+            register_file =
+              List.map (fun (r : Datapath.reg) -> (r.Datapath.rid, reg_value r.Datapath.rid))
+                dp.Datapath.regs;
+          }
+          :: !traces)
+    control.Control.steps;
+  let outputs =
+    List.map (fun (v, _) -> (v, Hashtbl.find captured v)) dp.Datapath.outputs
+    |> List.sort compare
+  in
+  (outputs, List.rev !traces)
+
+let equivalent_to_dfg dp ~width ~inputs =
+  let got, _ = run dp ~width ~inputs in
+  let expected = Bistpath_dfg.Eval.run dp.Datapath.dfg ~width ~inputs in
+  got = expected
+
+let run_iterations dp ~policy ~width ~iterations ~inputs =
+  if iterations < 1 then invalid_arg "Interp.run_iterations: iterations must be >= 1";
+  let carried = policy.Bistpath_dfg.Policy.carried in
+  List.iter
+    (fun (w, _) ->
+      if not (List.mem_assoc w dp.Datapath.outputs) then
+        invalid_arg
+          (Printf.sprintf
+             "Interp.run_iterations: carried result %s is not a primary output" w))
+    carried;
+  let rec go k inputs acc =
+    let outs, _ = run dp ~width ~inputs in
+    let acc = outs :: acc in
+    if k = iterations then List.rev acc
+    else
+      let next =
+        List.map
+          (fun (v, x) ->
+            match List.find_opt (fun (_, target) -> String.equal target v) carried with
+            | Some (w, _) -> (v, List.assoc w outs)
+            | None -> (v, x))
+          inputs
+      in
+      go (k + 1) next acc
+  in
+  go 1 inputs []

@@ -1,0 +1,119 @@
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+type t = {
+  name : string;
+  ops : Op.t list;
+  inputs : string list;
+  outputs : string list;
+  schedule : int Smap.t;
+}
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let variables t =
+  let add set v = Sset.add v set in
+  let set = List.fold_left add Sset.empty t.inputs in
+  let set =
+    List.fold_left
+      (fun set (op : Op.t) -> add (add (add set op.left) op.right) op.out)
+      set t.ops
+  in
+  Sset.elements set
+
+let producer t v = List.find_opt (fun (op : Op.t) -> String.equal op.out v) t.ops
+
+let consumers t v =
+  List.filter (fun (op : Op.t) -> String.equal op.left v || String.equal op.right v) t.ops
+
+let cstep t id =
+  match Smap.find_opt id t.schedule with Some c -> c | None -> raise Not_found
+
+let op_by_id t id = List.find_opt (fun (op : Op.t) -> String.equal op.id id) t.ops
+
+let num_csteps t = Smap.fold (fun _ c acc -> max acc c) t.schedule 0
+
+let ops_in_step t step = List.filter (fun (op : Op.t) -> cstep t op.id = step) t.ops
+
+let validate t =
+  let ids = List.map (fun (op : Op.t) -> op.id) t.ops in
+  (match
+     List.find_opt
+       (fun id -> List.length (List.filter (String.equal id) ids) > 1)
+       ids
+   with
+  | Some id -> fail "Dfg %s: duplicate operation id %s" t.name id
+  | None -> ());
+  let produced = List.map (fun (op : Op.t) -> op.out) t.ops in
+  (match
+     List.find_opt
+       (fun v -> List.length (List.filter (String.equal v) produced) > 1)
+       produced
+   with
+  | Some v -> fail "Dfg %s: variable %s produced by two operations" t.name v
+  | None -> ());
+  List.iter
+    (fun v ->
+      if List.mem v t.inputs then
+        fail "Dfg %s: primary input %s is also an operation result" t.name v)
+    produced;
+  let defined = Sset.union (Sset.of_list t.inputs) (Sset.of_list produced) in
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter
+        (fun v ->
+          if not (Sset.mem v defined) then
+            fail "Dfg %s: operand %s of %s is undefined" t.name v op.id)
+        [ op.left; op.right ])
+    t.ops;
+  List.iter
+    (fun v ->
+      if not (Sset.mem v defined) then
+        fail "Dfg %s: primary output %s is undefined" t.name v)
+    t.outputs;
+  List.iter
+    (fun (op : Op.t) ->
+      match Smap.find_opt op.id t.schedule with
+      | None -> fail "Dfg %s: operation %s is not scheduled" t.name op.id
+      | Some c when c < 1 -> fail "Dfg %s: operation %s has control step %d < 1" t.name op.id c
+      | Some _ -> ())
+    t.ops;
+  (* Data dependencies: a producer must finish strictly before any use;
+     this also rules out cycles since csteps strictly increase along
+     every path. *)
+  List.iter
+    (fun (op : Op.t) ->
+      List.iter
+        (fun v ->
+          match producer t v with
+          | Some p when cstep t p.id >= cstep t op.id ->
+            fail "Dfg %s: %s reads %s before %s produces it" t.name op.id v p.id
+          | Some _ | None -> ())
+        [ op.left; op.right ])
+    t.ops
+
+let make ~name ~ops ~inputs ~outputs ~schedule =
+  let schedule =
+    List.fold_left (fun m (id, c) -> Smap.add id c m) Smap.empty schedule
+  in
+  let t = { name; ops; inputs; outputs; schedule } in
+  validate t;
+  t
+
+let kind_counts t =
+  Op.all_kinds
+  |> List.filter_map (fun k ->
+         match List.length (List.filter (fun (op : Op.t) -> op.kind = k) t.ops) with
+         | 0 -> None
+         | n -> Some (k, n))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>DFG %s  (inputs: %s; outputs: %s)@," t.name
+    (String.concat " " t.inputs)
+    (String.concat " " t.outputs);
+  for step = 1 to num_csteps t do
+    Format.fprintf ppf "  step %d:" step;
+    List.iter (fun op -> Format.fprintf ppf "  [%a]" Op.pp op) (ops_in_step t step);
+    Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

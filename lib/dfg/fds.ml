@@ -1,0 +1,171 @@
+module Listx = Bistpath_util.Listx
+
+type window = { lo : int; hi : int }
+
+
+(* Recompute ASAP/ALAP windows under the partial assignment [fixed]. *)
+let windows (p : Scheduler.problem) ~latency fixed =
+  let prod = Hashtbl.create 16 in
+  List.iter (fun (o : Op.t) -> Hashtbl.replace prod o.out o) p.ops;
+  let asap = Hashtbl.create 16 in
+  let rec asap_of (o : Op.t) =
+    match Hashtbl.find_opt asap o.id with
+    | Some s -> s
+    | None ->
+      let dep v =
+        match Hashtbl.find_opt prod v with Some d -> asap_of d | None -> 0
+      in
+      let s =
+        match Hashtbl.find_opt fixed o.id with
+        | Some t -> t
+        | None -> 1 + max (dep o.left) (dep o.right)
+      in
+      Hashtbl.replace asap o.id s;
+      s
+  in
+  List.iter (fun o -> ignore (asap_of o)) p.ops;
+  let consumers = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Op.t) ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace consumers v
+            (o :: (match Hashtbl.find_opt consumers v with Some l -> l | None -> [])))
+        [ o.left; o.right ])
+    p.ops;
+  let alap = Hashtbl.create 16 in
+  let rec alap_of (o : Op.t) =
+    match Hashtbl.find_opt alap o.id with
+    | Some s -> s
+    | None ->
+      let uses =
+        match Hashtbl.find_opt consumers o.out with Some l -> l | None -> []
+      in
+      let s =
+        match Hashtbl.find_opt fixed o.id with
+        | Some t -> t
+        | None ->
+          List.fold_left (fun acc u -> min acc (alap_of u - 1)) latency uses
+      in
+      Hashtbl.replace alap o.id s;
+      s
+  in
+  List.iter (fun o -> ignore (alap_of o)) p.ops;
+  List.map
+    (fun (o : Op.t) ->
+      let w = { lo = Hashtbl.find asap o.id; hi = Hashtbl.find alap o.id } in
+      if w.hi < w.lo then
+        invalid_arg
+          (Printf.sprintf "Fds.schedule: infeasible window for %s (latency too small?)" o.id);
+      (o, w))
+    p.ops
+
+(* Distribution graph of a kind: expected concurrency per step, each
+   operation spread uniformly over its window. *)
+let distribution windows kind ~latency =
+  let dg = Array.make (latency + 1) 0.0 in
+  List.iter
+    (fun ((o : Op.t), w) ->
+      if o.kind = kind then begin
+        let p = 1.0 /. float_of_int (w.hi - w.lo + 1) in
+        for t = w.lo to w.hi do
+          dg.(t) <- dg.(t) +. p
+        done
+      end)
+    windows;
+  dg
+
+(* Self force of placing the operation at step t given its window. *)
+let self_force dg w t =
+  let width = float_of_int (w.hi - w.lo + 1) in
+  let mean = ref 0.0 in
+  for j = w.lo to w.hi do
+    mean := !mean +. (dg.(j) /. width)
+  done;
+  dg.(t) -. !mean
+
+let schedule ~(problem : Scheduler.problem) ~latency =
+  let cp =
+    List.fold_left (fun acc (_, s) -> max acc s) 0 (Scheduler.asap problem)
+  in
+  if latency < cp then
+    invalid_arg
+      (Printf.sprintf "Fds.schedule: latency %d below critical path %d" latency cp);
+  let fixed = Hashtbl.create 16 in
+  let prod = Hashtbl.create 16 in
+  List.iter (fun (o : Op.t) -> Hashtbl.replace prod o.out o) problem.ops;
+  let parents (o : Op.t) =
+    List.filter_map (fun v -> Hashtbl.find_opt prod v) [ o.left; o.right ]
+  in
+  let children (o : Op.t) =
+    List.filter
+      (fun (u : Op.t) -> String.equal u.left o.out || String.equal u.right o.out)
+      problem.ops
+  in
+  let n = List.length problem.ops in
+  for _ = 1 to n do
+    let ws = windows problem ~latency fixed in
+    let dgs =
+      List.map (fun kind -> (kind, distribution ws kind ~latency)) Op.all_kinds
+    in
+    let dg_of kind = List.assoc kind dgs in
+    let window_of =
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun ((o : Op.t), w) -> Hashtbl.replace tbl o.id w) ws;
+      fun (o : Op.t) -> Hashtbl.find tbl o.id
+    in
+    (* candidate = unscheduled op, each step in its window *)
+    let best = ref None in
+    List.iter
+      (fun ((o : Op.t), w) ->
+        if not (Hashtbl.mem fixed o.id) then
+          for t = w.lo to w.hi do
+            let f = ref (self_force (dg_of o.kind) w t) in
+            (* predecessor forces: parents lose the steps >= t *)
+            List.iter
+              (fun (pa : Op.t) ->
+                let pw = window_of pa in
+                if not (Hashtbl.mem fixed pa.id) then begin
+                  let hi' = min pw.hi (t - 1) in
+                  if hi' < pw.hi && hi' >= pw.lo then
+                    f := !f +. self_force (dg_of pa.kind) pw hi'
+                    (* approximate: force of pushing the parent to its
+                       new latest step *)
+                end)
+              (parents o);
+            List.iter
+              (fun (ch : Op.t) ->
+                let cw = window_of ch in
+                if not (Hashtbl.mem fixed ch.id) then begin
+                  let lo' = max cw.lo (t + 1) in
+                  if lo' > cw.lo && lo' <= cw.hi then
+                    f := !f +. self_force (dg_of ch.kind) cw lo'
+                end)
+              (children o);
+            match !best with
+            | Some (bf, (bo : Op.t), _) when bf < !f || (bf = !f && String.compare bo.id o.id <= 0) -> ()
+            | _ -> best := Some (!f, o, t)
+          done)
+      ws;
+    match !best with
+    | Some (_, o, t) -> Hashtbl.replace fixed o.id t
+    | None -> ()
+  done;
+  List.map (fun (o : Op.t) -> (o.id, Hashtbl.find fixed o.id)) problem.ops
+
+let to_dfg problem ~latency =
+  Scheduler.to_dfg problem (schedule ~problem ~latency)
+
+let max_concurrency dfg =
+  Op.all_kinds
+  |> List.filter_map (fun kind ->
+         let peak =
+           List.fold_left
+             (fun acc step ->
+               max acc
+                 (List.length
+                    (List.filter (fun (o : Op.t) -> o.kind = kind) (Dfg.ops_in_step dfg step))))
+             0
+             (Listx.range 1 (Dfg.num_csteps dfg + 1))
+         in
+         if peak = 0 then None else Some (kind, peak))

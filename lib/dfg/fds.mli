@@ -1,0 +1,26 @@
+(** Force-directed scheduling (Paulin & Knight, 1989) — the classic
+    time-constrained scheduler that balances operation concurrency so
+    fewer functional units are needed at a given latency. The Paulin
+    benchmark of the DAC-1995 paper is the running example of that work,
+    so the substrate earns its place here.
+
+    For each unscheduled operation and each feasible control step, the
+    {e force} measures how much assigning it there would increase the
+    expected concurrency of its operation class (self force from the
+    distribution graph, plus the forces its mobility reduction induces
+    on direct predecessors and successors). The least-force assignment
+    is fixed, mobilities shrink, and the process repeats. *)
+
+val schedule : problem:Scheduler.problem -> latency:int -> (string * int) list
+(** Time-constrained FDS. Raises [Invalid_argument] if [latency] is
+    below the critical path. Deterministic (ties broken by operation
+    id). The result always respects data dependencies and the latency
+    bound. *)
+
+val to_dfg : Scheduler.problem -> latency:int -> Dfg.t
+(** [schedule] packaged through {!Dfg.make} validation. *)
+
+val max_concurrency : Dfg.t -> (Op.kind * int) list
+(** Per operation kind, the maximum number of simultaneous operations in
+    any control step — the unit count a single-function module
+    assignment needs. Used to compare schedulers. *)

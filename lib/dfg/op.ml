@@ -1,0 +1,49 @@
+type kind = Add | Sub | Mul | Div | And | Or | Xor | Less
+
+let all_kinds = [ Add; Sub; Mul; Div; And; Or; Xor; Less ]
+
+let commutative = function
+  | Add | Mul | And | Or | Xor -> true
+  | Sub | Div | Less -> false
+
+let symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Less -> "<"
+
+let of_symbol s =
+  List.find_opt (fun k -> String.equal (symbol k) s) all_kinds
+
+let eval kind ~width x y =
+  let mask = (1 lsl width) - 1 in
+  let x = x land mask and y = y land mask in
+  (match kind with
+  | Add -> x + y
+  | Sub -> x - y
+  | Mul -> x * y
+  | Div -> if y = 0 then mask else x / y
+  | And -> x land y
+  | Or -> x lor y
+  | Xor -> x lxor y
+  | Less -> if x < y then 1 else 0)
+  land mask
+
+let pp_kind ppf k = Format.pp_print_string ppf (symbol k)
+
+type t = {
+  id : string;
+  kind : kind;
+  left : string;
+  right : string;
+  out : string;
+}
+
+let operands t = if String.equal t.left t.right then [ t.left ] else [ t.left; t.right ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %s %a %s -> %s" t.id t.left pp_kind t.kind t.right t.out

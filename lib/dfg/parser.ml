@@ -1,0 +1,94 @@
+type unscheduled = {
+  name : string;
+  ops : Op.t list;
+  inputs : string list;
+  outputs : string list;
+  partial_schedule : (string * int) list;
+}
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> not (String.equal w ""))
+
+let parse_op_line lineno words =
+  (* op <id> = <left> <sym> <right> -> <out> [@ <step>] *)
+  let err msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  match words with
+  | [ "op"; id; "="; left; sym; right; "->"; out ] -> (
+    match Op.of_symbol sym with
+    | None -> err (Printf.sprintf "unknown operator %S" sym)
+    | Some kind -> Ok ({ Op.id; kind; left; right; out }, None))
+  | [ "op"; id; "="; left; sym; right; "->"; out; "@"; step ] -> (
+    match (Op.of_symbol sym, int_of_string_opt step) with
+    | None, _ -> err (Printf.sprintf "unknown operator %S" sym)
+    | _, None -> err (Printf.sprintf "bad control step %S" step)
+    | Some kind, Some s -> Ok ({ Op.id; kind; left; right; out }, Some s))
+  | _ -> err "malformed op line"
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok acc
+    | line :: rest -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match split_words line with
+      | [] -> go (lineno + 1) acc rest
+      | "dfg" :: [ name ] -> go (lineno + 1) { acc with name } rest
+      | "input" :: vars -> go (lineno + 1) { acc with inputs = acc.inputs @ vars } rest
+      | "output" :: vars -> go (lineno + 1) { acc with outputs = acc.outputs @ vars } rest
+      | "op" :: _ as words -> (
+        match parse_op_line lineno words with
+        | Error _ as e -> e
+        | Ok (op, step) ->
+          let acc = { acc with ops = acc.ops @ [ op ] } in
+          let acc =
+            match step with
+            | Some s -> { acc with partial_schedule = acc.partial_schedule @ [ (op.Op.id, s) ] }
+            | None -> acc
+          in
+          go (lineno + 1) acc rest)
+      | w :: _ -> Error (Printf.sprintf "line %d: unknown directive %S" lineno w))
+  in
+  go 1 { name = "unnamed"; ops = []; inputs = []; outputs = []; partial_schedule = [] } lines
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string text
+  | exception Sys_error msg -> Error msg
+
+let to_dfg u =
+  let unscheduled =
+    List.filter
+      (fun (op : Op.t) -> not (List.mem_assoc op.id u.partial_schedule))
+      u.ops
+  in
+  match unscheduled with
+  | op :: _ -> Error (Printf.sprintf "operation %s has no control step" op.Op.id)
+  | [] -> (
+    match
+      Dfg.make ~name:u.name ~ops:u.ops ~inputs:u.inputs ~outputs:u.outputs
+        ~schedule:u.partial_schedule
+    with
+    | dfg -> Ok dfg
+    | exception Invalid_argument msg -> Error msg)
+
+let to_string (t : Dfg.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "dfg %s\n" t.name);
+  if t.inputs <> [] then
+    Buffer.add_string buf (Printf.sprintf "input %s\n" (String.concat " " t.inputs));
+  if t.outputs <> [] then
+    Buffer.add_string buf (Printf.sprintf "output %s\n" (String.concat " " t.outputs));
+  List.iter
+    (fun (op : Op.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "op %s = %s %s %s -> %s @ %d\n" op.id op.left
+           (Op.symbol op.kind) op.right op.out
+           (Dfg.cstep t op.id)))
+    t.ops;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Textual DFG format, round-trippable with {!to_string}:
+
+    {v
+    # comment
+    dfg ex1
+    input a b e g
+    output h
+    op +1 = a + b -> d @ 1
+    op *2 = e * g -> h @ 3
+    v}
+
+    The "@ step" suffix is optional on every [op] line; if any is missing
+    the result is unscheduled and must be completed with {!Scheduler}
+    before use (parse then returns the raw pieces). *)
+
+type unscheduled = {
+  name : string;
+  ops : Op.t list;
+  inputs : string list;
+  outputs : string list;
+  partial_schedule : (string * int) list;
+}
+
+val parse_string : string -> (unscheduled, string) result
+(** Parse; the error is a human-readable message with a line number. *)
+
+val parse_file : string -> (unscheduled, string) result
+
+val to_dfg : unscheduled -> (Dfg.t, string) result
+(** Requires every operation scheduled; validates via {!Dfg.make}. *)
+
+val to_string : Dfg.t -> string
+(** Render in the accepted format. *)

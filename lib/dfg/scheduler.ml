@@ -1,0 +1,108 @@
+type problem = {
+  name : string;
+  ops : Op.t list;
+  inputs : string list;
+  outputs : string list;
+}
+
+let producer_tbl ops =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (op : Op.t) -> Hashtbl.replace tbl op.out op) ops;
+  tbl
+
+let asap p =
+  let prod = producer_tbl p.ops in
+  let memo = Hashtbl.create 16 in
+  let rec step_of (op : Op.t) =
+    match Hashtbl.find_opt memo op.id with
+    | Some (Some s) -> s
+    | Some None -> invalid_arg (Printf.sprintf "Scheduler.asap: cycle through %s" op.id)
+    | None ->
+      Hashtbl.replace memo op.id None;
+      let dep v =
+        match Hashtbl.find_opt prod v with Some d -> step_of d | None -> 0
+      in
+      let s = 1 + max (dep op.left) (dep op.right) in
+      Hashtbl.replace memo op.id (Some s);
+      s
+  in
+  List.map (fun (op : Op.t) -> (op.id, step_of op)) p.ops
+
+let critical_path p =
+  List.fold_left (fun acc (_, s) -> max acc s) 0 (asap p)
+
+let alap p ~latency =
+  let cp = critical_path p in
+  if latency < cp then
+    invalid_arg
+      (Printf.sprintf "Scheduler.alap: latency %d below critical path %d" latency cp);
+  let consumers_of v =
+    List.filter (fun (op : Op.t) -> String.equal op.left v || String.equal op.right v) p.ops
+  in
+  let memo = Hashtbl.create 16 in
+  let rec step_of (op : Op.t) =
+    match Hashtbl.find_opt memo op.id with
+    | Some s -> s
+    | None ->
+      let s =
+        match consumers_of op.out with
+        | [] -> latency
+        | uses -> List.fold_left (fun acc u -> min acc (step_of u - 1)) latency uses
+      in
+      Hashtbl.replace memo op.id s;
+      s
+  in
+  List.map (fun (op : Op.t) -> (op.id, step_of op)) p.ops
+
+let list_schedule p ~resources =
+  let prod = producer_tbl p.ops in
+  let n = List.length p.ops in
+  let alap_map =
+    match alap p ~latency:(max 1 (critical_path p)) with
+    | l -> l
+    | exception Invalid_argument _ -> asap p
+  in
+  let slack op = List.assoc op alap_map in
+  let scheduled = Hashtbl.create 16 in
+  let ready step (op : Op.t) =
+    (not (Hashtbl.mem scheduled op.id))
+    && List.for_all
+         (fun v ->
+           match Hashtbl.find_opt prod v with
+           | None -> true
+           | Some (d : Op.t) -> (
+             match Hashtbl.find_opt scheduled d.id with
+             | Some s -> s < step
+             | None -> false))
+         [ op.Op.left; op.Op.right ]
+  in
+  let capacity kind = match List.assoc_opt kind resources with Some c -> c | None -> n in
+  let rec go step count =
+    if count = n then ()
+    else begin
+      let candidates =
+        List.filter (ready step) p.ops
+        |> List.sort (fun (a : Op.t) (b : Op.t) ->
+               compare (slack a.id, a.id) (slack b.id, b.id))
+      in
+      let used = Hashtbl.create 8 in
+      let placed =
+        List.filter
+          (fun (op : Op.t) ->
+            let u = match Hashtbl.find_opt used op.kind with Some x -> x | None -> 0 in
+            if u < capacity op.kind then begin
+              Hashtbl.replace used op.kind (u + 1);
+              Hashtbl.replace scheduled op.id step;
+              true
+            end
+            else false)
+          candidates
+      in
+      go (step + 1) (count + List.length placed)
+    end
+  in
+  go 1 0;
+  List.map (fun (op : Op.t) -> (op.id, Hashtbl.find scheduled op.id)) p.ops
+
+let to_dfg p schedule =
+  Dfg.make ~name:p.name ~ops:p.ops ~inputs:p.inputs ~outputs:p.outputs ~schedule

@@ -1,0 +1,29 @@
+(** Scheduling substrate: the paper takes a *scheduled* DFG as input, so
+    any benchmark distributed unscheduled must first pass through one of
+    these. ASAP/ALAP bound the mobility; the list scheduler respects a
+    resource bound per operation class. *)
+
+type problem = {
+  name : string;
+  ops : Op.t list;
+  inputs : string list;
+  outputs : string list;
+}
+
+val asap : problem -> (string * int) list
+(** Each operation as soon as its operands exist (1-based steps),
+    unlimited resources. Raises [Invalid_argument] on a cyclic or
+    ill-formed problem. *)
+
+val alap : problem -> latency:int -> (string * int) list
+(** Each operation as late as possible within [latency] steps. Raises
+    [Invalid_argument] if [latency] is below the ASAP critical path. *)
+
+val list_schedule :
+  problem -> resources:(Op.kind * int) list -> (string * int) list
+(** Resource-constrained list scheduling; priority = ALAP slack (critical
+    operations first). A kind missing from [resources] is unlimited.
+    Result always respects dependencies and the per-step resource bound. *)
+
+val to_dfg : problem -> (string * int) list -> Dfg.t
+(** Package a schedule; validates via {!Dfg.make}. *)

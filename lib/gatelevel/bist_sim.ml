@@ -1,0 +1,164 @@
+module Datapath = Bistpath_datapath.Datapath
+module Massign = Bistpath_dfg.Massign
+module Op = Bistpath_dfg.Op
+module Ipath = Bistpath_ipath.Ipath
+module Allocator = Bistpath_bist.Allocator
+module Listx = Bistpath_util.Listx
+
+type unit_report = {
+  mid : string;
+  patterns : int;
+  faults_total : int;
+  faults_detected : int;
+  coverage : float;
+  signature : int;
+  aliased : int;
+}
+
+type report = {
+  width : int;
+  pattern_count : int;
+  units : unit_report list;
+}
+
+(* Deterministic non-zero LFSR seed from a register name. *)
+let seed_of_register ~salt ~seed rid =
+  let h = Hashtbl.hash (rid, salt, seed) in
+  match h land 0xFFFF with 0 -> 1 | s -> s
+
+let bits_of width v = List.init width (fun i -> (v lsr i) land 1)
+
+(* Fold a vector of output bits into a [width]-bit word for the MISR. *)
+let fold_outputs width bits =
+  let value =
+    snd (List.fold_left (fun (i, acc) b -> (i + 1, acc lor (b lsl i))) (0, 0) bits)
+  in
+  let mask = (1 lsl width) - 1 in
+  (value land mask) lxor (value lsr width)
+
+let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+let rec chunks n = function
+  | [] -> []
+  | l -> Listx.take n l :: chunks n (drop (min n (List.length l)) l)
+
+let pack num_inputs chunk =
+  let words = Array.make num_inputs 0L in
+  List.iteri
+    (fun lane bits ->
+      List.iteri
+        (fun i bit ->
+          if bit <> 0 then words.(i) <- Int64.logor words.(i) (Int64.shift_left 1L lane))
+        bits)
+    chunk;
+  words
+
+(* Per-lane decoded output bits of a net evaluation. *)
+let lane_outputs c nets lane =
+  List.map
+    (fun n -> if Int64.logand (Int64.shift_right_logical nets.(n) lane) 1L = 1L then 1 else 0)
+    c.Circuit.outputs
+
+let simulate_unit ~width ~pattern_count ~seed (e : Ipath.embedding) (u : Massign.hw) =
+  let circuit =
+    match u.kinds with
+    | [ k ] -> Library.of_kind k ~width
+    | kinds -> Library.alu kinds ~width
+  in
+  let gen_l = Lfsr.create ~width ~seed:(seed_of_register ~salt:0 ~seed e.l_tpg) in
+  let gen_r = Lfsr.create ~width ~seed:(seed_of_register ~salt:1 ~seed e.r_tpg) in
+  let operand_pairs =
+    List.init pattern_count (fun _ -> (Lfsr.step gen_l, Lfsr.step gen_r))
+  in
+  let vectors =
+    match u.kinds with
+    | [ _ ] -> List.map (fun (a, b) -> bits_of width a @ bits_of width b) operand_pairs
+    | kinds ->
+      List.concat_map
+        (fun ki ->
+          let select =
+            List.init (List.length kinds) (fun j -> if j = ki then 1 else 0)
+          in
+          List.map
+            (fun (a, b) -> bits_of width a @ bits_of width b @ select)
+            operand_pairs)
+        (Listx.range 0 (List.length kinds))
+  in
+  let num_inputs = List.length circuit.Circuit.inputs in
+  let packed = List.map (pack num_inputs) (chunks 64 vectors) in
+  let chunk_sizes = List.map List.length (chunks 64 vectors) in
+  let golden_nets = List.map (Sim.eval_nets circuit) packed in
+  let golden_signature =
+    let misr = Misr.create ~width in
+    List.iter2
+      (fun nets size ->
+        for lane = 0 to size - 1 do
+          Misr.absorb misr (fold_outputs width (lane_outputs circuit nets lane))
+        done)
+      golden_nets chunk_sizes;
+    Misr.signature misr
+  in
+  let faults = Fault.collapsed circuit in
+  let detected = ref 0 and aliased = ref 0 in
+  List.iter
+    (fun f ->
+      let misr = Misr.create ~width in
+      let seen_diff = ref false in
+      List.iter2
+        (fun (words, golden) size ->
+          let nets = Fault.inject circuit f words in
+          for lane = 0 to size - 1 do
+            let out = lane_outputs circuit nets lane in
+            if not !seen_diff then
+              if out <> lane_outputs circuit golden lane then seen_diff := true;
+            Misr.absorb misr (fold_outputs width out)
+          done)
+        (List.combine packed golden_nets)
+        chunk_sizes;
+      if !seen_diff then begin
+        incr detected;
+        if Misr.signature misr = golden_signature then incr aliased
+      end)
+    faults;
+  {
+    mid = e.mid;
+    patterns = List.length vectors;
+    faults_total = List.length faults;
+    faults_detected = !detected;
+    coverage =
+      (if faults = [] then 1.0
+       else float_of_int !detected /. float_of_int (List.length faults));
+    signature = golden_signature;
+    aliased = !aliased;
+  }
+
+let run ?(width = 8) ?(pattern_count = 255) ?(seed = 1) dp (sol : Allocator.solution) =
+  let unit_by_id mid =
+    List.find
+      (fun (u : Massign.hw) -> String.equal u.mid mid)
+      dp.Datapath.massign.Massign.units
+  in
+  let units =
+    List.map
+      (fun (e : Ipath.embedding) ->
+        simulate_unit ~width ~pattern_count ~seed e (unit_by_id e.mid))
+      sol.Allocator.embeddings
+  in
+  { width; pattern_count; units }
+
+let overall_coverage r =
+  let total = Listx.sum_by (fun u -> u.faults_total) r.units in
+  let detected = Listx.sum_by (fun u -> u.faults_detected) r.units in
+  if total = 0 then 1.0 else float_of_int detected /. float_of_int total
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>BIST self-test simulation (width %d, %d patterns per session)@,"
+    r.width r.pattern_count;
+  List.iter
+    (fun u ->
+      Format.fprintf ppf
+        "  %s: %d/%d stuck-at faults detected (%.1f%%), signature %0*X, %d aliased@,"
+        u.mid u.faults_detected u.faults_total (100.0 *. u.coverage)
+        ((r.width + 3) / 4) u.signature u.aliased)
+    r.units;
+  Format.fprintf ppf "  overall coverage: %.1f%%@]" (100.0 *. overall_coverage r)

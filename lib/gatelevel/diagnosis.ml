@@ -1,0 +1,73 @@
+module Listx = Bistpath_util.Listx
+
+type t = {
+  golden : int;
+  by_fault : (Fault.t * int) list;  (** fault -> faulty signature *)
+}
+
+let signature_of circuit ~width ~misr_width ~patterns inject =
+  let bits_of v = List.init width (fun i -> (v lsr i) land 1) in
+  let misr = Misr.create ~width:misr_width in
+  List.iter
+    (fun (a, b) ->
+      let words =
+        Array.of_list
+          (List.map (fun bit -> if bit <> 0 then -1L else 0L) (bits_of a @ bits_of b))
+      in
+      let nets =
+        match inject with
+        | Some f -> Fault.inject circuit f words
+        | None -> Sim.eval_nets circuit words
+      in
+      let out_bits =
+        List.map
+          (fun n -> if Int64.logand nets.(n) 1L = 1L then 1 else 0)
+          circuit.Circuit.outputs
+      in
+      let value =
+        snd (List.fold_left (fun (i, acc) b -> (i + 1, acc lor (b lsl i))) (0, 0) out_bits)
+      in
+      let mask = (1 lsl misr_width) - 1 in
+      Misr.absorb misr ((value land mask) lxor (value lsr misr_width)))
+    patterns;
+  Misr.signature misr
+
+let build ?misr_width circuit ~width ~patterns =
+  if List.length circuit.Circuit.inputs <> 2 * width then
+    invalid_arg "Diagnosis.build: circuit is not a two-operand module";
+  let misr_width = match misr_width with Some w -> w | None -> width in
+  let golden = signature_of circuit ~width ~misr_width ~patterns None in
+  let by_fault =
+    List.map
+      (fun f -> (f, signature_of circuit ~width ~misr_width ~patterns (Some f)))
+      (Fault.collapsed circuit)
+  in
+  { golden; by_fault }
+
+let golden t = t.golden
+
+let candidates t observed =
+  List.filter_map (fun (f, s) -> if s = observed then Some f else None) t.by_fault
+
+let distinct_signatures t =
+  List.sort_uniq compare (t.golden :: List.map snd t.by_fault) |> List.length
+
+let resolution t =
+  let detected = List.filter (fun (_, s) -> s <> t.golden) t.by_fault in
+  match detected with
+  | [] -> 1.0
+  | _ ->
+    let unique =
+      List.filter
+        (fun (_, s) ->
+          List.length (List.filter (fun (_, s') -> s' = s) detected) = 1)
+        detected
+    in
+    float_of_int (List.length unique) /. float_of_int (List.length detected)
+
+let pp ppf t =
+  let detected = List.length (List.filter (fun (_, s) -> s <> t.golden) t.by_fault) in
+  Format.fprintf ppf
+    "dictionary: %d faults, %d detected, %d distinct signatures, resolution %.1f%%"
+    (List.length t.by_fault) detected (distinct_signatures t)
+    (100.0 *. resolution t)

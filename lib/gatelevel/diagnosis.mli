@@ -1,0 +1,34 @@
+(** Signature-based fault diagnosis.
+
+    BIST compacts all responses into one signature, so a failing
+    signature identifies not a fault but an {e equivalence class} of
+    faults. The dictionary maps every collapsed fault to its faulty
+    signature under a fixed pattern sequence; diagnosis looks failing
+    silicon's observed signature up and returns the candidate faults.
+    Diagnostic resolution measures how well the signature separates the
+    fault population. *)
+
+type t
+
+val build :
+  ?misr_width:int -> Circuit.t -> width:int -> patterns:(int * int) list -> t
+(** Simulate every collapsed fault of a two-operand module against the
+    operand patterns, compacting each run into a MISR signature
+    ([misr_width] defaults to [width]). *)
+
+val golden : t -> int
+(** Fault-free signature. *)
+
+val candidates : t -> int -> Fault.t list
+(** Faults whose faulty signature equals the observed one. The golden
+    signature's class holds the faults the pattern set does not detect,
+    plus any detected fault whose response sequence aliases to the
+    fault-free signature (probability about 2^-misr_width each). *)
+
+val distinct_signatures : t -> int
+
+val resolution : t -> float
+(** Fraction of {e detected} faults whose signature is unique — the
+    probability a failing signature pins down the exact fault. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type result = {
+  total : int;
+  detected : int;
+  undetected : Fault.t list;
+}
+
+let coverage r = if r.total = 0 then 1.0 else float_of_int r.detected /. float_of_int r.total
+
+(* Pack up to 64 patterns (lists of bits per input) into one word per
+   input: pattern j occupies bit lane j. *)
+let pack_chunk num_inputs chunk =
+  let words = Array.make num_inputs 0L in
+  List.iteri
+    (fun lane bits ->
+      List.iteri
+        (fun i bit ->
+          if bit <> 0 then words.(i) <- Int64.logor words.(i) (Int64.shift_left 1L lane))
+        bits)
+    chunk;
+  words
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+    let first = Bistpath_util.Listx.take n l in
+    let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: t -> drop (k - 1) t in
+    first :: chunks n (drop (List.length first) l)
+
+let run c ~faults ~patterns =
+  let num_inputs = List.length c.Circuit.inputs in
+  List.iter
+    (fun p ->
+      if List.length p <> num_inputs then
+        invalid_arg "Fault_sim.run: pattern arity mismatch")
+    patterns;
+  let packed = List.map (pack_chunk num_inputs) (chunks 64 patterns) in
+  let golden =
+    List.map
+      (fun words ->
+        let nets = Sim.eval_nets c words in
+        List.map (fun n -> nets.(n)) c.Circuit.outputs)
+      packed
+  in
+  let detected f =
+    List.exists2
+      (fun words good ->
+        let nets = Fault.inject c f words in
+        List.exists2
+          (fun n g -> not (Int64.equal nets.(n) g))
+          c.Circuit.outputs good)
+      packed golden
+  in
+  let undetected = List.filter (fun f -> not (detected f)) faults in
+  {
+    total = List.length faults;
+    detected = List.length faults - List.length undetected;
+    undetected;
+  }
+
+let run_operand_patterns c ~width ~faults ~patterns =
+  if List.length c.Circuit.inputs <> 2 * width then
+    invalid_arg "Fault_sim.run_operand_patterns: circuit is not a two-operand module";
+  let bits_of v = List.init width (fun i -> (v lsr i) land 1) in
+  let vectors = List.map (fun (a, b) -> bits_of a @ bits_of b) patterns in
+  run c ~faults ~patterns:vectors
+
+let random_operand_patterns rng ~width ~count =
+  let bound = 1 lsl width in
+  List.init count (fun _ ->
+      (Bistpath_util.Prng.int rng bound, Bistpath_util.Prng.int rng bound))

@@ -1,0 +1,19 @@
+type t = { w : int; taps : int list; mutable s : int }
+
+let create ~width = { w = width; taps = Lfsr.primitive_taps width; s = 0 }
+
+let absorb t word =
+  let fb =
+    List.fold_left (fun acc tap -> acc lxor ((t.s lsr (tap - 1)) land 1)) 0 t.taps
+  in
+  let mask = (1 lsl t.w) - 1 in
+  t.s <- (((t.s lsl 1) lor fb) lxor word) land mask
+
+let signature t = t.s
+
+let run ~width words =
+  let t = create ~width in
+  List.iter (absorb t) words;
+  signature t
+
+let aliasing_probability ~width = 1.0 /. float_of_int (1 lsl width)

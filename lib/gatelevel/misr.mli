@@ -1,0 +1,19 @@
+(** Multiple-input signature register: the response-compaction half of a
+    BILBO-style test register. Same primitive feedback as {!Lfsr}, with
+    the response word XOR-ed into the state every clock. *)
+
+type t
+
+val create : width:int -> t
+(** Starts at the all-zero signature. *)
+
+val absorb : t -> int -> unit
+(** Clock once with the given response word. *)
+
+val signature : t -> int
+
+val run : width:int -> int list -> int
+(** Signature of a whole response sequence. *)
+
+val aliasing_probability : width:int -> float
+(** The classical 2^-width steady-state aliasing estimate. *)

@@ -1,0 +1,252 @@
+type result =
+  | Test of int list
+  | Untestable
+  | Aborted
+
+type classification = {
+  tested : (Fault.t * int list) list;
+  untestable : Fault.t list;
+  aborted : Fault.t list;
+}
+
+(* Three-valued logic for the good and the faulty machine. *)
+type tri = T0 | T1 | TX
+
+let tri_not = function T0 -> T1 | T1 -> T0 | TX -> TX
+
+let tri_and a b =
+  match (a, b) with
+  | T0, _ | _, T0 -> T0
+  | T1, T1 -> T1
+  | _ -> TX
+
+let tri_or a b =
+  match (a, b) with
+  | T1, _ | _, T1 -> T1
+  | T0, T0 -> T0
+  | _ -> TX
+
+let tri_xor a b =
+  match (a, b) with
+  | TX, _ | _, TX -> TX
+  | x, y -> if x = y then T0 else T1
+
+let eval_tri kind ins =
+  let reduce f = function x :: rest -> List.fold_left f x rest | [] -> TX in
+  match kind with
+  | Circuit.And -> reduce tri_and ins
+  | Circuit.Nand -> tri_not (reduce tri_and ins)
+  | Circuit.Or -> reduce tri_or ins
+  | Circuit.Nor -> tri_not (reduce tri_or ins)
+  | Circuit.Xor -> reduce tri_xor ins
+  | Circuit.Xnor -> tri_not (reduce tri_xor ins)
+  | Circuit.Not -> tri_not (List.hd ins)
+  | Circuit.Buf -> List.hd ins
+
+(* Controlling value of a gate kind, if any, and output inversion. *)
+let controlling = function
+  | Circuit.And -> (Some T0, false)
+  | Circuit.Nand -> (Some T0, true)
+  | Circuit.Or -> (Some T1, false)
+  | Circuit.Nor -> (Some T1, true)
+  | Circuit.Not -> (None, true)
+  | Circuit.Buf -> (None, false)
+  | Circuit.Xor | Circuit.Xnor -> (None, false)
+
+type state = {
+  circuit : Circuit.t;
+  fault : Fault.t;
+  scoap : Scoap.t;
+  pi_value : (int, tri) Hashtbl.t;  (* assigned primary inputs *)
+  good : tri array;
+  faulty : tri array;
+  driver : (int, Circuit.gate) Hashtbl.t;  (* net -> driving gate *)
+}
+
+let stuck_tri (f : Fault.t) =
+  match f.Fault.polarity with Fault.Stuck_at_0 -> T0 | Fault.Stuck_at_1 -> T1
+
+(* Forward simulation of both machines from the current PI assignment. *)
+let imply st =
+  let value tbl i = match Hashtbl.find_opt tbl i with Some v -> v | None -> TX in
+  Array.fill st.good 0 (Array.length st.good) TX;
+  Array.fill st.faulty 0 (Array.length st.faulty) TX;
+  List.iter
+    (fun i ->
+      st.good.(i) <- value st.pi_value i;
+      st.faulty.(i) <- value st.pi_value i)
+    st.circuit.Circuit.inputs;
+  if st.fault.Fault.net < Array.length st.faulty then
+    if List.mem st.fault.Fault.net st.circuit.Circuit.inputs then
+      st.faulty.(st.fault.Fault.net) <- stuck_tri st.fault;
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      let gv = eval_tri g.Circuit.kind (List.map (fun i -> st.good.(i)) g.Circuit.inputs) in
+      let fv = eval_tri g.Circuit.kind (List.map (fun i -> st.faulty.(i)) g.Circuit.inputs) in
+      st.good.(g.Circuit.output) <- gv;
+      st.faulty.(g.Circuit.output) <-
+        (if g.Circuit.output = st.fault.Fault.net then stuck_tri st.fault else fv))
+    st.circuit.Circuit.gates
+
+let is_d st i =
+  st.good.(i) <> TX && st.faulty.(i) <> TX && st.good.(i) <> st.faulty.(i)
+
+let d_at_output st = List.exists (is_d st) st.circuit.Circuit.outputs
+
+let excited st = is_d st st.fault.Fault.net
+
+(* Excitation impossible: the good value at the fault site is already
+   definite and equal to the stuck value. *)
+let excitation_blocked st =
+  let g = st.good.(st.fault.Fault.net) in
+  g <> TX && g = stuck_tri st.fault
+
+let d_frontier st =
+  Array.to_list st.circuit.Circuit.gates
+  |> List.filter (fun (g : Circuit.gate) ->
+         st.good.(g.Circuit.output) = TX
+         || st.faulty.(g.Circuit.output) = TX)
+  |> List.filter (fun (g : Circuit.gate) ->
+         (not (is_d st g.Circuit.output))
+         && List.exists (fun i -> is_d st i) g.Circuit.inputs)
+
+(* Objective: excite the fault, then propagate through the D-frontier. *)
+let objective st =
+  if not (excited st) then
+    let want = tri_not (stuck_tri st.fault) in
+    if st.good.(st.fault.Fault.net) = TX then Some (st.fault.Fault.net, want) else None
+  else
+    match d_frontier st with
+    | [] -> None
+    | g :: _ -> (
+      let x_inputs =
+        List.filter (fun i -> st.good.(i) = TX || st.faulty.(i) = TX) g.Circuit.inputs
+      in
+      match x_inputs with
+      | [] -> None
+      | i :: _ ->
+        let v =
+          match fst (controlling g.Circuit.kind) with
+          | Some c -> tri_not c
+          | None -> T1 (* XOR-family: any definite value advances *)
+        in
+        Some (i, v))
+
+(* Backtrace an objective to an unassigned primary input. *)
+let backtrace st (net, want) =
+  let rec go net want fuel =
+    if fuel = 0 then None
+    else
+      match Hashtbl.find_opt st.driver net with
+      | None ->
+        (* primary input *)
+        if Hashtbl.mem st.pi_value net then None else Some (net, want)
+      | Some (g : Circuit.gate) -> (
+        let ctrl, inv = controlling g.Circuit.kind in
+        let want' = if inv then tri_not want else want in
+        let xs = List.filter (fun i -> st.good.(i) = TX) g.Circuit.inputs in
+        match xs with
+        | [] -> None
+        | _ -> (
+          match ctrl with
+          | Some c when want' = c ->
+            (* one controlling input suffices: take the easiest *)
+            let cost i = if c = T0 then Scoap.cc0 st.scoap i else Scoap.cc1 st.scoap i in
+            let best =
+              List.fold_left (fun a i -> if cost i < cost a then i else a) (List.hd xs)
+                (List.tl xs)
+            in
+            go best c (fuel - 1)
+          | Some c ->
+            (* all inputs must be non-controlling: pick the hardest *)
+            let nc = tri_not c in
+            let cost i = if nc = T0 then Scoap.cc0 st.scoap i else Scoap.cc1 st.scoap i in
+            let best =
+              List.fold_left (fun a i -> if cost i > cost a then i else a) (List.hd xs)
+                (List.tl xs)
+            in
+            go best nc (fuel - 1)
+          | None -> go (List.hd xs) want' (fuel - 1)))
+  in
+  go net want (Array.length st.good + 1)
+
+let generate ?(max_backtracks = 10_000) (c : Circuit.t) (fault : Fault.t) =
+  let driver = Hashtbl.create 64 in
+  Array.iter (fun (g : Circuit.gate) -> Hashtbl.replace driver g.Circuit.output g) c.Circuit.gates;
+  let st =
+    {
+      circuit = c;
+      fault;
+      scoap = Scoap.analyze c;
+      pi_value = Hashtbl.create 16;
+      good = Array.make c.Circuit.num_nets TX;
+      faulty = Array.make c.Circuit.num_nets TX;
+      driver;
+    }
+  in
+  let backtracks = ref 0 in
+  (* decision stack: (pi, first value, flipped?) *)
+  let stack = ref [] in
+  let success () =
+    Some
+      (List.map
+         (fun i -> match Hashtbl.find_opt st.pi_value i with Some T1 -> 1 | _ -> 0)
+         c.Circuit.inputs)
+  in
+  let rec search () =
+    imply st;
+    if d_at_output st then success ()
+    else if excitation_blocked st || (excited st && d_frontier st = []) then backtrack ()
+    else
+      match objective st with
+      | None -> backtrack ()
+      | Some obj -> (
+        match backtrace st obj with
+        | None -> backtrack ()
+        | Some (pi, v) ->
+          Hashtbl.replace st.pi_value pi v;
+          stack := (pi, v, false) :: !stack;
+          search ())
+  and backtrack () =
+    incr backtracks;
+    if !backtracks > max_backtracks then raise Exit
+    else
+      match !stack with
+      | [] -> None
+      | (pi, v, flipped) :: rest ->
+        if flipped then begin
+          Hashtbl.remove st.pi_value pi;
+          stack := rest;
+          backtrack ()
+        end
+        else begin
+          let v' = tri_not v in
+          Hashtbl.replace st.pi_value pi v';
+          stack := (pi, v', true) :: rest;
+          search ()
+        end
+  in
+  match search () with
+  | Some vector -> Test vector
+  | None -> Untestable
+  | exception Exit -> Aborted
+
+let verify c fault vector =
+  if List.length vector <> List.length c.Circuit.inputs then
+    invalid_arg "Podem.verify: vector arity mismatch";
+  let words = Array.of_list (List.map (fun b -> if b <> 0 then -1L else 0L) vector) in
+  let good = Sim.eval c words in
+  let faulty = Fault.inject c fault words in
+  List.exists2
+    (fun o g -> not (Int64.equal faulty.(o) g))
+    c.Circuit.outputs (Array.to_list good)
+
+let classify_all ?(max_backtracks = 10_000) c =
+  List.fold_left
+    (fun acc f ->
+      match generate ~max_backtracks c f with
+      | Test v -> { acc with tested = (f, v) :: acc.tested }
+      | Untestable -> { acc with untestable = f :: acc.untestable }
+      | Aborted -> { acc with aborted = f :: acc.aborted })
+    { tested = []; untestable = []; aborted = [] }
+    (Fault.collapsed c)

@@ -1,0 +1,125 @@
+type t = {
+  cc0 : int array;
+  cc1 : int array;
+  co : int array;
+}
+
+let unreachable = max_int / 2
+
+let cap x = min x unreachable
+
+(* Pairwise XOR controllability, folded for wider gates. *)
+let xor_cc (a0, a1) (b0, b1) =
+  (cap (min (a0 + b0) (a1 + b1) + 1), cap (min (a0 + b1) (a1 + b0) + 1))
+
+let analyze (c : Circuit.t) =
+  let n = c.Circuit.num_nets in
+  let cc0 = Array.make n unreachable and cc1 = Array.make n unreachable in
+  List.iter
+    (fun i ->
+      cc0.(i) <- 1;
+      cc1.(i) <- 1)
+    c.Circuit.inputs;
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      let ins = g.Circuit.inputs in
+      let sum f = cap (Bistpath_util.Listx.sum_by f ins + 1) in
+      let mn f = cap (List.fold_left (fun acc i -> min acc (f i)) unreachable ins + 1) in
+      let v0, v1 =
+        match g.Circuit.kind with
+        | Circuit.And -> (mn (fun i -> cc0.(i)), sum (fun i -> cc1.(i)))
+        | Circuit.Nand -> (sum (fun i -> cc1.(i)), mn (fun i -> cc0.(i)))
+        | Circuit.Or -> (sum (fun i -> cc0.(i)), mn (fun i -> cc1.(i)))
+        | Circuit.Nor -> (mn (fun i -> cc1.(i)), sum (fun i -> cc0.(i)))
+        | Circuit.Not ->
+          let i = List.hd ins in
+          (cap (cc1.(i) + 1), cap (cc0.(i) + 1))
+        | Circuit.Buf ->
+          let i = List.hd ins in
+          (cap (cc0.(i) + 1), cap (cc1.(i) + 1))
+        | Circuit.Xor | Circuit.Xnor ->
+          let pairs = List.map (fun i -> (cc0.(i), cc1.(i))) ins in
+          let folded =
+            match pairs with
+            | p :: rest -> List.fold_left (fun acc q -> xor_cc acc q) p rest
+            | [] -> assert false
+          in
+          let f0, f1 = folded in
+          if g.Circuit.kind = Circuit.Xor then (f0, f1) else (f1, f0)
+      in
+      cc0.(g.Circuit.output) <- v0;
+      cc1.(g.Circuit.output) <- v1)
+    c.Circuit.gates;
+  let co = Array.make n unreachable in
+  List.iter (fun o -> co.(o) <- 0) c.Circuit.outputs;
+  (* Backward pass in reverse topological (reverse creation) order;
+     fanout branches take the minimum. *)
+  let gates = Array.to_list c.Circuit.gates |> List.rev in
+  List.iter
+    (fun (g : Circuit.gate) ->
+      let out_co = co.(g.Circuit.output) in
+      if out_co < unreachable then
+        List.iter
+          (fun i ->
+            let side_cost =
+              match g.Circuit.kind with
+              | Circuit.And | Circuit.Nand ->
+                Bistpath_util.Listx.sum_by
+                  (fun j -> if j = i then 0 else cc1.(j))
+                  g.Circuit.inputs
+              | Circuit.Or | Circuit.Nor ->
+                Bistpath_util.Listx.sum_by
+                  (fun j -> if j = i then 0 else cc0.(j))
+                  g.Circuit.inputs
+              | Circuit.Not | Circuit.Buf -> 0
+              | Circuit.Xor | Circuit.Xnor ->
+                Bistpath_util.Listx.sum_by
+                  (fun j -> if j = i then 0 else min cc0.(j) cc1.(j))
+                  g.Circuit.inputs
+            in
+            co.(i) <- min co.(i) (cap (out_co + side_cost + 1)))
+          g.Circuit.inputs)
+    gates;
+  { cc0; cc1; co }
+
+let get what arr i =
+  if i < 0 || i >= Array.length arr then
+    invalid_arg (Printf.sprintf "Scoap.%s: unknown net %d" what i)
+  else arr.(i)
+
+let cc0 t i = get "cc0" t.cc0 i
+let cc1 t i = get "cc1" t.cc1 i
+let co t i = get "co" t.co i
+
+let fault_difficulty t (f : Fault.t) =
+  let controll =
+    match f.Fault.polarity with
+    | Fault.Stuck_at_0 -> cc1 t f.Fault.net (* must drive 1 to expose s-a-0 *)
+    | Fault.Stuck_at_1 -> cc0 t f.Fault.net
+  in
+  cap (controll + co t f.Fault.net)
+
+let hardest_faults t c n =
+  Fault.collapsed c
+  |> List.map (fun f -> (fault_difficulty t f, f))
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+  |> Bistpath_util.Listx.take n
+  |> List.map snd
+
+let summary t (c : Circuit.t) =
+  let nets = Bistpath_util.Listx.range 0 c.Circuit.num_nets in
+  let stats arr =
+    (* exclude unreachable entries (dead logic, e.g. the final remainder
+       of a restoring divider) from the profile *)
+    let values = List.filter (fun v -> v < unreachable) (List.map (fun i -> arr.(i)) nets) in
+    let mx = List.fold_left max 0 values in
+    let mean =
+      float_of_int (Bistpath_util.Listx.sum_by Fun.id values)
+      /. float_of_int (max 1 (List.length values))
+    in
+    (mx, mean)
+  in
+  let m0, a0 = stats t.cc0 and m1, a1 = stats t.cc1 and mo, ao = stats t.co in
+  Printf.sprintf
+    "%s: CC0 max %d mean %.1f; CC1 max %d mean %.1f; CO max %d mean %.1f"
+    c.Circuit.name m0 a0 m1 a1 mo ao

@@ -1,0 +1,34 @@
+(** SCOAP combinational testability measures (Goldstein 1979).
+
+    CC0/CC1 estimate how many primary-input assignments are needed to
+    set a net to 0/1; CO estimates the effort to propagate a net's value
+    to a primary output. Higher = harder. Used to rank hard faults, to
+    guide the PODEM backtrace, and as an extension experiment comparing
+    module implementations. *)
+
+type t
+
+val analyze : Circuit.t -> t
+(** One forward pass for controllability, one backward pass for
+    observability (fanout takes the easiest branch). *)
+
+val cc0 : t -> int -> int
+(** Controllability-to-0 of a net. Raises [Invalid_argument] on an
+    unknown net. *)
+
+val cc1 : t -> int -> int
+
+val co : t -> int -> int
+(** Observability; [max_int/2] for a net that cannot reach any output
+    (does not occur in well-formed circuits). *)
+
+val fault_difficulty : t -> Fault.t -> int
+(** Detection difficulty of a stuck-at fault: controllability of the
+    opposite value plus the net's observability. *)
+
+val hardest_faults : t -> Circuit.t -> int -> Fault.t list
+(** The [n] collapsed faults with the highest difficulty, hardest
+    first. *)
+
+val summary : t -> Circuit.t -> string
+(** One-line profile: max/mean CC and CO over all nets. *)

@@ -1,0 +1,39 @@
+let eval_nets c input_words =
+  if Array.length input_words <> List.length c.Circuit.inputs then
+    invalid_arg "Sim.eval_nets: input arity mismatch";
+  let nets = Array.make c.Circuit.num_nets 0L in
+  List.iteri (fun i n -> nets.(n) <- input_words.(i)) c.Circuit.inputs;
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      nets.(g.output) <- Circuit.eval_kind g.kind (List.map (fun n -> nets.(n)) g.inputs))
+    c.Circuit.gates;
+  nets
+
+let eval c input_words =
+  let nets = eval_nets c input_words in
+  Array.of_list (List.map (fun n -> nets.(n)) c.Circuit.outputs)
+
+let eval_ints c bits =
+  let words =
+    Array.of_list (List.map (fun bit -> if bit <> 0 then -1L else 0L) bits)
+  in
+  let outs = eval c words in
+  Array.to_list (Array.map (fun w -> if Int64.logand w 1L = 1L then 1 else 0) outs)
+
+let eval_words c ~width operands =
+  let bits_of v = List.init width (fun i -> (v lsr i) land 1) in
+  let in_bits = List.concat_map bits_of operands in
+  if List.length in_bits <> List.length c.Circuit.inputs then
+    invalid_arg "Sim.eval_words: operand count does not match circuit inputs";
+  let out_bits = eval_ints c in_bits in
+  let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+  let rec group = function
+    | [] -> []
+    | bits ->
+      let chunk = Bistpath_util.Listx.take width bits in
+      let value =
+        snd (List.fold_left (fun (i, acc) b -> (i + 1, acc lor (b lsl i))) (0, 0) chunk)
+      in
+      value :: group (drop (List.length chunk) bits)
+  in
+  group out_bits

@@ -1,0 +1,23 @@
+(** Bit-parallel logic simulation: 64 test patterns per pass, one bit
+    lane per pattern. *)
+
+val eval : Circuit.t -> int64 array -> int64 array
+(** [eval c input_words] evaluates the circuit; [input_words] has one
+    word per primary input (in port order), the result one word per
+    primary output. Raises [Invalid_argument] on arity mismatch. *)
+
+val eval_nets : Circuit.t -> int64 array -> int64 array
+(** Like {!eval} but returns the value of every net (indexed by net id),
+    used by the fault simulator. *)
+
+val eval_ints : Circuit.t -> int list -> int list
+(** Single-pattern convenience: one integer per input port bit... no —
+    one {e bit} per input net, given as 0/1 ints; returns output bits.
+    Used by unit tests on small vectors. *)
+
+val eval_words : Circuit.t -> width:int -> int list -> int list
+(** Evaluate a circuit whose inputs form consecutive [width]-bit operands
+    (LSB first): [eval_words c ~width [a; b]] drives operand values and
+    decodes outputs as width-bit little-endian integers; a trailing
+    group shorter than [width] (e.g. a carry-out) is decoded from the
+    remaining bits. *)

@@ -1,0 +1,101 @@
+module Iset = Ugraph.Iset
+
+let is_peo g order =
+  let all = Iset.of_list (Ugraph.vertices g) in
+  let listed = Iset.of_list order in
+  Iset.equal all listed
+  && List.length order = Iset.cardinal all
+  &&
+  let rec go g = function
+    | [] -> true
+    | v :: rest -> Ugraph.is_simplicial g v && go (Ugraph.remove_vertex g v) rest
+  in
+  go g order
+
+(* Maximum cardinality search: repeatedly visit the unvisited vertex with
+   the most visited neighbors. Reversing the visit order yields a PEO iff
+   the graph is chordal (Tarjan & Yannakakis 1984). *)
+let mcs_order g =
+  let vs = Ugraph.vertices g in
+  let weight = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace weight v 0) vs;
+  let visited = Hashtbl.create 16 in
+  let rec go acc remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let best = ref None in
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem visited v) then
+            let w = Hashtbl.find weight v in
+            match !best with
+            | Some (_, bw) when bw >= w -> ()
+            | _ -> best := Some (v, w))
+        vs;
+      match !best with
+      | None -> List.rev acc
+      | Some (v, _) ->
+        Hashtbl.replace visited v ();
+        Iset.iter
+          (fun u ->
+            if not (Hashtbl.mem visited u) then
+              Hashtbl.replace weight u (Hashtbl.find weight u + 1))
+          (Ugraph.neighbors g v);
+        go (v :: acc) (remaining - 1)
+    end
+  in
+  go [] (List.length vs)
+
+let is_chordal g = is_peo g (List.rev (mcs_order g))
+
+let peo_with_preference g ~prefer =
+  let compare_pref u v =
+    let c = prefer u v in
+    if c <> 0 then c else compare u v
+  in
+  let rec go g acc =
+    if Ugraph.num_vertices g = 0 then List.rev acc
+    else
+      let simplicial = List.filter (Ugraph.is_simplicial g) (Ugraph.vertices g) in
+      match List.sort compare_pref simplicial with
+      | [] -> failwith "Chordal.peo_with_preference: graph is not chordal"
+      | v :: _ -> go (Ugraph.remove_vertex g v) (v :: acc)
+  in
+  go g []
+
+(* Along a PEO, the candidate maximal cliques are {v} + later neighbors of
+   v. A candidate is maximal unless it is contained in the candidate of an
+   earlier vertex (standard chordal clique enumeration). *)
+let maximal_cliques g =
+  let peo = List.rev (mcs_order g) in
+  if not (is_peo g peo) then failwith "Chordal.maximal_cliques: graph is not chordal";
+  let position = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace position v i) peo;
+  let later_clique v =
+    let pv = Hashtbl.find position v in
+    let later =
+      Iset.filter (fun u -> Hashtbl.find position u > pv) (Ugraph.neighbors g v)
+    in
+    Iset.add v later
+  in
+  let candidates = List.map later_clique peo in
+  List.filter
+    (fun c ->
+      not (List.exists (fun c' -> (not (Iset.equal c c')) && Iset.subset c c') candidates))
+    candidates
+  |> List.sort_uniq (fun a b -> compare (Iset.elements a) (Iset.elements b))
+
+let max_clique_size_per_vertex g =
+  let cliques = maximal_cliques g in
+  List.map
+    (fun v ->
+      let best =
+        List.fold_left
+          (fun acc c -> if Iset.mem v c then max acc (Iset.cardinal c) else acc)
+          1 cliques
+      in
+      (v, if Ugraph.mem_vertex g v then best else 0))
+    (Ugraph.vertices g)
+
+let clique_number g =
+  List.fold_left (fun acc c -> max acc (Iset.cardinal c)) 0 (maximal_cliques g)

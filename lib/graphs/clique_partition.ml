@@ -1,0 +1,81 @@
+module Iset = Ugraph.Iset
+
+(* Super-vertex merging: clusters are cliques; two clusters can merge iff
+   every cross pair is an edge. We score a merge by the number of other
+   clusters both could still merge with afterwards (common neighbors), the
+   classical Tseng-Siewiorek heuristic. *)
+let greedy ?(weight = fun _ _ -> 0) g =
+  let can_merge a b =
+    Iset.for_all (fun u -> Iset.for_all (fun v -> Ugraph.mem_edge g u v) b) a
+  in
+  let cluster_weight a b =
+    Iset.fold (fun u acc -> Iset.fold (fun v acc -> acc + weight u v) b acc) a 0
+  in
+  let rec go clusters =
+    let mergeable =
+      Bistpath_util.Listx.pairs clusters
+      |> List.filter (fun (a, b) -> can_merge a b)
+    in
+    match mergeable with
+    | [] -> clusters
+    | _ ->
+      let common_neighbors (a, b) =
+        let merged = Iset.union a b in
+        List.length
+          (List.filter
+             (fun c -> (not (Iset.equal c a)) && (not (Iset.equal c b)) && can_merge merged c)
+             clusters)
+      in
+      let score (a, b) = (common_neighbors (a, b) * 10000) + cluster_weight a b in
+      let best =
+        match Bistpath_util.Listx.max_by score mergeable with
+        | Some p -> p
+        | None -> assert false
+      in
+      let a, b = best in
+      let clusters =
+        Iset.union a b
+        :: List.filter (fun c -> not (Iset.equal c a || Iset.equal c b)) clusters
+      in
+      go clusters
+  in
+  go (List.map Iset.singleton (Ugraph.vertices g))
+
+let exact_min g =
+  (* A minimum clique partition of g is a minimum coloring of its
+     complement; reuse the exact coloring counter via search over k. *)
+  let co = Ugraph.complement g in
+  let k = Coloring.chromatic_number_exact co in
+  (* Recover one witness partition of that size by backtracking. *)
+  let vs = Array.of_list (Ugraph.vertices g) in
+  let n = Array.length vs in
+  let blocks = Array.make (max k 1) Iset.empty in
+  let ok v block = Iset.for_all (fun u -> Ugraph.mem_edge g u v) block in
+  let exception Found of Iset.t list in
+  let rec go i opened =
+    if i = n then raise (Found (Array.to_list (Array.sub blocks 0 opened)))
+    else begin
+      let v = vs.(i) in
+      for b = 0 to opened - 1 do
+        if ok v blocks.(b) then begin
+          blocks.(b) <- Iset.add v blocks.(b);
+          go (i + 1) opened;
+          blocks.(b) <- Iset.remove v blocks.(b)
+        end
+      done;
+      if opened < k then begin
+        blocks.(opened) <- Iset.singleton v;
+        go (i + 1) (opened + 1);
+        blocks.(opened) <- Iset.empty
+      end
+    end
+  in
+  if n = 0 then []
+  else try go 0 0; assert false with Found p -> p
+
+let is_partition g parts =
+  let all = List.fold_left Iset.union Iset.empty parts in
+  let total = Bistpath_util.Listx.sum_by Iset.cardinal parts in
+  Iset.equal all (Iset.of_list (Ugraph.vertices g))
+  && total = Ugraph.num_vertices g
+  && List.for_all (Ugraph.is_clique g) parts

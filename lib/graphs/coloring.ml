@@ -1,0 +1,66 @@
+module Iset = Ugraph.Iset
+
+type t = (int * int) list
+
+let first_fit g order =
+  let color = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let used =
+        Iset.fold
+          (fun u acc ->
+            match Hashtbl.find_opt color u with
+            | Some c -> Iset.add c acc
+            | None -> acc)
+          (Ugraph.neighbors g v) Iset.empty
+      in
+      let rec smallest c = if Iset.mem c used then smallest (c + 1) else c in
+      Hashtbl.replace color v (smallest 0))
+    order;
+  List.map (fun v -> (v, Hashtbl.find color v)) (Ugraph.vertices g)
+
+let is_proper g t =
+  let color v = List.assoc_opt v t in
+  List.for_all (fun v -> color v <> None) (Ugraph.vertices g)
+  && List.for_all (fun (u, v) -> color u <> color v) (Ugraph.edges g)
+
+let num_colors t = List.length (List.sort_uniq compare (List.map snd t))
+
+let classes t =
+  Bistpath_util.Listx.group_by snd t
+  |> List.map (fun (c, members) -> (c, List.sort compare (List.map fst members)))
+
+(* Count partitions into exactly k independent sets by canonical
+   backtracking: vertex i may open block j only if blocks 0..j-1 are
+   already open, so each partition is counted once. *)
+let count_colorings g k =
+  let vs = Array.of_list (Ugraph.vertices g) in
+  let n = Array.length vs in
+  let blocks = Array.make k Iset.empty in
+  let conflicts v block = Iset.exists (fun u -> Iset.mem u block) (Ugraph.neighbors g v) in
+  let rec go i opened =
+    if i = n then if opened = k then 1 else 0
+    else begin
+      let v = vs.(i) in
+      let total = ref 0 in
+      for b = 0 to opened - 1 do
+        if not (conflicts v blocks.(b)) then begin
+          blocks.(b) <- Iset.add v blocks.(b);
+          total := !total + go (i + 1) opened;
+          blocks.(b) <- Iset.remove v blocks.(b)
+        end
+      done;
+      if opened < k then begin
+        blocks.(opened) <- Iset.singleton v;
+        total := !total + go (i + 1) (opened + 1);
+        blocks.(opened) <- Iset.empty
+      end;
+      !total
+    end
+  in
+  if k <= 0 then (if n = 0 then 1 else 0) else go 0 0
+
+let chromatic_number_exact g =
+  let n = Ugraph.num_vertices g in
+  let rec go k = if k > n then n else if count_colorings g k > 0 then k else go (k + 1) in
+  if n = 0 then 0 else go 1

@@ -1,0 +1,29 @@
+(** Graph coloring as used for register allocation: colors are register
+    indices, an edge is a lifetime conflict. *)
+
+type t = (int * int) list
+(** Assignment vertex -> color as an association list, colors dense from 0. *)
+
+val first_fit : Ugraph.t -> int list -> t
+(** Greedy coloring following the given vertex order; each vertex gets the
+    smallest color absent from its already-colored neighbors. On a chordal
+    graph with a reverse PEO this is a minimum coloring. The order must
+    list every vertex exactly once. *)
+
+val is_proper : Ugraph.t -> t -> bool
+(** Every vertex colored, endpoints of every edge differ. *)
+
+val num_colors : t -> int
+
+val classes : t -> (int * int list) list
+(** Color -> members, sorted by color, members sorted. *)
+
+val count_colorings : Ugraph.t -> int -> int
+(** [count_colorings g k] is the number of partitions of the vertices into
+    exactly [k] non-empty independent sets (register assignments using all
+    [k] registers, registers unlabeled). Exponential; for small graphs and
+    tests only. *)
+
+val chromatic_number_exact : Ugraph.t -> int
+(** Smallest [k] with [count_colorings g k > 0]. Exponential; small graphs
+    only. *)

@@ -1,0 +1,27 @@
+type span = { birth : int; death : int }
+
+let overlap a b = a.birth < b.death && b.birth < a.death
+
+let graph spans =
+  List.iter
+    (fun (v, s) ->
+      if s.death <= s.birth then
+        invalid_arg (Printf.sprintf "Interval.graph: empty span for vertex %d" v))
+    spans;
+  let labels = List.map fst spans in
+  if List.length (List.sort_uniq compare labels) <> List.length labels then
+    invalid_arg "Interval.graph: duplicate vertex label";
+  let edges =
+    Bistpath_util.Listx.pairs spans
+    |> List.filter_map (fun ((u, su), (v, sv)) ->
+           if overlap su sv then Some (u, v) else None)
+  in
+  Ugraph.of_edges ~vertices:labels edges
+
+let random rng ~n ~horizon =
+  List.map
+    (fun i ->
+      let birth = Bistpath_util.Prng.int rng horizon in
+      let len = 1 + Bistpath_util.Prng.int rng (max 1 (horizon - birth)) in
+      (i, { birth; death = birth + len }))
+    (Bistpath_util.Listx.range 0 n)

@@ -1,0 +1,21 @@
+(** Interval graphs from half-open lifetime intervals.
+
+    A variable live on [(birth, death]] conflicts with another iff the open
+    interiors of their intervals intersect; touching endpoints (one value
+    read in the same step another is written) do not conflict. *)
+
+type span = { birth : int; death : int }
+(** Live range [(birth, death]], in control-step units. Requires
+    [death > birth]. *)
+
+val overlap : span -> span -> bool
+(** Do two spans conflict? *)
+
+val graph : (int * span) list -> Ugraph.t
+(** Conflict graph of the given labelled spans. Raises [Invalid_argument]
+    on a malformed span or duplicate label. *)
+
+val random : Bistpath_util.Prng.t -> n:int -> horizon:int -> (int * span) list
+(** [n] random spans with endpoints within [0, horizon]; used by property
+    tests (interval graphs are closed under this construction, so PEO and
+    minimum-coloring invariants must hold on every output). *)

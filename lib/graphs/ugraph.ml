@@ -1,0 +1,77 @@
+module Iset = Set.Make (Int)
+module Imap = Map.Make (Int)
+
+type t = { adj : Iset.t Imap.t }
+
+let empty = { adj = Imap.empty }
+
+let add_vertex t v =
+  if Imap.mem v t.adj then t else { adj = Imap.add v Iset.empty t.adj }
+
+let add_edge t u v =
+  if u = v then invalid_arg "Ugraph.add_edge: self-loop";
+  let t = add_vertex (add_vertex t u) v in
+  let link a b adj = Imap.add a (Iset.add b (Imap.find a adj)) adj in
+  { adj = link u v (link v u t.adj) }
+
+let of_edges ?(vertices = []) edges =
+  let t = List.fold_left add_vertex empty vertices in
+  List.fold_left (fun t (u, v) -> add_edge t u v) t edges
+
+let vertices t = List.map fst (Imap.bindings t.adj)
+
+let num_vertices t = Imap.cardinal t.adj
+
+let neighbors t v =
+  match Imap.find_opt v t.adj with Some s -> s | None -> Iset.empty
+
+let degree t v = Iset.cardinal (neighbors t v)
+
+let edges t =
+  Imap.fold
+    (fun u ns acc -> Iset.fold (fun v acc -> if u < v then (u, v) :: acc else acc) ns acc)
+    t.adj []
+  |> List.sort compare
+
+let num_edges t = List.length (edges t)
+
+let mem_vertex t v = Imap.mem v t.adj
+
+let mem_edge t u v = Iset.mem v (neighbors t u)
+
+let remove_vertex t v =
+  let adj = Imap.remove v t.adj in
+  { adj = Imap.map (fun ns -> Iset.remove v ns) adj }
+
+let induced t keep =
+  let adj =
+    Imap.filter (fun v _ -> Iset.mem v keep) t.adj
+    |> Imap.map (fun ns -> Iset.inter ns keep)
+  in
+  { adj }
+
+let is_clique t set =
+  Iset.for_all
+    (fun u -> Iset.for_all (fun v -> u = v || mem_edge t u v) set)
+    set
+
+let is_simplicial t v = is_clique t (neighbors t v)
+
+let complement t =
+  let vs = vertices t in
+  let all = Iset.of_list vs in
+  let adj =
+    List.fold_left
+      (fun adj v ->
+        let non = Iset.diff (Iset.remove v all) (neighbors t v) in
+        Imap.add v non adj)
+      Imap.empty vs
+  in
+  { adj }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>vertices: %a@,edges:"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    (vertices t);
+  List.iter (fun (u, v) -> Format.fprintf ppf "@ %d-%d" u v) (edges t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** Simple undirected graphs over integer vertices.
+
+    Immutable; all operations are persistent. Vertices are arbitrary ints
+    (not necessarily dense). Self-loops are rejected. *)
+
+module Iset : Set.S with type elt = int
+module Imap : Map.S with type key = int
+
+type t
+
+val empty : t
+
+val add_vertex : t -> int -> t
+(** Idempotent. *)
+
+val add_edge : t -> int -> int -> t
+(** Adds both endpoints as needed. Raises [Invalid_argument] on a
+    self-loop. Idempotent. *)
+
+val of_edges : ?vertices:int list -> (int * int) list -> t
+(** Graph with the given extra isolated vertices and edges. *)
+
+val vertices : t -> int list
+(** Sorted. *)
+
+val num_vertices : t -> int
+
+val num_edges : t -> int
+
+val edges : t -> (int * int) list
+(** Each edge once, as [(u, v)] with [u < v], sorted. *)
+
+val mem_vertex : t -> int -> bool
+
+val mem_edge : t -> int -> int -> bool
+(** Symmetric; false if either endpoint is absent. *)
+
+val neighbors : t -> int -> Iset.t
+(** Empty set if the vertex is absent. *)
+
+val degree : t -> int -> int
+
+val remove_vertex : t -> int -> t
+(** Removes the vertex and all incident edges. *)
+
+val induced : t -> Iset.t -> t
+(** Subgraph induced by the given vertex set. *)
+
+val is_clique : t -> Iset.t -> bool
+(** Do the given vertices induce a complete subgraph? *)
+
+val is_simplicial : t -> int -> bool
+(** Is the neighborhood of the vertex a clique? *)
+
+val complement : t -> t
+(** Same vertex set, complemented edges. *)
+
+val pp : Format.formatter -> t -> unit

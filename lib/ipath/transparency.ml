@@ -1,0 +1,32 @@
+module Op = Bistpath_dfg.Op
+module Massign = Bistpath_dfg.Massign
+
+type mode = {
+  through_left : bool;
+  through_right : bool;
+  hold_value : int -> int;
+}
+
+let all_ones width = (1 lsl width) - 1
+
+let of_kind = function
+  | Op.Add | Op.Or | Op.Xor ->
+    Some { through_left = true; through_right = true; hold_value = (fun _ -> 0) }
+  | Op.And ->
+    Some { through_left = true; through_right = true; hold_value = all_ones }
+  | Op.Mul ->
+    Some { through_left = true; through_right = true; hold_value = (fun _ -> 1) }
+  | Op.Sub ->
+    Some { through_left = true; through_right = false; hold_value = (fun _ -> 0) }
+  | Op.Div ->
+    Some { through_left = true; through_right = false; hold_value = (fun _ -> 1) }
+  | Op.Less -> None
+
+let unit_passes (u : Massign.hw) side =
+  List.exists
+    (fun kind ->
+      match of_kind kind with
+      | None -> false
+      | Some m -> (
+        match side with `Left -> m.through_left | `Right -> m.through_right))
+    u.Massign.kinds

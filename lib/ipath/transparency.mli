@@ -1,0 +1,21 @@
+(** Module transparency (Abadir & Breuer's I-path "identity mode"): a
+    binary unit passes one operand unaltered when the other port is held
+    at the operation's identity element, turning the unit into a link of
+    a longer I-path. *)
+
+type mode = {
+  through_left : bool;  (** the left operand passes when the right holds *)
+  through_right : bool;  (** symmetric *)
+  hold_value : int -> int;  (** identity element for a given bit width *)
+}
+
+val of_kind : Bistpath_dfg.Op.kind -> mode option
+(** Add/Or/Xor pass either side against 0; And against all-ones; Mul
+    passes either side against 1; Sub and Div pass only their left
+    operand (against 0 resp. 1); Less has no identity (1-bit result). *)
+
+val unit_passes :
+  Bistpath_dfg.Massign.hw -> [ `Left | `Right ] -> bool
+(** Can the unit pass data arriving on the given port unaltered in some
+    mode of some supported kind? (An ALU passes if any of its kinds
+    does.) *)

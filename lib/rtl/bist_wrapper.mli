@@ -1,0 +1,26 @@
+(** Self-test wrapper generation: the complete BIST architecture around
+    an emitted data path.
+
+    The wrapper sequences the test sessions chosen by the allocation: it
+    resets the data path, asserts [test_mode] for a programmable number
+    of clocks (one LFSR period by default), compares the signature taps
+    of the session's signature-analysis registers against golden
+    parameters, then moves to the next session; [done]/[pass] report the
+    outcome. Golden signatures are module parameters (defaults 0) to be
+    filled from an RTL simulation of the fault-free design — the wrapper
+    documents this in a header comment. *)
+
+val emit :
+  ?width:int ->
+  ?patterns:int ->
+  ?golden:Rtl_sim.golden list ->
+  Bistpath_datapath.Datapath.t ->
+  Bistpath_bist.Allocator.solution ->
+  Bistpath_bist.Session.t ->
+  string
+(** Verilog source of module [<name>_bist]; instantiate together with
+    {!Verilog.primitives} and [Verilog.emit ~bist ~sessions]. [patterns]
+    defaults to 2^width - 1. With [golden] (typically from
+    {!Rtl_sim.golden_signatures}) the real fault-free signatures are
+    baked in as the parameter defaults, making the wrapper ready to
+    detect faults out of the box. *)

@@ -1,0 +1,84 @@
+module Datapath = Bistpath_datapath.Datapath
+module Massign = Bistpath_dfg.Massign
+module Dfg = Bistpath_dfg.Dfg
+module Op = Bistpath_dfg.Op
+module Resource = Bistpath_bist.Resource
+module Allocator = Bistpath_bist.Allocator
+
+let of_datapath ?bist dp =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph datapath {\n  rankdir=TB;\n";
+  List.iter
+    (fun (r : Datapath.reg) ->
+      let style =
+        match bist with
+        | None -> ""
+        | Some (sol : Allocator.solution) -> (
+          match List.assoc_opt r.rid sol.Allocator.styles with
+          | Some Resource.Normal | None -> ""
+          | Some s -> Printf.sprintf "\\n[%s]" (Resource.style_label s))
+      in
+      pf "  \"%s\" [shape=box,label=\"%s\\n{%s}%s\"%s];\n" r.rid r.rid
+        (String.concat "," r.vars) style
+        (if r.dedicated then ",style=dashed" else ""))
+    dp.Datapath.regs;
+  List.iter
+    (fun (u : Massign.hw) ->
+      let l, r = Datapath.unit_port_sources dp u.mid in
+      if l <> [] || r <> [] then begin
+        pf "  \"%s\" [shape=ellipse];\n" u.mid;
+        List.iter (fun s -> pf "  \"%s\" -> \"%s\" [label=\"L\"];\n" s u.mid) l;
+        List.iter (fun s -> pf "  \"%s\" -> \"%s\" [label=\"R\"];\n" s u.mid) r
+      end)
+    dp.Datapath.massign.Massign.units;
+  List.iter
+    (fun (rid, ws) ->
+      List.iter
+        (function
+          | Datapath.From_unit mid -> pf "  \"%s\" -> \"%s\";\n" mid rid
+          | Datapath.From_port v ->
+            pf "  \"pin_%s\" [shape=plaintext];\n  \"pin_%s\" -> \"%s\";\n" v v rid)
+        ws)
+    dp.Datapath.reg_writers;
+  pf "}\n";
+  Buffer.contents buf
+
+let of_dfg dfg =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph dfg {\n  rankdir=TB;\n";
+  for step = 1 to Dfg.num_csteps dfg do
+    let ops = Dfg.ops_in_step dfg step in
+    if ops <> [] then begin
+      pf "  { rank=same;";
+      List.iter (fun (o : Op.t) -> pf " \"%s\";" o.id) ops;
+      pf " }\n"
+    end
+  done;
+  List.iter
+    (fun (o : Op.t) ->
+      pf "  \"%s\" [label=\"%s (%s)\\n@%d\"];\n" o.id o.id (Op.symbol o.kind)
+        (Dfg.cstep dfg o.id))
+    dfg.Dfg.ops;
+  List.iter
+    (fun (o : Op.t) ->
+      List.iter
+        (fun v ->
+          match Dfg.producer dfg v with
+          | Some p -> pf "  \"%s\" -> \"%s\" [label=\"%s\"];\n" p.Op.id o.id v
+          | None ->
+            pf "  \"in_%s\" [shape=plaintext,label=\"%s\"];\n" v v;
+            pf "  \"in_%s\" -> \"%s\";\n" v o.id)
+        [ o.left; o.right ])
+    dfg.Dfg.ops;
+  List.iter
+    (fun v ->
+      match Dfg.producer dfg v with
+      | Some p ->
+        pf "  \"out_%s\" [shape=plaintext,label=\"%s\"];\n" v v;
+        pf "  \"%s\" -> \"out_%s\";\n" p.Op.id v
+      | None -> ())
+    dfg.Dfg.outputs;
+  pf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Graphviz DOT renderings for the paper's figures: data paths (Fig. 5)
+    and scheduled DFGs (Fig. 2). *)
+
+val of_datapath :
+  ?bist:Bistpath_bist.Allocator.solution ->
+  Bistpath_datapath.Datapath.t ->
+  string
+(** Registers as boxes (BIST style in the label when [bist] is given),
+    units as ellipses, multiplexed connections as edges labelled with the
+    source count. *)
+
+val of_dfg : Bistpath_dfg.Dfg.t -> string
+(** Operations ranked by control step, variables as edges. *)

@@ -1,0 +1,225 @@
+module Datapath = Bistpath_datapath.Datapath
+module Control = Bistpath_datapath.Control
+module Dfg = Bistpath_dfg.Dfg
+module Op = Bistpath_dfg.Op
+module Massign = Bistpath_dfg.Massign
+module Resource = Bistpath_bist.Resource
+module Allocator = Bistpath_bist.Allocator
+module Session = Bistpath_bist.Session
+module Ipath = Bistpath_ipath.Ipath
+module Listx = Bistpath_util.Listx
+
+type golden = { session : int; rid : string; signature : int }
+
+(* Primitive update rules, mirroring the Verilog: feedback = shifted-out
+   MSB xor parity of (q & 4'b1011) — an invertible state map, so no
+   nonzero generator state can collapse to the stuck all-zero state —
+   shift left, compactors XOR the data in. *)
+let fb ~width q =
+  ((q lsr (width - 1)) lxor q lxor (q lsr 1) lxor (q lsr 3)) land 1
+
+let lfsr_step ~width ~mask q = (((q lsl 1) lor fb ~width q) land mask : int)
+
+let misr_step ~width ~mask q d = ((((q lsl 1) lor fb ~width q) lxor d) land mask : int)
+
+type regstate = { mutable q : int; mutable sig_rank : int }
+
+let simulate_session ~width ~patterns ~faulty_unit (dp : Datapath.t)
+    (sol : Allocator.solution) units =
+  let mask = (1 lsl width) - 1 in
+  let dfg = dp.Datapath.dfg in
+  let control = Control.build dp in
+  let steps = Dfg.num_csteps dfg in
+  let style_of rid =
+    match List.assoc_opt rid sol.Allocator.styles with
+    | Some s -> s
+    | None -> Resource.Normal
+  in
+  (* reset values: generator ranks seed 1, everything else 0 *)
+  let state = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Datapath.reg) ->
+      let q0 =
+        match style_of r.Datapath.rid with
+        | Resource.Tpg | Resource.Bilbo | Resource.Cbilbo ->
+          Verilog.test_seed ~width r.Datapath.rid
+        | Resource.Sa | Resource.Normal -> 0
+      in
+      Hashtbl.replace state r.Datapath.rid { q = q0; sig_rank = 0 })
+    dp.Datapath.regs;
+  let reg rid = Hashtbl.find state rid in
+  (* embeddings of the units tested in this session *)
+  let tested =
+    List.filter_map
+      (fun (e : Ipath.embedding) ->
+        if List.mem e.Ipath.mid units then begin
+          if e.Ipath.l_via <> None || e.Ipath.r_via <> None then
+            invalid_arg
+              (Printf.sprintf
+                 "Rtl_sim: unit %s uses a transparent via; emitted overrides cover simple I-paths only"
+                 e.Ipath.mid);
+          Some (e.Ipath.mid, e)
+        end
+        else None)
+      sol.Allocator.embeddings
+  in
+  (* compact mode of a BILBO: it is the SA of some tested unit *)
+  let compacts rid =
+    List.exists (fun (_, (e : Ipath.embedding)) -> String.equal e.Ipath.sa rid) tested
+  in
+  (* per-step functional routing *)
+  let activity_at st mid =
+    List.find_map
+      (fun (s : Control.step) ->
+        if s.Control.index = st then
+          List.find_opt (fun (o : Control.unit_op) -> String.equal o.Control.mid mid)
+            s.Control.ops
+        else None)
+      control.Control.steps
+  in
+  let write_at st rid =
+    List.find_map
+      (fun (s : Control.step) ->
+        if s.Control.index = st then
+          List.find_opt (fun (w : Control.write) -> String.equal w.Control.rid rid)
+            s.Control.writes
+        else None)
+      control.Control.steps
+  in
+  let unit_eval (u : Massign.hw) fsel l r =
+    let eval kind = Op.eval kind ~width l r in
+    let eval_real kind =
+      match faulty_unit with
+      | Some (m, f) when String.equal m u.Massign.mid -> f ~width l r
+      | Some _ | None -> eval kind
+    in
+    match u.Massign.kinds with
+    | [ k ] -> eval_real k
+    | kinds -> (
+      (* the emitted chain: fsel[0] ? e0 : ... : e_last *)
+      let rec pick i = function
+        | [ k ] -> eval_real k
+        | k :: rest -> if (fsel lsr i) land 1 = 1 then eval_real k else pick (i + 1) rest
+        | [] -> 0
+      in
+      pick 0 kinds)
+  in
+  let step = ref 0 in
+  for _ = 1 to patterns do
+    (* combinational phase: every unit output from current registers *)
+    let outs = Hashtbl.create 8 in
+    List.iter
+      (fun (u : Massign.hw) ->
+        let l_sources, r_sources = Datapath.unit_port_sources dp u.Massign.mid in
+        if l_sources <> [] || r_sources <> [] then begin
+          let port sources tpg_of select_of =
+            match sources with
+            | [] -> 0
+            | _ -> (
+              match List.assoc_opt u.Massign.mid tested with
+              | Some e -> (reg (tpg_of e)).q
+              | None -> (
+                (* functional select by current step, default source 0 *)
+                match activity_at !step u.Massign.mid with
+                | Some o -> (reg (List.nth sources (select_of o))).q
+                | None -> (reg (List.hd sources)).q))
+          in
+          let l =
+            port l_sources (fun e -> e.Ipath.l_tpg) (fun o -> o.Control.l_select)
+          in
+          let r =
+            port r_sources (fun e -> e.Ipath.r_tpg) (fun o -> o.Control.r_select)
+          in
+          let fsel =
+            match List.assoc_opt u.Massign.mid tested with
+            | Some _ -> 0 (* saturated/overridden: chain falls to last kind *)
+            | None -> (
+              match activity_at !step u.Massign.mid with
+              | Some o -> 1 lsl o.Control.f_select
+              | None -> 0)
+          in
+          Hashtbl.replace outs u.Massign.mid (unit_eval u fsel l r)
+        end)
+      dp.Datapath.massign.Massign.units;
+    (* latch phase *)
+    let updates =
+      List.map
+        (fun (r : Datapath.reg) ->
+          let rid = r.Datapath.rid in
+          let writers = List.assoc rid dp.Datapath.reg_writers in
+          let d =
+            match writers with
+            | [] -> 0
+            | _ -> (
+              (* test override: compact the tested unit this register
+                 serves as SA; else functional select; else writer 0 *)
+              let test_src =
+                List.find_map
+                  (fun (mid, (e : Ipath.embedding)) ->
+                    if String.equal e.Ipath.sa rid then
+                      Listx.index_of (fun w -> w = Datapath.From_unit mid) writers
+                    else None)
+                  tested
+              in
+              let idx =
+                match test_src with
+                | Some i -> i
+                | None -> (
+                  match write_at !step rid with
+                  | Some w -> w.Control.source_index
+                  | None -> 0)
+              in
+              match List.nth writers idx with
+              | Datapath.From_unit mid -> (
+                match Hashtbl.find_opt outs mid with Some x -> x | None -> 0)
+              | Datapath.From_port _ -> 0 (* pins tied low in self-test *))
+          in
+          let st = reg rid in
+          let enabled = write_at !step rid <> None in
+          let q', sig' =
+            match style_of rid with
+            | Resource.Normal -> ((if enabled then d else st.q), st.sig_rank)
+            | Resource.Tpg -> (lfsr_step ~width ~mask st.q, st.sig_rank)
+            | Resource.Sa -> (misr_step ~width ~mask st.q d, st.sig_rank)
+            | Resource.Bilbo ->
+              ((if compacts rid then misr_step ~width ~mask st.q d else lfsr_step ~width ~mask st.q),
+               st.sig_rank)
+            | Resource.Cbilbo -> (lfsr_step ~width ~mask st.q, misr_step ~width ~mask st.sig_rank d)
+          in
+          (rid, q', sig'))
+        dp.Datapath.regs
+    in
+    List.iter
+      (fun (rid, q', sig') ->
+        let st = reg rid in
+        st.q <- q';
+        st.sig_rank <- sig')
+      updates;
+    if !step <= steps then incr step
+  done;
+  (* signatures of this session's SA registers *)
+  List.map
+    (fun (_, (e : Ipath.embedding)) ->
+      let st = reg e.Ipath.sa in
+      let signature =
+        match style_of e.Ipath.sa with
+        | Resource.Cbilbo -> st.sig_rank
+        | Resource.Sa | Resource.Bilbo | Resource.Tpg | Resource.Normal -> st.q
+      in
+      (e.Ipath.sa, signature))
+    tested
+  |> List.sort_uniq compare
+
+let golden_signatures ?(width = 8) ?patterns ?faulty_unit dp sol (sessions : Session.t) =
+  let patterns = match patterns with Some p -> p | None -> (1 lsl width) - 1 in
+  List.concat
+    (List.mapi
+       (fun k units ->
+         simulate_session ~width ~patterns ~faulty_unit dp sol units
+         |> List.map (fun (rid, signature) -> { session = k; rid; signature }))
+       sessions.Session.sessions)
+
+let detects_fault ?(width = 8) ?patterns dp sol sessions ~mid ~fault =
+  let clean = golden_signatures ~width ?patterns dp sol sessions in
+  let faulty = golden_signatures ~width ?patterns ~faulty_unit:(mid, fault) dp sol sessions in
+  clean <> faulty

@@ -1,0 +1,38 @@
+(** Bit-exact simulation of the emitted BIST architecture in test mode.
+
+    Mirrors the Verilog semantics clock by clock — the step counter, the
+    functional and test-override multiplexer selects, the LFSR/MISR
+    update rules of the register primitives (feedback taps 0,1,3, seeds
+    1 for generators and 0 for compactors), pins tied low — so the
+    signatures it computes are exactly what the silicon's [sig_*] taps
+    would show. Used to bake real golden values into the self-test
+    wrapper, and to demonstrate RTL-level fault detection. *)
+
+type golden = { session : int; rid : string; signature : int }
+
+val golden_signatures :
+  ?width:int ->
+  ?patterns:int ->
+  ?faulty_unit:string * (width:int -> int -> int -> int) ->
+  Bistpath_datapath.Datapath.t ->
+  Bistpath_bist.Allocator.solution ->
+  Bistpath_bist.Session.t ->
+  golden list
+(** One record per (session, signature register of a unit tested in that
+    session). [patterns] defaults to 2^width - 1 clocks per session.
+    [faulty_unit] replaces the named unit's function (for demonstrating
+    that a misbehaving unit corrupts its session's signature). Raises
+    [Invalid_argument] if a tested unit's embedding uses a transparent
+    via (the emitted overrides cover simple I-paths only). *)
+
+val detects_fault :
+  ?width:int ->
+  ?patterns:int ->
+  Bistpath_datapath.Datapath.t ->
+  Bistpath_bist.Allocator.solution ->
+  Bistpath_bist.Session.t ->
+  mid:string ->
+  fault:(width:int -> int -> int -> int) ->
+  bool
+(** Do the golden signatures differ when [mid] computes [fault] instead
+    of its real function? *)

@@ -1,0 +1,49 @@
+module Datapath = Bistpath_datapath.Datapath
+module Interp = Bistpath_datapath.Interp
+
+(* VCD identifiers: printable ASCII starting at '!'. *)
+let ident i =
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let binary width v =
+  String.init width (fun i -> if (v lsr (width - 1 - i)) land 1 = 1 then '1' else '0')
+
+let of_trace (dp : Datapath.t) ~width trace =
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "$date bistpath $end\n$version bistpath interp $end\n$timescale 1ns $end\n";
+  pf "$scope module datapath $end\n";
+  List.iteri
+    (fun i (r : Datapath.reg) ->
+      pf "$var wire %d %s %s $end\n" width (ident i) (Verilog.sanitize r.Datapath.rid))
+    dp.Datapath.regs;
+  pf "$upscope $end\n$enddefinitions $end\n";
+  let previous = Hashtbl.create 16 in
+  List.iter
+    (fun (entry : Interp.trace_entry) ->
+      pf "#%d\n" (entry.Interp.step * 10);
+      List.iteri
+        (fun i (r : Datapath.reg) ->
+          let v = List.assoc r.Datapath.rid entry.Interp.register_file in
+          let changed =
+            match Hashtbl.find_opt previous r.Datapath.rid with
+            | Some old -> old <> v
+            | None -> true
+          in
+          if changed then begin
+            Hashtbl.replace previous r.Datapath.rid v;
+            pf "b%s %s\n" (binary width v) (ident i)
+          end)
+        dp.Datapath.regs)
+    trace;
+  Buffer.contents buf
+
+let dump_run dp ~width ~inputs =
+  let _, trace = Interp.run ~trace:true dp ~width ~inputs in
+  of_trace dp ~width trace

@@ -1,0 +1,19 @@
+(** Value-change-dump (VCD) export of an interpreter trace, viewable in
+    GTKWave & co: one wire per datapath register, one timestep per
+    control step. *)
+
+val of_trace :
+  Bistpath_datapath.Datapath.t ->
+  width:int ->
+  Bistpath_datapath.Interp.trace_entry list ->
+  string
+(** Render a trace (from [Interp.run ~trace:true]). Registers appear
+    under scope "datapath" in declaration order. *)
+
+val dump_run :
+  Bistpath_datapath.Datapath.t ->
+  width:int ->
+  inputs:(string * int) list ->
+  string
+(** Convenience: interpret the data path on [inputs] and render the
+    trace. *)

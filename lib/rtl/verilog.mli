@@ -1,0 +1,40 @@
+(** Structural Verilog-subset emission of a synthesized data path.
+
+    The module instantiates one register per datapath register (plain,
+    or the BIST variant chosen by an allocation), one functional unit
+    per module, and the multiplexers implied by the connectivity; a
+    simple FSM-less controller interface (per-step select/enable values)
+    is emitted as localparam tables so the output is self-contained and
+    lintable. This is an RTL rendering for inspection and downstream
+    tooling, not a verified synthesis target. *)
+
+val emit :
+  ?width:int ->
+  ?bist:Bistpath_bist.Allocator.solution ->
+  ?sessions:Bistpath_bist.Session.t ->
+  Bistpath_datapath.Datapath.t ->
+  string
+(** Verilog source text. With [bist], registers are emitted as the
+    allocated test-register variants (tpg_register, sa_register,
+    bilbo_register, cbilbo_register), a [test_mode] port is added, and
+    every signature-capable register's compactor is exported on a
+    [sig_*] output. With [sessions] too, a [test_session] input is added
+    and, in test mode, the multiplexers steer to the active session's
+    BIST embeddings (port selects to the chosen TPGs, each SA register's
+    input to the unit it compacts, BILBO compact/generate modes) —
+    making the emitted architecture execute exactly the configurations
+    the allocator chose. *)
+
+val test_seed : width:int -> string -> int
+(** Per-register non-zero LFSR reset seed (hash of the register name),
+    baked into the emitted generator instances and mirrored by
+    {!Rtl_sim}. *)
+
+val sanitize : string -> string
+(** Map arbitrary netlist names to Verilog identifiers (non-alphanumeric
+    characters become underscores). *)
+
+val primitives : width:int -> string
+(** Library of the register/unit/mux primitives the emitted module
+    instantiates (behavioural Verilog), so [primitives ^ emit dp] is a
+    complete compilation unit. *)

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Used everywhere a randomized choice or synthetic workload is needed so
+    that every experiment and property test is reproducible bit-for-bit.
+    The interface mirrors the small subset of [Random.State] we need. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from [seed]. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound). Requires [bound > 0]. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)

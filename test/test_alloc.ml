@@ -1,0 +1,224 @@
+(* Tests for the register allocators: the paper's testable algorithm,
+   the traditional left-edge baseline, and the RALLOC/SYNTEST-like
+   baselines. *)
+
+module Dfg = Bistpath_dfg.Dfg
+module Policy = Bistpath_dfg.Policy
+module Lifetime = Bistpath_dfg.Lifetime
+module B = Bistpath_benchmarks.Benchmarks
+module Regalloc = Bistpath_datapath.Regalloc
+module Datapath = Bistpath_datapath.Datapath
+module Testable_alloc = Bistpath_core.Testable_alloc
+module Traditional_alloc = Bistpath_core.Traditional_alloc
+module Ralloc = Bistpath_core.Ralloc
+module Syntest = Bistpath_core.Syntest
+module Resource = Bistpath_bist.Resource
+module Prng = Bistpath_util.Prng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let classes_set ra =
+  ra.Regalloc.classes |> List.map snd
+  |> List.map (List.sort compare)
+  |> List.sort compare
+
+let ex1_walkthrough_allocation () =
+  let inst = B.ex1 () in
+  let ra, trace = Testable_alloc.allocate inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "paper's final assignment ({a,c,f},{b,d,g,h},{e})"
+    [ [ "a"; "c"; "f" ]; [ "b"; "d"; "g"; "h" ]; [ "e" ] ]
+    (classes_set ra);
+  check Alcotest.int "8 decisions" 8 (List.length trace);
+  (* first two vertices (c and d, the highest SD/MCS) open registers *)
+  match trace with
+  | first :: second :: _ ->
+    check Alcotest.bool "first opens register" true first.Testable_alloc.fresh;
+    check Alcotest.bool "second opens register" true second.Testable_alloc.fresh
+  | _ -> Alcotest.fail "trace too short"
+
+let ex1_traditional_allocation () =
+  let inst = B.ex1 () in
+  let ra = Traditional_alloc.allocate inst.B.dfg ~policy:inst.B.policy in
+  check Alcotest.int "3 registers" 3 (Regalloc.num_registers ra);
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "left-edge packing" [ [ "a"; "c"; "e"; "h" ]; [ "b"; "d"; "f" ]; [ "g" ] ]
+    (classes_set ra)
+
+let regalloc_validation () =
+  (match Regalloc.make [ ("R1", [ "a" ]); ("R1", [ "b" ]) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate id accepted");
+  (match Regalloc.make [ ("R1", [ "a" ]); ("R2", [ "a" ]) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate variable accepted");
+  match Regalloc.make [ ("R1", []) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty register accepted"
+
+let regalloc_lookup () =
+  let ra = Regalloc.make [ ("R1", [ "a"; "b" ]); ("R2", [ "c" ]) ] in
+  check (Alcotest.option Alcotest.string) "found" (Some "R1") (Regalloc.register_of ra "b");
+  check (Alcotest.option Alcotest.string) "missing" None (Regalloc.register_of ra "z");
+  check (Alcotest.list Alcotest.string) "variables" [ "a"; "b"; "c" ] (Regalloc.variables ra)
+
+let paper_benchmark_register_counts () =
+  List.iter
+    (fun (inst : B.instance) ->
+      let minr = Lifetime.min_registers ~policy:inst.B.policy inst.B.dfg in
+      let testable, _ =
+        Testable_alloc.allocate inst.B.dfg inst.B.massign ~policy:inst.B.policy
+      in
+      let trad = Traditional_alloc.allocate inst.B.dfg ~policy:inst.B.policy in
+      check Alcotest.int (inst.B.tag ^ " traditional = minimum") minr
+        (Regalloc.num_registers trad);
+      check Alcotest.int (inst.B.tag ^ " testable = minimum") minr
+        (Regalloc.num_registers testable))
+    (B.table1 ())
+
+let with_random seed k =
+  let rng = Prng.create seed in
+  k (B.random rng ~ops:14 ~inputs:4)
+
+let prop_testable_valid =
+  QCheck.Test.make ~name:"testable allocation is a valid register assignment" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_random seed (fun inst ->
+          let ra, _ =
+            Testable_alloc.allocate inst.B.dfg inst.B.massign ~policy:inst.B.policy
+          in
+          Regalloc.is_valid_for ra inst.B.dfg ~policy:inst.B.policy))
+
+let prop_traditional_minimum =
+  QCheck.Test.make ~name:"left-edge always uses the minimum register count" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_random seed (fun inst ->
+          let ra = Traditional_alloc.allocate inst.B.dfg ~policy:inst.B.policy in
+          Regalloc.is_valid_for ra inst.B.dfg ~policy:inst.B.policy
+          && Regalloc.num_registers ra
+             = Lifetime.min_registers ~policy:inst.B.policy inst.B.dfg))
+
+let prop_testable_near_optimal =
+  (* The paper claims near-optimality; allow at most one extra register. *)
+  QCheck.Test.make ~name:"testable allocation uses at most minimum+1 registers" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_random seed (fun inst ->
+          let ra, _ =
+            Testable_alloc.allocate inst.B.dfg inst.B.massign ~policy:inst.B.policy
+          in
+          Regalloc.num_registers ra
+          <= Lifetime.min_registers ~policy:inst.B.policy inst.B.dfg + 1))
+
+let prop_ablation_options_valid =
+  QCheck.Test.make ~name:"every options combination yields a valid assignment" ~count:30
+    QCheck.(pair (int_bound 100_000) (int_bound 7))
+    (fun (seed, mask) ->
+      with_random seed (fun inst ->
+          let options =
+            {
+              Testable_alloc.sd_ordering = mask land 1 = 0;
+              case_preferences = mask land 2 = 0;
+              cbilbo_avoidance = mask land 4 = 0;
+            }
+          in
+          let ra, _ =
+            Testable_alloc.allocate ~options inst.B.dfg inst.B.massign
+              ~policy:inst.B.policy
+          in
+          Regalloc.is_valid_for ra inst.B.dfg ~policy:inst.B.policy))
+
+let prop_ralloc_valid =
+  QCheck.Test.make ~name:"RALLOC-like allocation valid; self-adjacency minimized greedily"
+    ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_random seed (fun inst ->
+          let ra = Ralloc.allocate inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+          Regalloc.is_valid_for ra inst.B.dfg ~policy:inst.B.policy))
+
+let ralloc_paulin_shape () =
+  let inst = B.paulin () in
+  let r = Ralloc.run inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+  check Alcotest.int "5 allocated registers (paper: 5)" 5
+    (Regalloc.num_registers r.Ralloc.regalloc);
+  let counts = Ralloc.style_counts r in
+  check Alcotest.bool "uses BILBOs (no plain TPG/SA)" true
+    (List.assoc_opt Resource.Bilbo counts <> None
+    && List.assoc_opt Resource.Tpg counts = None
+    && List.assoc_opt Resource.Sa counts = None)
+
+let syntest_paulin_shape () =
+  let inst = B.paulin () in
+  let s = Syntest.run inst.B.dfg ~policy:inst.B.policy in
+  check Alcotest.string "3 ALUs like the paper" "3ALU"
+    (Bistpath_dfg.Massign.describe s.Syntest.massign inst.B.dfg);
+  let counts = Syntest.style_counts s in
+  check Alcotest.bool "no BILBO" true (List.assoc_opt Resource.Bilbo counts = None);
+  check Alcotest.bool "no CBILBO" true (List.assoc_opt Resource.Cbilbo counts = None);
+  check Alcotest.bool "has TPGs" true (List.assoc_opt Resource.Tpg counts <> None)
+
+let prop_syntest_never_mixes =
+  QCheck.Test.make ~name:"SYNTEST-like never produces BILBO or CBILBO" ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_random seed (fun inst ->
+          let s = Syntest.run inst.B.dfg ~policy:inst.B.policy in
+          List.for_all
+            (fun (_, style) ->
+              style <> Resource.Bilbo && style <> Resource.Cbilbo)
+            s.Syntest.bist.Bistpath_bist.Allocator.styles))
+
+let cp_alloc_paper_benchmarks () =
+  (* the clique-partitioning alternative also reaches the register minima
+     on the paper benchmarks, but (as the ablation shows) with worse BIST
+     overhead than the paper's PVES coloring *)
+  List.iter
+    (fun (inst : B.instance) ->
+      let ra = Bistpath_core.Cp_alloc.allocate inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+      check Alcotest.bool (inst.B.tag ^ " valid") true
+        (Regalloc.is_valid_for ra inst.B.dfg ~policy:inst.B.policy);
+      check Alcotest.int (inst.B.tag ^ " at minimum")
+        (Lifetime.min_registers ~policy:inst.B.policy inst.B.dfg)
+        (Regalloc.num_registers ra))
+    (B.table1 ())
+
+let prop_cp_alloc_valid =
+  QCheck.Test.make ~name:"clique-partitioning allocation always valid" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_random seed (fun inst ->
+          let ra =
+            Bistpath_core.Cp_alloc.allocate inst.B.dfg inst.B.massign
+              ~policy:inst.B.policy
+          in
+          Regalloc.is_valid_for ra inst.B.dfg ~policy:inst.B.policy))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    case "ex1 walkthrough allocation" ex1_walkthrough_allocation;
+    case "ex1 traditional left-edge" ex1_traditional_allocation;
+    case "regalloc validation" regalloc_validation;
+    case "regalloc lookup" regalloc_lookup;
+    case "paper benchmarks at minimum registers" paper_benchmark_register_counts;
+    case "RALLOC Paulin shape" ralloc_paulin_shape;
+    case "SYNTEST Paulin shape" syntest_paulin_shape;
+    case "clique-partitioning allocation (paper benchmarks)" cp_alloc_paper_benchmarks;
+  ]
+  @ qcheck
+      [
+        prop_testable_valid;
+        prop_traditional_minimum;
+        prop_testable_near_optimal;
+        prop_ablation_options_valid;
+        prop_ralloc_valid;
+        prop_cp_alloc_valid;
+        prop_syntest_never_mixes;
+      ]

@@ -1,0 +1,95 @@
+(* Tests for force-directed scheduling. *)
+
+module Op = Bistpath_dfg.Op
+module Dfg = Bistpath_dfg.Dfg
+module Scheduler = Bistpath_dfg.Scheduler
+module Fds = Bistpath_dfg.Fds
+module B = Bistpath_benchmarks.Benchmarks
+module Prng = Bistpath_util.Prng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let problem_of (dfg : Dfg.t) =
+  { Scheduler.name = dfg.Dfg.name; ops = dfg.Dfg.ops; inputs = dfg.Dfg.inputs;
+    outputs = dfg.Dfg.outputs }
+
+let paulin_needs_two_multipliers () =
+  (* the celebrated FDS result: the diffeq at latency 4 balances the six
+     multiplications onto two multipliers (ASAP needs three) *)
+  let p = problem_of (B.paulin ()).B.dfg in
+  let asap = Scheduler.to_dfg p (Scheduler.asap p) in
+  check (Alcotest.option Alcotest.int) "ASAP peak muls" (Some 3)
+    (List.assoc_opt Op.Mul (Fds.max_concurrency asap));
+  let fds = Fds.to_dfg p ~latency:4 in
+  check Alcotest.int "latency respected" 4 (Dfg.num_csteps fds);
+  check (Alcotest.option Alcotest.int) "FDS peak muls" (Some 2)
+    (List.assoc_opt Op.Mul (Fds.max_concurrency fds))
+
+let ewf_balances () =
+  let p = problem_of (B.ewf ()).B.dfg in
+  let asap = Scheduler.to_dfg p (Scheduler.asap p) in
+  let latency = Dfg.num_csteps asap in
+  let fds = Fds.to_dfg p ~latency in
+  let peak dfg kind =
+    match List.assoc_opt kind (Fds.max_concurrency dfg) with Some n -> n | None -> 0
+  in
+  check Alcotest.bool "no worse than ASAP on multipliers" true
+    (peak fds Op.Mul <= peak asap Op.Mul);
+  check Alcotest.bool "dependencies hold (validated by Dfg.make)" true
+    (Dfg.num_csteps fds <= latency)
+
+let latency_below_critical_path_rejected () =
+  let p = problem_of (B.paulin ()).B.dfg in
+  match Fds.schedule ~problem:p ~latency:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "latency below critical path accepted"
+
+let deterministic () =
+  let p = problem_of (B.ex2 ()).B.dfg in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "same schedule twice"
+    (Fds.schedule ~problem:p ~latency:5)
+    (Fds.schedule ~problem:p ~latency:5)
+
+let prop_fds_valid_random =
+  QCheck.Test.make ~name:"FDS schedules are valid and within latency" ~count:40
+    QCheck.(pair (int_bound 100_000) (int_range 0 4))
+    (fun (seed, slack) ->
+      let rng = Prng.create seed in
+      let inst = B.random rng ~ops:12 ~inputs:4 in
+      let p = problem_of inst.B.dfg in
+      let cp =
+        List.fold_left (fun acc (_, s) -> max acc s) 0 (Scheduler.asap p)
+      in
+      let latency = cp + slack in
+      (* to_dfg re-validates dependencies via Dfg.make *)
+      let dfg = Fds.to_dfg p ~latency in
+      Dfg.num_csteps dfg <= latency)
+
+let prop_fds_never_beaten_by_asap =
+  QCheck.Test.make ~name:"FDS total peak concurrency <= ASAP's at ASAP latency"
+    ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let inst = B.random rng ~ops:14 ~inputs:4 in
+      let p = problem_of inst.B.dfg in
+      let asap = Scheduler.to_dfg p (Scheduler.asap p) in
+      let fds = Fds.to_dfg p ~latency:(Dfg.num_csteps asap) in
+      let total dfg =
+        Bistpath_util.Listx.sum_by snd (Fds.max_concurrency dfg)
+      in
+      total fds <= total asap)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    case "Paulin needs two multipliers at latency 4" paulin_needs_two_multipliers;
+    case "ewf balances" ewf_balances;
+    case "latency below critical path rejected" latency_below_critical_path_rejected;
+    case "deterministic" deterministic;
+  ]
+  @ qcheck [ prop_fds_valid_random; prop_fds_never_beaten_by_asap ]

@@ -1,0 +1,195 @@
+(* End-to-end flow tests: determinism, the paper's Table I/II/III shapes
+   as regression anchors, merge-case classification, module assignment. *)
+
+module B = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Testable_alloc = Bistpath_core.Testable_alloc
+module Module_assign = Bistpath_core.Module_assign
+module Merge_cases = Bistpath_core.Merge_cases
+module Sharing = Bistpath_core.Sharing
+module Massign = Bistpath_dfg.Massign
+module Dfg = Bistpath_dfg.Dfg
+module Prng = Bistpath_util.Prng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let testable = Flow.Testable Testable_alloc.default_options
+
+let run ?(style = testable) (inst : B.instance) =
+  Flow.run ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy
+
+let table1_regression () =
+  (* The shape the paper reports: same (minimum) register count in both
+     flows, and a strictly positive BIST-area reduction on every row. *)
+  List.iter
+    (fun inst ->
+      let trad = run ~style:Flow.Traditional inst in
+      let test = run inst in
+      check Alcotest.int (inst.B.tag ^ " same registers") trad.Flow.registers
+        test.Flow.registers;
+      let red = Flow.reduction_percent ~traditional:trad ~testable:test in
+      check Alcotest.bool
+        (Printf.sprintf "%s positive reduction (got %.2f%%)" inst.B.tag red)
+        true (red > 0.0);
+      check Alcotest.bool (inst.B.tag ^ " overheads in range") true
+        (trad.Flow.overhead_percent > 0.0
+        && trad.Flow.overhead_percent < 100.0
+        && test.Flow.overhead_percent > 0.0))
+    (B.table1 ())
+
+let table2_regression () =
+  (* ex1 exactly matches the paper's Table II row *)
+  let trad = run ~style:Flow.Traditional (B.ex1 ()) in
+  let test = run (B.ex1 ()) in
+  let labels r =
+    Bistpath_bist.Allocator.style_counts r.Flow.bist
+    |> List.map (fun (s, n) -> (Bistpath_bist.Resource.style_label s, n))
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "traditional: 2 CBILBO" [ ("CBILBO", 2) ] (labels trad);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "testable: 1 CBILBO 1 TPG" [ ("CBILBO", 1); ("TPG", 1) ] (labels test)
+
+let table3_regression () =
+  let inst = B.paulin () in
+  let ours = run inst in
+  let r = Bistpath_core.Ralloc.run inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+  let s = Bistpath_core.Syntest.run inst.B.dfg ~policy:inst.B.policy in
+  (* ours uses fewer registers than RALLOC (paper: 4 vs 5) *)
+  check Alcotest.int "ours 4 registers" 4 ours.Flow.registers;
+  check Alcotest.bool "SYNTEST at least as many registers as ours" true
+    (Bistpath_datapath.Regalloc.num_registers s.Bistpath_core.Syntest.regalloc
+    >= ours.Flow.registers);
+  check Alcotest.int "RALLOC 5 registers" 5
+    (Bistpath_datapath.Regalloc.num_registers r.Bistpath_core.Ralloc.regalloc);
+  (* ours spends fewer gates on test registers than RALLOC's
+     convert-everything methodology *)
+  check Alcotest.bool "ours cheaper than RALLOC" true
+    (ours.Flow.bist.Bistpath_bist.Allocator.delta_gates
+    < r.Bistpath_core.Ralloc.delta_gates)
+
+let determinism () =
+  List.iter
+    (fun tag ->
+      let inst = Option.get (B.by_tag tag) in
+      let a = run inst and b = run inst in
+      check Alcotest.int (tag ^ " delta") a.Flow.bist.Bistpath_bist.Allocator.delta_gates
+        b.Flow.bist.Bistpath_bist.Allocator.delta_gates;
+      check (Alcotest.float 1e-12) (tag ^ " overhead") a.Flow.overhead_percent
+        b.Flow.overhead_percent)
+    [ "ex1"; "Paulin"; "iir" ]
+
+let module_assign_single_function () =
+  let inst = B.ex1 () in
+  let ma = Module_assign.single_function inst.B.dfg in
+  (* two ops of each kind in different steps share: 1 adder, 1 mult *)
+  check Alcotest.int "2 units" 2 (List.length ma.Massign.units);
+  check Alcotest.string "describe" "1*, 1+" (Massign.describe ma inst.B.dfg)
+
+let module_assign_alu_pack () =
+  let inst = B.paulin () in
+  let ma = Module_assign.alu_pack inst.B.dfg in
+  (* Paulin's widest step has 3 operations -> 3 ALUs *)
+  check Alcotest.int "3 ALUs" 3 (List.length ma.Massign.units);
+  check Alcotest.string "describe" "3ALU" (Massign.describe ma inst.B.dfg)
+
+let prop_module_assigners_valid =
+  QCheck.Test.make ~name:"derived module assignments validate" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let inst = B.random rng ~ops:12 ~inputs:4 in
+      (* Massign.make validates internally; both must construct *)
+      let a = Module_assign.single_function inst.B.dfg in
+      let b = Module_assign.alu_pack inst.B.dfg in
+      List.length a.Massign.units > 0 && List.length b.Massign.units > 0)
+
+let prop_alu_pack_width =
+  QCheck.Test.make ~name:"ALU packing uses exactly max-ops-per-step units" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let inst = B.random rng ~ops:12 ~inputs:4 in
+      let width =
+        List.fold_left
+          (fun acc s -> max acc (List.length (Dfg.ops_in_step inst.B.dfg s)))
+          0
+          (Bistpath_util.Listx.range 1 (Dfg.num_csteps inst.B.dfg + 1))
+      in
+      let ma = Module_assign.alu_pack inst.B.dfg in
+      List.length ma.Massign.units = width)
+
+let merge_case_classification () =
+  let inst = B.ex1 () in
+  let ctx = Sharing.make inst.B.dfg inst.B.massign in
+  (* c: produced by M2, consumed by M1. d: produced by M1, consumed by
+     M1. Merge classify(c,d): common dest M1 -> Common_dest or both? c
+     src M2, d src M1: no common source; dests: c->{M1}, d->{M1}. *)
+  check Alcotest.int "c,d case 3" 3
+    (Merge_cases.case_number (Merge_cases.classify ctx "c" "d"));
+  (* a and b: both pure inputs feeding M1 and M2: common dest (no src) *)
+  check Alcotest.int "a,b case 3" 3
+    (Merge_cases.case_number (Merge_cases.classify ctx "a" "b"));
+  (* c (from M2, to M1) and f (from M1, to nothing): source of f is dest
+     of c -> case 2 *)
+  check Alcotest.int "c,f case 2" 2
+    (Merge_cases.case_number (Merge_cases.classify ctx "c" "f"));
+  (* e (input to M2 only) and d (produced and consumed by M1): no unit
+     in common in any direction *)
+  check Alcotest.int "e,d disjoint" 1
+    (Merge_cases.case_number (Merge_cases.classify ctx "e" "d"))
+
+let merge_case_descriptions () =
+  List.iter
+    (fun c ->
+      check Alcotest.bool "non-empty description" true
+        (String.length (Merge_cases.describe c) > 0))
+    [
+      Merge_cases.Disjoint; Merge_cases.Source_is_dest; Merge_cases.Common_dest;
+      Merge_cases.Common_source; Merge_cases.Common_both;
+    ];
+  check (Alcotest.list Alcotest.int) "case numbers" [ 1; 2; 3; 4; 5 ]
+    (List.map Merge_cases.case_number
+       [
+         Merge_cases.Disjoint; Merge_cases.Source_is_dest; Merge_cases.Common_dest;
+         Merge_cases.Common_source; Merge_cases.Common_both;
+       ])
+
+let ablation_never_beats_minimum_registers () =
+  (* whatever options, the allocator still uses minimal registers on the
+     paper benchmarks *)
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun options ->
+          let r = Flow.run ~style:(Flow.Testable options) inst.B.dfg inst.B.massign
+              ~policy:inst.B.policy in
+          check Alcotest.int (inst.B.tag ^ " registers")
+            (Bistpath_dfg.Lifetime.min_registers ~policy:inst.B.policy inst.B.dfg)
+            r.Flow.registers)
+        [
+          Testable_alloc.default_options;
+          { Testable_alloc.default_options with sd_ordering = false };
+          { Testable_alloc.default_options with case_preferences = false };
+          { Testable_alloc.default_options with cbilbo_avoidance = false };
+        ])
+    (B.table1 ())
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    case "Table I shape regression" table1_regression;
+    case "Table II ex1 exact regression" table2_regression;
+    case "Table III shape regression" table3_regression;
+    case "flows deterministic" determinism;
+    case "single-function module assignment" module_assign_single_function;
+    case "ALU packing" module_assign_alu_pack;
+    case "merge case classification" merge_case_classification;
+    case "merge case descriptions" merge_case_descriptions;
+    case "ablations keep minimum registers" ablation_never_beats_minimum_registers;
+  ]
+  @ qcheck [ prop_module_assigners_valid; prop_alu_pack_width ]

@@ -1,0 +1,250 @@
+(* Tests for Bistpath_graphs: undirected graphs, chordal machinery,
+   coloring, clique partitioning. Property tests use random interval
+   graphs (always chordal, perfect) as the generator. *)
+
+module Ugraph = Bistpath_graphs.Ugraph
+module Chordal = Bistpath_graphs.Chordal
+module Coloring = Bistpath_graphs.Coloring
+module Interval = Bistpath_graphs.Interval
+module Clique_partition = Bistpath_graphs.Clique_partition
+module Prng = Bistpath_util.Prng
+module Listx = Bistpath_util.Listx
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let c4 = Ugraph.of_edges [ (0, 1); (1, 2); (2, 3); (3, 0) ] (* chordless cycle *)
+
+let triangle = Ugraph.of_edges [ (0, 1); (1, 2); (0, 2) ]
+
+let path3 = Ugraph.of_edges [ (0, 1); (1, 2) ]
+
+let random_interval_graph seed n =
+  let rng = Prng.create seed in
+  Interval.graph (Interval.random rng ~n ~horizon:(max 2 (n / 2)))
+
+(* --- Ugraph ------------------------------------------------------- *)
+
+let ugraph_basics () =
+  let g = Ugraph.of_edges ~vertices:[ 7 ] [ (1, 2); (2, 3) ] in
+  check (Alcotest.list Alcotest.int) "vertices sorted" [ 1; 2; 3; 7 ] (Ugraph.vertices g);
+  check Alcotest.int "edges" 2 (Ugraph.num_edges g);
+  check Alcotest.bool "mem_edge symmetric" true
+    (Ugraph.mem_edge g 1 2 && Ugraph.mem_edge g 2 1);
+  check Alcotest.bool "no edge" false (Ugraph.mem_edge g 1 3);
+  check Alcotest.int "degree" 2 (Ugraph.degree g 2);
+  check Alcotest.int "isolated degree" 0 (Ugraph.degree g 7)
+
+let ugraph_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Ugraph.add_edge: self-loop")
+    (fun () -> ignore (Ugraph.add_edge Ugraph.empty 1 1))
+
+let ugraph_remove () =
+  let g = Ugraph.remove_vertex triangle 0 in
+  check (Alcotest.list Alcotest.int) "vertices" [ 1; 2 ] (Ugraph.vertices g);
+  check Alcotest.int "edges" 1 (Ugraph.num_edges g)
+
+let ugraph_induced () =
+  let g = Ugraph.induced triangle (Ugraph.Iset.of_list [ 0; 1 ]) in
+  check Alcotest.int "edges" 1 (Ugraph.num_edges g);
+  check Alcotest.int "vertices" 2 (Ugraph.num_vertices g)
+
+let ugraph_complement () =
+  let g = Ugraph.complement path3 in
+  check Alcotest.bool "0-2 present" true (Ugraph.mem_edge g 0 2);
+  check Alcotest.bool "0-1 absent" false (Ugraph.mem_edge g 0 1);
+  check Alcotest.int "edges" 1 (Ugraph.num_edges g)
+
+let ugraph_clique_tests () =
+  check Alcotest.bool "triangle is clique" true
+    (Ugraph.is_clique triangle (Ugraph.Iset.of_list [ 0; 1; 2 ]));
+  check Alcotest.bool "path not clique" false
+    (Ugraph.is_clique path3 (Ugraph.Iset.of_list [ 0; 1; 2 ]));
+  check Alcotest.bool "middle of path not simplicial" false (Ugraph.is_simplicial path3 1);
+  check Alcotest.bool "end of path simplicial" true (Ugraph.is_simplicial path3 0)
+
+(* --- Chordal ------------------------------------------------------ *)
+
+let chordality_known () =
+  check Alcotest.bool "triangle chordal" true (Chordal.is_chordal triangle);
+  check Alcotest.bool "path chordal" true (Chordal.is_chordal path3);
+  check Alcotest.bool "C4 not chordal" false (Chordal.is_chordal c4);
+  check Alcotest.bool "empty chordal" true (Chordal.is_chordal Ugraph.empty)
+
+let is_peo_checks () =
+  check Alcotest.bool "valid peo of path" true (Chordal.is_peo path3 [ 0; 1; 2 ]);
+  check Alcotest.bool "invalid order" false (Chordal.is_peo path3 [ 1; 0; 2 ]);
+  check Alcotest.bool "missing vertex" false (Chordal.is_peo path3 [ 0; 1 ])
+
+let peo_preference_respected () =
+  (* path 0-1-2: both 0 and 2 simplicial; preference by descending id
+     should eliminate 2 first. *)
+  let peo = Chordal.peo_with_preference path3 ~prefer:(fun u v -> compare v u) in
+  check (Alcotest.list Alcotest.int) "highest id first" [ 2; 1; 0 ] peo
+
+let peo_nonchordal_fails () =
+  Alcotest.check_raises "C4 has no simplicial vertex"
+    (Failure "Chordal.peo_with_preference: graph is not chordal") (fun () ->
+      ignore (Chordal.peo_with_preference c4 ~prefer:compare))
+
+let maximal_cliques_triangle () =
+  let cliques = Chordal.maximal_cliques triangle in
+  check Alcotest.int "one clique" 1 (List.length cliques);
+  check Alcotest.int "size 3" 3 (Ugraph.Iset.cardinal (List.hd cliques))
+
+let maximal_cliques_path () =
+  let cliques = Chordal.maximal_cliques path3 in
+  check Alcotest.int "two cliques" 2 (List.length cliques)
+
+let mcs_per_vertex () =
+  let g = Ugraph.of_edges [ (0, 1); (1, 2); (0, 2); (2, 3) ] in
+  let mcs = Chordal.max_clique_size_per_vertex g in
+  check (Alcotest.option Alcotest.int) "triangle member" (Some 3) (List.assoc_opt 0 mcs);
+  check (Alcotest.option Alcotest.int) "pendant" (Some 2) (List.assoc_opt 3 mcs)
+
+let clique_number_known () =
+  check Alcotest.int "triangle" 3 (Chordal.clique_number triangle);
+  check Alcotest.int "path" 2 (Chordal.clique_number path3);
+  check Alcotest.int "empty" 0 (Chordal.clique_number Ugraph.empty)
+
+(* Properties over random interval graphs. *)
+
+let prop_interval_chordal =
+  QCheck.Test.make ~name:"interval graphs are chordal" ~count:100
+    QCheck.(pair (int_bound 1000) (int_range 1 25))
+    (fun (seed, n) -> Chordal.is_chordal (random_interval_graph seed n))
+
+let prop_mcs_order_is_reverse_peo =
+  QCheck.Test.make ~name:"reversed MCS order is a PEO on interval graphs" ~count:100
+    QCheck.(pair (int_bound 1000) (int_range 1 25))
+    (fun (seed, n) ->
+      let g = random_interval_graph seed n in
+      Chordal.is_peo g (List.rev (Chordal.mcs_order g)))
+
+let prop_peo_preference_valid =
+  QCheck.Test.make ~name:"preference-driven PVES is a valid PEO" ~count:100
+    QCheck.(pair (int_bound 1000) (int_range 1 25))
+    (fun (seed, n) ->
+      let g = random_interval_graph seed n in
+      Chordal.is_peo g (Chordal.peo_with_preference g ~prefer:compare))
+
+let prop_cliques_are_maximal_cliques =
+  QCheck.Test.make ~name:"maximal_cliques returns maximal cliques" ~count:60
+    QCheck.(pair (int_bound 1000) (int_range 1 15))
+    (fun (seed, n) ->
+      let g = random_interval_graph seed n in
+      let cliques = Chordal.maximal_cliques g in
+      List.for_all
+        (fun c ->
+          Ugraph.is_clique g c
+          && List.for_all
+               (fun v ->
+                 Ugraph.Iset.mem v c
+                 || not
+                      (Ugraph.Iset.for_all (fun u -> Ugraph.mem_edge g u v) c))
+               (Ugraph.vertices g))
+        cliques)
+
+let prop_every_vertex_in_some_clique =
+  QCheck.Test.make ~name:"every vertex appears in a maximal clique" ~count:60
+    QCheck.(pair (int_bound 1000) (int_range 1 15))
+    (fun (seed, n) ->
+      let g = random_interval_graph seed n in
+      let cliques = Chordal.maximal_cliques g in
+      List.for_all
+        (fun v -> List.exists (fun c -> Ugraph.Iset.mem v c) cliques)
+        (Ugraph.vertices g))
+
+(* --- Coloring ----------------------------------------------------- *)
+
+let prop_first_fit_proper =
+  QCheck.Test.make ~name:"first-fit coloring is proper" ~count:100
+    QCheck.(pair (int_bound 1000) (int_range 1 25))
+    (fun (seed, n) ->
+      let g = random_interval_graph seed n in
+      Coloring.is_proper g (Coloring.first_fit g (Ugraph.vertices g)))
+
+let prop_reverse_peo_coloring_minimum =
+  QCheck.Test.make ~name:"reverse-PEO first-fit is a minimum coloring" ~count:100
+    QCheck.(pair (int_bound 1000) (int_range 1 20))
+    (fun (seed, n) ->
+      let g = random_interval_graph seed n in
+      let order = List.rev (Chordal.peo_with_preference g ~prefer:compare) in
+      let coloring = Coloring.first_fit g order in
+      Coloring.is_proper g coloring
+      && Coloring.num_colors coloring = Chordal.clique_number g)
+
+let count_colorings_known () =
+  (* path 0-1-2 with 2 colors: 0 and 2 must share, 1 differs: 1 partition *)
+  check Alcotest.int "path with 2" 1 (Coloring.count_colorings path3 2);
+  (* triangle needs exactly 3 *)
+  check Alcotest.int "triangle with 2" 0 (Coloring.count_colorings triangle 2);
+  check Alcotest.int "triangle with 3" 1 (Coloring.count_colorings triangle 3);
+  (* 3 isolated vertices into exactly 2 blocks: S(3,2) = 3 *)
+  let iso = Ugraph.of_edges ~vertices:[ 0; 1; 2 ] [] in
+  check Alcotest.int "stirling(3,2)" 3 (Coloring.count_colorings iso 2)
+
+let chromatic_exact_known () =
+  check Alcotest.int "triangle" 3 (Coloring.chromatic_number_exact triangle);
+  check Alcotest.int "C4" 2 (Coloring.chromatic_number_exact c4);
+  check Alcotest.int "path" 2 (Coloring.chromatic_number_exact path3)
+
+let classes_roundtrip () =
+  let coloring = [ (0, 1); (1, 0); (2, 1) ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.list Alcotest.int)))
+    "classes" [ (0, [ 1 ]); (1, [ 0; 2 ]) ] (Coloring.classes coloring)
+
+(* --- Clique partition --------------------------------------------- *)
+
+let prop_greedy_partition_valid =
+  QCheck.Test.make ~name:"greedy clique partition is a partition into cliques"
+    ~count:100
+    QCheck.(pair (int_bound 1000) (int_range 1 18))
+    (fun (seed, n) ->
+      let g = random_interval_graph seed n in
+      Clique_partition.is_partition g (Clique_partition.greedy g))
+
+let prop_exact_min_not_worse =
+  QCheck.Test.make ~name:"exact clique partition <= greedy" ~count:40
+    QCheck.(pair (int_bound 1000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = random_interval_graph seed n in
+      let exact = Clique_partition.exact_min g in
+      Clique_partition.is_partition g exact
+      && List.length exact <= List.length (Clique_partition.greedy g))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    case "ugraph basics" ugraph_basics;
+    case "ugraph self loop rejected" ugraph_self_loop;
+    case "ugraph remove vertex" ugraph_remove;
+    case "ugraph induced" ugraph_induced;
+    case "ugraph complement" ugraph_complement;
+    case "cliques and simplicial" ugraph_clique_tests;
+    case "chordality of known graphs" chordality_known;
+    case "is_peo checks" is_peo_checks;
+    case "peo preference respected" peo_preference_respected;
+    case "peo fails on non-chordal" peo_nonchordal_fails;
+    case "maximal cliques of triangle" maximal_cliques_triangle;
+    case "maximal cliques of path" maximal_cliques_path;
+    case "mcs per vertex" mcs_per_vertex;
+    case "clique numbers" clique_number_known;
+    case "count_colorings known values" count_colorings_known;
+    case "chromatic_number_exact known" chromatic_exact_known;
+    case "coloring classes" classes_roundtrip;
+  ]
+  @ qcheck
+      [
+        prop_interval_chordal;
+        prop_mcs_order_is_reverse_peo;
+        prop_peo_preference_valid;
+        prop_cliques_are_maximal_cliques;
+        prop_every_vertex_in_some_clique;
+        prop_first_fit_proper;
+        prop_reverse_peo_coloring_minimum;
+        prop_greedy_partition_valid;
+        prop_exact_min_not_worse;
+      ]

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "bistpath"
+    [
+      ("util", Test_util.suite);
+      ("graphs", Test_graphs.suite);
+      ("dfg", Test_dfg.suite);
+      ("lifetime", Test_lifetime.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("frontend", Test_frontend.suite);
+      ("fds", Test_fds.suite);
+      ("sharing", Test_sharing.suite);
+      ("cbilbo", Test_cbilbo.suite);
+      ("alloc", Test_alloc.suite);
+      ("datapath", Test_datapath.suite);
+      ("interconnect", Test_interconnect.suite);
+      ("bist", Test_bist.suite);
+      ("gatelevel", Test_gatelevel.suite);
+      ("rtl", Test_rtl.suite);
+      ("flow", Test_flow.suite);
+      ("interp", Test_interp.suite);
+      ("transparency", Test_transparency.suite);
+      ("pareto", Test_pareto.suite);
+      ("injection", Test_injection.suite);
+      ("timing-vcd", Test_timing_vcd.suite);
+      ("partial-scan", Test_partial_scan.suite);
+      ("rtl-sim", Test_rtl_sim.suite);
+      ("atpg", Test_atpg.suite);
+      ("report", Test_report.suite);
+    ]

@@ -1,0 +1,149 @@
+(* Tests for the partial-scan baseline: S-graph construction, exact
+   minimum feedback vertex sets, overhead comparison. *)
+
+module Op = Bistpath_dfg.Op
+module Dfg = Bistpath_dfg.Dfg
+module Massign = Bistpath_dfg.Massign
+module Policy = Bistpath_dfg.Policy
+module B = Bistpath_benchmarks.Benchmarks
+module Regalloc = Bistpath_datapath.Regalloc
+module Datapath = Bistpath_datapath.Datapath
+module Flow = Bistpath_core.Flow
+module PS = Bistpath_core.Partial_scan
+module Prng = Bistpath_util.Prng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let run_flow inst =
+  Flow.run ~style:(Flow.Testable Bistpath_core.Testable_alloc.default_options)
+    inst.B.dfg inst.B.massign ~policy:inst.B.policy
+
+(* An independent cycle checker for validating MFVS results. *)
+let acyclic_without edges removed =
+  let adj = Hashtbl.create 16 in
+  let vertices = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+  List.iter
+    (fun (a, b) ->
+      if (not (List.mem a removed)) && not (List.mem b removed) then
+        Hashtbl.replace adj a (b :: (match Hashtbl.find_opt adj a with Some l -> l | None -> [])))
+    edges;
+  let state = Hashtbl.create 16 in
+  let exception Cycle in
+  let rec dfs v =
+    match Hashtbl.find_opt state v with
+    | Some 0 -> raise Cycle
+    | Some _ -> ()
+    | None ->
+      Hashtbl.replace state v 0;
+      List.iter dfs (match Hashtbl.find_opt adj v with Some l -> l | None -> []);
+      Hashtbl.replace state v 1
+  in
+  try
+    List.iter (fun v -> if not (List.mem v removed) then dfs v) vertices;
+    true
+  with Cycle -> false
+
+let s_graph_of_chain () =
+  (* u = a+b (ADD), v = u*c (MUL): register of u sits between ADD and
+     MUL; with self-loop-free allocation the S-graph is acyclic *)
+  let ops =
+    [
+      { Op.id = "+1"; kind = Op.Add; left = "a"; right = "b"; out = "u" };
+      { Op.id = "*1"; kind = Op.Mul; left = "u"; right = "c"; out = "v" };
+    ]
+  in
+  let dfg =
+    Dfg.make ~name:"chain" ~ops ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "v" ]
+      ~schedule:[ ("+1", 1); ("*1", 2) ]
+  in
+  let massign =
+    Massign.make dfg
+      ~units:[ { mid = "ADD"; kinds = [ Op.Add ] }; { mid = "MUL"; kinds = [ Op.Mul ] } ]
+      ~bind:[ ("+1", "ADD"); ("*1", "MUL") ]
+  in
+  let ra =
+    Regalloc.make
+      [ ("Ra", [ "a" ]); ("Rb", [ "b" ]); ("Rc", [ "c" ]); ("Ru", [ "u" ]); ("Rv", [ "v" ]) ]
+  in
+  let dp = Datapath.build dfg massign ra ~policy:Policy.default ~swap:(fun _ -> false) in
+  let edges = PS.s_graph dp in
+  check Alcotest.bool "Ra -> Ru through ADD" true (List.mem ("Ra", "Ru") edges);
+  check Alcotest.bool "Ru -> Rv through MUL" true (List.mem ("Ru", "Rv") edges);
+  check (Alcotest.list Alcotest.string) "acyclic: nothing to scan" [] (PS.mfvs dp);
+  check (Alcotest.float 1e-9) "no overhead" 0.0 (PS.overhead_percent dp)
+
+let self_loop_forces_scan () =
+  (* u = a+b; v = u+c on the same adder, u's register feeds and receives
+     the adder -> self-loop -> that register must be scanned *)
+  let ops =
+    [
+      { Op.id = "+1"; kind = Op.Add; left = "a"; right = "b"; out = "u" };
+      { Op.id = "+2"; kind = Op.Add; left = "u"; right = "c"; out = "v" };
+    ]
+  in
+  let dfg =
+    Dfg.make ~name:"sl" ~ops ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "v" ]
+      ~schedule:[ ("+1", 1); ("+2", 2) ]
+  in
+  let massign =
+    Massign.make dfg
+      ~units:[ { mid = "ADD"; kinds = [ Op.Add ] } ]
+      ~bind:[ ("+1", "ADD"); ("+2", "ADD") ]
+  in
+  let ra =
+    Regalloc.make
+      [ ("Ra", [ "a" ]); ("Rb", [ "b" ]); ("Rc", [ "c" ]); ("Ru", [ "u" ]); ("Rv", [ "v" ]) ]
+  in
+  let dp = Datapath.build dfg massign ra ~policy:Policy.default ~swap:(fun _ -> false) in
+  check Alcotest.bool "self loop present" true (List.mem ("Ru", "Ru") (PS.s_graph dp));
+  check (Alcotest.list Alcotest.string) "Ru scanned" [ "Ru" ] (PS.mfvs dp);
+  check Alcotest.bool "positive overhead" true (PS.overhead_percent dp > 0.0)
+
+let mfvs_breaks_all_cycles () =
+  List.iter
+    (fun tag ->
+      let inst = Option.get (B.by_tag tag) in
+      let dp = (run_flow inst).Flow.datapath in
+      let edges = PS.s_graph dp in
+      let scan = PS.mfvs dp in
+      check Alcotest.bool (tag ^ ": acyclic after scan") true (acyclic_without edges scan);
+      (* local minimality: every scanned register is necessary *)
+      List.iter
+        (fun r ->
+          check Alcotest.bool
+            (tag ^ ": " ^ r ^ " necessary")
+            false
+            (acyclic_without edges (List.filter (fun x -> x <> r) scan)))
+        scan)
+    [ "ex1"; "ex2"; "Tseng1"; "Paulin"; "iir" ]
+
+let scan_cheaper_than_bist_on_paper_benchmarks () =
+  (* the classical trade: partial scan wins on area (it loses on test
+     application time and self-test capability, which we don't price) *)
+  List.iter
+    (fun inst ->
+      let r = run_flow inst in
+      check Alcotest.bool (inst.B.tag ^ " scan cheaper") true
+        (PS.overhead_percent r.Flow.datapath <= r.Flow.overhead_percent))
+    (B.table1 ())
+
+let prop_mfvs_valid_random =
+  QCheck.Test.make ~name:"MFVS breaks all cycles on random designs" ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let inst = B.random rng ~ops:10 ~inputs:4 in
+      let dp = (run_flow inst).Flow.datapath in
+      acyclic_without (PS.s_graph dp) (PS.mfvs dp))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    case "s-graph of a chain" s_graph_of_chain;
+    case "self loop forces scan" self_loop_forces_scan;
+    case "mfvs breaks all cycles, minimally" mfvs_breaks_all_cycles;
+    case "scan cheaper than BIST (area only)" scan_cheaper_than_bist_on_paper_benchmarks;
+  ]
+  @ qcheck [ prop_mfvs_valid_random ]

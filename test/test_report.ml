@@ -1,0 +1,136 @@
+(* Tests for the experiment drivers that regenerate the paper's tables
+   and figures. *)
+
+module Report = Bistpath_report.Report
+module B = Bistpath_benchmarks.Benchmarks
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let lines s = String.split_on_char '\n' s
+
+let table1_mentions_all_rows () =
+  let t = Report.table1 () in
+  List.iter
+    (fun tag -> check Alcotest.bool tag true (contains t tag))
+    [ "ex1"; "ex2"; "Tseng1"; "Tseng2"; "Paulin" ];
+  check Alcotest.bool "reduction column" true (contains t "%Reduction")
+
+let table2_mentions_styles () =
+  let t = Report.table2 () in
+  check Alcotest.bool "has CBILBO" true (contains t "CBILBO");
+  check Alcotest.bool "has TPG" true (contains t "TPG")
+
+let table3_rows () =
+  let t = Report.table3 () in
+  List.iter
+    (fun s -> check Alcotest.bool s true (contains t s))
+    [ "RALLOC-like"; "SYNTEST-like"; "Ours"; "#CBILBO" ]
+
+let fig2_is_dfg () =
+  let f = Report.fig2 () in
+  check Alcotest.bool "names the dfg" true (contains f "DFG ex1");
+  check Alcotest.bool "three steps" true (contains f "step 3")
+
+let fig4_walkthrough () =
+  let f = Report.fig4 () in
+  check Alcotest.bool "SD annotations" true (contains f "SD=");
+  check Alcotest.bool "MCS annotations" true (contains f "MCS=");
+  check Alcotest.bool "coloring order" true (contains f "reverse PVES");
+  (* the paper's final assignment is printed *)
+  check Alcotest.bool "final classes" true (contains f "{b,d,g,h}")
+
+let fig5_two_datapaths () =
+  let f = Report.fig5 () in
+  check Alcotest.bool "(a) testable" true (contains f "(a) testable");
+  check Alcotest.bool "(b) traditional" true (contains f "(b) traditional");
+  check Alcotest.bool "solutions shown" true (contains f "delta gates")
+
+let fig1_3_ipaths () =
+  let f = Report.fig1_3 () in
+  check Alcotest.bool "arrowed paths" true (contains f "->");
+  check Alcotest.bool "left ports" true (contains f ".L")
+
+let fig6_all_cases_measured () =
+  let f = Report.fig6 () in
+  (* all five scenarios classified as their intended case *)
+  List.iter
+    (fun n ->
+      check Alcotest.bool (Printf.sprintf "case %d present" n) true
+        (List.exists
+           (fun line ->
+             contains line (Printf.sprintf "|    %d |" n))
+           (lines f)))
+    [ 1; 2; 3; 4; 5 ];
+  (* case 2's merge creates a self-adjacent register *)
+  check Alcotest.bool "case 2 self-adjacency" true
+    (List.exists
+       (fun line -> contains line "|    2 |" && contains line "R")
+       (lines f))
+
+let fig6_matches_estimates () =
+  let f = Report.fig6 () in
+  (* the measured deltas equal Merge_cases.mux_delta_estimate: +1 0 0 0 -1 *)
+  List.iter
+    (fun (n, delta) ->
+      check Alcotest.bool
+        (Printf.sprintf "case %d delta %s" n delta)
+        true
+        (List.exists
+           (fun line -> contains line (Printf.sprintf "|    %d |" n) && contains line delta)
+           (lines f)))
+    [ (1, "+1"); (2, "+1"); (3, "+0"); (4, "+0"); (5, "-1") ]
+
+let ablation_has_all_benchmarks () =
+  let a = Report.ablation () in
+  List.iter
+    (fun tag -> check Alcotest.bool tag true (contains a tag))
+    [ "ex1"; "ex2"; "Tseng1"; "Tseng2"; "Paulin"; "fir8"; "iir"; "ewf" ];
+  check Alcotest.bool "columns" true (contains a "no SD order")
+
+let compare_instance_consistent () =
+  let c = Report.compare_instance (B.ex1 ()) in
+  check Alcotest.string "tag" "ex1" c.Report.instance.B.tag;
+  check Alcotest.int "same registers" c.Report.traditional.Bistpath_core.Flow.registers
+    c.Report.testable.Bistpath_core.Flow.registers
+
+let scan_vs_bist_section () =
+  let t = Report.scan_vs_bist () in
+  List.iter
+    (fun tag -> check Alcotest.bool tag true (contains t tag))
+    [ "ex1"; "Paulin"; "ewf"; "dct4" ];
+  check Alcotest.bool "mentions MFVS" true (contains t "MFVS")
+
+let width_sweep_section () =
+  let t = Report.width_sweep () in
+  List.iter
+    (fun col -> check Alcotest.bool col true (contains t col))
+    [ "red% @4b"; "red% @32b"; "Paulin" ]
+
+let pareto_section () =
+  let t = Report.pareto () in
+  check Alcotest.bool "gates/sessions pairs" true (contains t "gates / ");
+  check Alcotest.bool "covers Tseng2" true (contains t "Tseng2")
+
+let suite =
+  [
+    case "scan vs bist section" scan_vs_bist_section;
+    case "width sweep section" width_sweep_section;
+    case "pareto section" pareto_section;
+    case "table1 mentions all rows" table1_mentions_all_rows;
+    case "table2 mentions styles" table2_mentions_styles;
+    case "table3 rows" table3_rows;
+    case "fig2 prints the DFG" fig2_is_dfg;
+    case "fig4 walkthrough" fig4_walkthrough;
+    case "fig5 two datapaths" fig5_two_datapaths;
+    case "fig1/3 I-paths" fig1_3_ipaths;
+    case "fig6 all five cases" fig6_all_cases_measured;
+    case "fig6 deltas match estimates" fig6_matches_estimates;
+    case "ablation covers all benchmarks" ablation_has_all_benchmarks;
+    case "compare_instance consistent" compare_instance_consistent;
+  ]

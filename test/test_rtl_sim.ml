@@ -1,0 +1,150 @@
+(* Tests for the bit-exact RTL test-mode simulation and the golden-baked
+   self-test wrapper. *)
+
+module Op = Bistpath_dfg.Op
+module B = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Verilog = Bistpath_rtl.Verilog
+module Rtl_sim = Bistpath_rtl.Rtl_sim
+module Bist_wrapper = Bistpath_rtl.Bist_wrapper
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let run_flow tag =
+  let inst = Option.get (B.by_tag tag) in
+  Flow.run ~style:(Flow.Testable Bistpath_core.Testable_alloc.default_options)
+    inst.B.dfg inst.B.massign ~policy:inst.B.policy
+
+let seeds_distinct_and_nonzero () =
+  let names = [ "R1"; "R2"; "R3"; "IN_x"; "IN_dx" ] in
+  let seeds = List.map (Verilog.test_seed ~width:8) names in
+  List.iter (fun s -> check Alcotest.bool "non-zero" true (s <> 0 && s < 256)) seeds;
+  check Alcotest.bool "not all equal" true
+    (List.length (List.sort_uniq compare seeds) > 1)
+
+let goldens_deterministic () =
+  let r = run_flow "ex1" in
+  let g1 = Rtl_sim.golden_signatures r.Flow.datapath r.Flow.bist r.Flow.sessions in
+  let g2 = Rtl_sim.golden_signatures r.Flow.datapath r.Flow.bist r.Flow.sessions in
+  check Alcotest.bool "stable" true (g1 = g2);
+  check Alcotest.bool "one golden per session (shared SA)" true (List.length g1 >= 2);
+  (* healthy signatures: none of them zero (an all-zero signature would
+     indicate the degenerate x-x=0 pattern correlation this layer is
+     designed to avoid) *)
+  List.iter
+    (fun (g : Rtl_sim.golden) ->
+      check Alcotest.bool "non-zero signature" true (g.Rtl_sim.signature <> 0))
+    g1
+
+let goldens_differ_across_sessions () =
+  let r = run_flow "ex1" in
+  let gs = Rtl_sim.golden_signatures r.Flow.datapath r.Flow.bist r.Flow.sessions in
+  let values = List.map (fun (g : Rtl_sim.golden) -> g.Rtl_sim.signature) gs in
+  check Alcotest.bool "sessions produce different signatures" true
+    (List.length (List.sort_uniq compare values) > 1)
+
+let wrong_function_detected () =
+  List.iter
+    (fun (tag, mid) ->
+      let r = run_flow tag in
+      check Alcotest.bool (tag ^ " wrong op caught") true
+        (Rtl_sim.detects_fault r.Flow.datapath r.Flow.bist r.Flow.sessions ~mid
+           ~fault:(fun ~width x y -> Op.eval Op.Sub ~width x y)))
+    [ ("ex1", "M1"); ("Paulin", "ADD"); ("Paulin", "MUL1") ]
+
+let stuck_output_bit_detected () =
+  let r = run_flow "ex1" in
+  check Alcotest.bool "stuck bit caught" true
+    (Rtl_sim.detects_fault r.Flow.datapath r.Flow.bist r.Flow.sessions ~mid:"M1"
+       ~fault:(fun ~width x y -> Op.eval Op.Add ~width x y land 0xFE))
+
+let full_period_constant_aliasing () =
+  (* Theorem made test: XORing a constant error into a MISR for exactly
+     one full period of the (invertible) state map telescopes to zero —
+     the fault aliases at 255 patterns and is caught at 254. *)
+  let r = run_flow "ex1" in
+  let fault ~width x y = Op.eval Op.Add ~width x y lxor 1 in
+  check Alcotest.bool "caught one cycle short of the period" true
+    (Rtl_sim.detects_fault ~patterns:254 r.Flow.datapath r.Flow.bist r.Flow.sessions
+       ~mid:"M1" ~fault);
+  check Alcotest.bool "aliases at exactly the full period" false
+    (Rtl_sim.detects_fault ~patterns:255 r.Flow.datapath r.Flow.bist r.Flow.sessions
+       ~mid:"M1" ~fault)
+
+let wrapper_bakes_goldens () =
+  let r = run_flow "ex1" in
+  let golden = Rtl_sim.golden_signatures r.Flow.datapath r.Flow.bist r.Flow.sessions in
+  let w = Bist_wrapper.emit ~golden r.Flow.datapath r.Flow.bist r.Flow.sessions in
+  List.iter
+    (fun (g : Rtl_sim.golden) ->
+      check Alcotest.bool "baked value" true
+        (contains w
+           (Printf.sprintf "GOLDEN_S%d_%s = 8'd%d" g.Rtl_sim.session g.Rtl_sim.rid
+              g.Rtl_sim.signature)))
+    golden;
+  check Alcotest.bool "bit-exact note" true (contains w "bit-exact RTL model");
+  check Alcotest.bool "drives session port" true (contains w ".test_session(session)")
+
+let datapath_emits_session_overrides () =
+  let r = run_flow "ex1" in
+  let v = Verilog.emit ~bist:r.Flow.bist ~sessions:r.Flow.sessions r.Flow.datapath in
+  check Alcotest.bool "session port" true (contains v "input  wire [1:0] test_session");
+  check Alcotest.bool "test override in selects" true
+    (contains v "(test_mode && test_session ==");
+  (* without sessions there is no session port *)
+  let plain = Verilog.emit ~bist:r.Flow.bist r.Flow.datapath in
+  check Alcotest.bool "no session port without sessions" false
+    (contains plain "test_session")
+
+let transparent_embeddings_rejected () =
+  let inst = Option.get (B.by_tag "Paulin") in
+  let r =
+    Flow.run ~transparency:true
+      ~style:(Flow.Testable Bistpath_core.Testable_alloc.default_options) inst.B.dfg
+      inst.B.massign ~policy:inst.B.policy
+  in
+  let uses_via =
+    List.exists
+      (fun (e : Bistpath_ipath.Ipath.embedding) ->
+        e.Bistpath_ipath.Ipath.l_via <> None || e.Bistpath_ipath.Ipath.r_via <> None)
+      r.Flow.bist.Bistpath_bist.Allocator.embeddings
+  in
+  if uses_via then
+    match Rtl_sim.golden_signatures r.Flow.datapath r.Flow.bist r.Flow.sessions with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "via embedding accepted by Rtl_sim"
+
+let goldens_across_widths () =
+  let r = run_flow "Paulin" in
+  List.iter
+    (fun width ->
+      let gs =
+        Rtl_sim.golden_signatures ~width r.Flow.datapath r.Flow.bist r.Flow.sessions
+      in
+      check Alcotest.bool (Printf.sprintf "width %d goldens" width) true
+        (gs <> []
+        && List.for_all
+             (fun (g : Rtl_sim.golden) ->
+               g.Rtl_sim.signature >= 0 && g.Rtl_sim.signature < 1 lsl width)
+             gs))
+    [ 4; 8; 16 ]
+
+let suite =
+  [
+    case "goldens across widths" goldens_across_widths;
+    case "seeds distinct and nonzero" seeds_distinct_and_nonzero;
+    case "goldens deterministic and healthy" goldens_deterministic;
+    case "goldens differ across sessions" goldens_differ_across_sessions;
+    case "wrong function detected" wrong_function_detected;
+    case "stuck output bit detected" stuck_output_bit_detected;
+    case "full-period constant aliasing (theorem)" full_period_constant_aliasing;
+    case "wrapper bakes goldens" wrapper_bakes_goldens;
+    case "datapath session overrides" datapath_emits_session_overrides;
+    case "transparent embeddings rejected" transparent_embeddings_rejected;
+  ]
