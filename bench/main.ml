@@ -8,6 +8,7 @@ module Flow = Bistpath_core.Flow
 module Testable_alloc = Bistpath_core.Testable_alloc
 module Report = Bistpath_report.Report
 module Bist_sim = Bistpath_gatelevel.Bist_sim
+module Telemetry = Bistpath_telemetry.Telemetry
 
 let section title body =
   Printf.printf "\n================================================================\n";
@@ -51,6 +52,49 @@ let run_reports () =
   section "Module-library testability: SCOAP + PODEM (ours)" (Report.testability ());
   section "Gate-level BIST coverage (ours; paper asserts high coverage)"
     (coverage_section ())
+
+(* --- per-stage telemetry ------------------------------------------ *)
+
+(* One recorded flow per benchmark: print the span tree and dump every
+   span as one JSON record so the repo's perf trajectory has
+   machine-readable data points. *)
+let telemetry_tags = [ "ex1"; "ex2"; "Tseng1"; "Paulin"; "ewf" ]
+
+let telemetry_section () =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "Per-stage telemetry (spans, counters; one flow per benchmark)\n";
+  Printf.printf "================================================================\n\n";
+  let records = Buffer.create 1024 in
+  List.iter
+    (fun tag ->
+      match B.by_tag tag with
+      | None -> ()
+      | Some inst ->
+        let _, r =
+          Telemetry.collect (fun () ->
+              Flow.run ~style:(Flow.Testable Testable_alloc.default_options)
+                inst.B.dfg inst.B.massign ~policy:inst.B.policy)
+        in
+        Printf.printf "%s:\n%s\n" tag (Telemetry.summary_table r);
+        List.iter
+          (fun (s : Telemetry.span) ->
+            if Buffer.length records > 0 then Buffer.add_string records ",\n";
+            Buffer.add_string records
+              (Printf.sprintf
+                 "{\"bench\":\"%s\",\"stage\":\"%s\",\"ns\":%Ld,\"counters\":{%s}}"
+                 (Telemetry.json_escape tag)
+                 (Telemetry.json_escape s.Telemetry.name)
+                 s.Telemetry.dur_ns
+                 (String.concat ","
+                    (List.map
+                       (fun (k, v) ->
+                         Printf.sprintf "\"%s\":%d" (Telemetry.json_escape k) v)
+                       s.Telemetry.counters))))
+          (Telemetry.spans r))
+    telemetry_tags;
+  Telemetry.write_file "BENCH_telemetry.json"
+    ("[\n" ^ Buffer.contents records ^ "\n]\n");
+  print_endline "(wrote BENCH_telemetry.json)"
 
 (* --- Bechamel timing benches ------------------------------------- *)
 
@@ -155,6 +199,7 @@ let benchmark () =
 
 let () =
   run_reports ();
+  telemetry_section ();
   match Sys.getenv_opt "BISTPATH_SKIP_TIMING" with
   | Some _ -> print_endline "\n(timing skipped: BISTPATH_SKIP_TIMING set)"
   | None -> benchmark ()

@@ -11,6 +11,10 @@ module Report = Bistpath_report.Report
 module Verilog = Bistpath_rtl.Verilog
 module Dot = Bistpath_rtl.Dot
 module Bist_sim = Bistpath_gatelevel.Bist_sim
+module Podem = Bistpath_gatelevel.Podem
+module Library = Bistpath_gatelevel.Library
+module Massign = Bistpath_dfg.Massign
+module Telemetry = Bistpath_telemetry.Telemetry
 
 open Cmdliner
 
@@ -64,8 +68,45 @@ let or_die = function
     prerr_endline ("synth: " ^ msg);
     exit 1
 
-let run_cmd =
-  let run spec width flow transparency =
+(* --- telemetry flags (available on every subcommand) --------------- *)
+
+let stats_arg =
+  let doc =
+    "Print a per-stage telemetry summary (spans, wall time, counters) to stderr."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file to $(docv) (load it in \
+     chrome://tracing or https://ui.perfetto.dev for a flamegraph)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let telemetry_term =
+  Term.(const (fun stats trace -> (stats, trace)) $ stats_arg $ trace_arg)
+
+(* Telemetry goes to stderr or the named trace file, never stdout: for
+   rtl/dot/vcd/tb/export the primary artifact is the stdout stream and
+   must stay machine-parsable. *)
+let with_telemetry (stats, trace) f =
+  if (not stats) && trace = None then f ()
+  else begin
+    let x, r = Telemetry.collect f in
+    if stats then prerr_string (Telemetry.summary_table r);
+    Option.iter
+      (fun file ->
+        try Telemetry.write_file file (Telemetry.chrome_trace_json r)
+        with Sys_error msg ->
+          Printf.eprintf "synth: cannot write trace file: %s\n" msg;
+          exit 1)
+      trace;
+    x
+  end
+
+let run_term =
+  let run tel spec width flow transparency =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     let style = or_die (style_of_flow flow) in
     let r =
@@ -75,12 +116,17 @@ let run_cmd =
     Format.printf "%a@.@.%a@." Bistpath_dfg.Dfg.pp inst.B.dfg Flow.pp_result r;
     Format.printf "@.test sessions: %a@." Bistpath_bist.Session.pp r.Flow.sessions
   in
+  Term.(
+    const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg
+    $ transparency_arg)
+
+let run_cmd =
   let doc = "Synthesize a data path and report its minimal-area BIST solution." in
-  Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ instance_arg $ width_arg $ flow_arg $ transparency_arg)
+  Cmd.v (Cmd.info "run" ~doc) run_term
 
 let compare_cmd =
-  let run spec width =
+  let run tel spec width =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     let c = Report.compare_instance ~width inst in
     Format.printf "=== traditional ===@.%a@.@.=== testable ===@.%a@.@.reduction: %.2f%%@."
@@ -89,10 +135,12 @@ let compare_cmd =
          ~testable:c.Report.testable)
   in
   let doc = "Run both flows on one DFG and show the BIST overhead reduction." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ instance_arg $ width_arg)
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ telemetry_term $ instance_arg $ width_arg)
 
 let tables_cmd =
-  let run width =
+  let run tel width =
+    with_telemetry tel @@ fun () ->
     print_endline (Report.table1 ~width ());
     print_newline ();
     print_endline (Report.table2 ~width ());
@@ -100,10 +148,11 @@ let tables_cmd =
     print_endline (Report.table3 ~width ())
   in
   let doc = "Reproduce the paper's Tables I, II and III." in
-  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ width_arg)
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ telemetry_term $ width_arg)
 
 let figures_cmd =
-  let run width =
+  let run tel width =
+    with_telemetry tel @@ fun () ->
     List.iter
       (fun s ->
         print_endline s;
@@ -111,12 +160,14 @@ let figures_cmd =
       [ Report.fig2 (); Report.fig4 (); Report.fig5 ~width (); Report.fig1_3 ~width (); Report.fig6 () ]
   in
   let doc = "Reproduce the paper's figures (2, 4, 5, 1/3, 6)." in
-  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ width_arg)
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ telemetry_term $ width_arg)
 
 let ablation_cmd =
-  let run width = print_endline (Report.ablation ~width ()) in
+  let run tel width =
+    with_telemetry tel @@ fun () -> print_endline (Report.ablation ~width ())
+  in
   let doc = "Ablate the testable allocator's ingredients across benchmarks." in
-  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ width_arg)
+  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ telemetry_term $ width_arg)
 
 let rtl_cmd =
   let bist_arg =
@@ -127,7 +178,8 @@ let rtl_cmd =
     let doc = "Also emit the self-test wrapper (implies $(b,--bist))." in
     Arg.(value & flag & info [ "wrapper" ] ~doc)
   in
-  let run spec width flow bist wrapper =
+  let run tel spec width flow bist wrapper =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     let style = or_die (style_of_flow flow) in
     let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
@@ -150,14 +202,17 @@ let rtl_cmd =
   in
   let doc = "Emit structural Verilog for the synthesized data path." in
   Cmd.v (Cmd.info "rtl" ~doc)
-    Term.(const run $ instance_arg $ width_arg $ flow_arg $ bist_arg $ wrapper_arg)
+    Term.(
+      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg $ bist_arg
+      $ wrapper_arg)
 
 let dot_cmd =
   let what_arg =
     let doc = "What to draw: $(b,datapath) (default) or $(b,dfg)." in
     Arg.(value & opt string "datapath" & info [ "what" ] ~docv:"KIND" ~doc)
   in
-  let run spec width flow what =
+  let run tel spec width flow what =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     match what with
     | "dfg" -> print_endline (Dot.of_dfg inst.B.dfg)
@@ -168,14 +223,17 @@ let dot_cmd =
     | s -> or_die (Error (Printf.sprintf "unknown kind %S" s))
   in
   let doc = "Emit Graphviz DOT for a DFG or synthesized data path." in
-  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ instance_arg $ width_arg $ flow_arg $ what_arg)
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(
+      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg $ what_arg)
 
 let coverage_cmd =
   let patterns_arg =
     let doc = "Number of LFSR patterns per test session." in
     Arg.(value & opt int 255 & info [ "patterns" ] ~docv:"N" ~doc)
   in
-  let run spec width flow patterns =
+  let run tel spec width flow patterns =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     let style = or_die (style_of_flow flow) in
     let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
@@ -185,14 +243,17 @@ let coverage_cmd =
   let doc = "Gate-level stuck-at coverage of the chosen BIST configuration." in
   Cmd.v
     (Cmd.info "coverage" ~doc)
-    Term.(const run $ instance_arg $ width_arg $ flow_arg $ patterns_arg)
+    Term.(
+      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg
+      $ patterns_arg)
 
 let vcd_cmd =
   let inputs_arg =
     let doc = "Input values as name=value pairs (defaults to a seeded random vector)." in
     Arg.(value & opt_all string [] & info [ "set" ] ~docv:"VAR=VAL" ~doc)
   in
-  let run spec width flow sets =
+  let run tel spec width flow sets =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     let style = or_die (style_of_flow flow) in
     let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
@@ -221,7 +282,9 @@ let vcd_cmd =
   in
   let doc = "Interpret the data path and dump a VCD waveform (view in GTKWave)." in
   Cmd.v (Cmd.info "vcd" ~doc)
-    Term.(const run $ instance_arg $ width_arg $ flow_arg $ inputs_arg)
+    Term.(
+      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg
+      $ inputs_arg)
 
 let tb_cmd =
   let count_arg =
@@ -232,7 +295,8 @@ let tb_cmd =
     let doc = "PRNG seed for the vectors." in
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
-  let run spec width flow count seed =
+  let run tel spec width flow count seed =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     let style = or_die (style_of_flow flow) in
     let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
@@ -248,10 +312,13 @@ let tb_cmd =
     "Emit a complete compilation unit: primitives, datapath and a self-checking testbench."
   in
   Cmd.v (Cmd.info "tb" ~doc)
-    Term.(const run $ instance_arg $ width_arg $ flow_arg $ count_arg $ seed_arg)
+    Term.(
+      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg
+      $ count_arg $ seed_arg)
 
 let area_cmd =
-  let run spec width flow =
+  let run tel spec width flow =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     let style = or_die (style_of_flow flow) in
     let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
@@ -273,10 +340,12 @@ let area_cmd =
       (String.concat ", " (Bistpath_core.Partial_scan.mfvs r.Flow.datapath))
   in
   let doc = "Area breakdown, timing estimate and DFT cost summary." in
-  Cmd.v (Cmd.info "area" ~doc) Term.(const run $ instance_arg $ width_arg $ flow_arg)
+  Cmd.v (Cmd.info "area" ~doc)
+    Term.(const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg)
 
 let pareto_cmd =
-  let run spec width flow =
+  let run tel spec width flow =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     let style = or_die (style_of_flow flow) in
     let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
@@ -284,14 +353,16 @@ let pareto_cmd =
       (Bistpath_bist.Pareto.explore ~width r.Flow.datapath)
   in
   let doc = "Area vs test-session Pareto front for one design." in
-  Cmd.v (Cmd.info "pareto" ~doc) Term.(const run $ instance_arg $ width_arg $ flow_arg)
+  Cmd.v (Cmd.info "pareto" ~doc)
+    Term.(const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg)
 
 let check_cmd =
   let vectors_arg =
     let doc = "Number of random vectors for the equivalence check." in
     Arg.(value & opt int 25 & info [ "vectors" ] ~docv:"N" ~doc)
   in
-  let run spec width vectors =
+  let run tel spec width vectors =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     let failures = ref 0 in
     let ok name cond =
@@ -346,15 +417,51 @@ let check_cmd =
     else print_endline "all checks passed"
   in
   let doc = "Self-verify a design: equivalence, allocation and BIST sanity." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ instance_arg $ width_arg $ vectors_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ telemetry_term $ instance_arg $ width_arg $ vectors_arg)
+
+let atpg_cmd =
+  let backtracks_arg =
+    let doc = "PODEM backtrack budget per fault before aborting." in
+    Arg.(value & opt int 10_000 & info [ "max-backtracks" ] ~docv:"N" ~doc)
+  in
+  let run tel spec width max_backtracks =
+    with_telemetry tel @@ fun () ->
+    let inst = or_die (load_instance spec) in
+    List.iter
+      (fun (u : Massign.hw) ->
+        let circuit =
+          match u.Massign.kinds with
+          | [ k ] -> Library.of_kind k ~width
+          | kinds -> Library.alu kinds ~width
+        in
+        let cls =
+          Telemetry.with_span "podem" ~attrs:[ ("unit", u.Massign.mid) ]
+            (fun () -> Podem.classify_all ~max_backtracks circuit)
+        in
+        Printf.printf
+          "%s: %d faults tested, %d proven redundant, %d aborted (%d distinct vectors)\n"
+          u.Massign.mid
+          (List.length cls.Podem.tested)
+          (List.length cls.Podem.untestable)
+          (List.length cls.Podem.aborted)
+          (List.length (List.sort_uniq compare (List.map snd cls.Podem.tested))))
+      inst.B.massign.Massign.units
+  in
+  let doc =
+    "Deterministic PODEM test generation for every functional unit of a design."
+  in
+  Cmd.v (Cmd.info "atpg" ~doc)
+    Term.(const run $ telemetry_term $ instance_arg $ width_arg $ backtracks_arg)
 
 let export_cmd =
-  let run spec =
+  let run tel spec =
+    with_telemetry tel @@ fun () ->
     let inst = or_die (load_instance spec) in
     print_string (Parser.to_string inst.B.dfg)
   in
   let doc = "Print a design in the textual DFG format (re-loadable by every command)." in
-  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ instance_arg)
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ telemetry_term $ instance_arg)
 
 let list_cmd =
   let run () =
@@ -375,7 +482,20 @@ let list_cmd =
 let () =
   let doc = "BIST-aware data path allocation (Parulkar/Gupta/Breuer, DAC 1995)" in
   let info = Cmd.info "synth" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
+  let cmds =
     [ run_cmd; compare_cmd; tables_cmd; figures_cmd; ablation_cmd; rtl_cmd;
-      dot_cmd; coverage_cmd; tb_cmd; vcd_cmd; area_cmd; pareto_cmd; check_cmd;
-      export_cmd; list_cmd ]))
+      dot_cmd; coverage_cmd; atpg_cmd; tb_cmd; vcd_cmd; area_cmd; pareto_cmd;
+      check_cmd; export_cmd; list_cmd ]
+  in
+  (* A first argument that is neither a subcommand nor an option is a DFG
+     spec: treat `synth data/Paulin.dfg --stats` as `synth run ...`. *)
+  let argv =
+    let names = List.map Cmd.name cmds in
+    match Array.to_list Sys.argv with
+    | exe :: first :: rest
+      when String.length first > 0 && first.[0] <> '-'
+           && not (List.mem first names) ->
+      Array.of_list (exe :: "run" :: first :: rest)
+    | _ -> Sys.argv
+  in
+  exit (Cmd.eval ~argv (Cmd.group ~default:run_term info cmds))

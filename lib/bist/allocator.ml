@@ -3,6 +3,7 @@ module Datapath = Bistpath_datapath.Datapath
 module Massign = Bistpath_dfg.Massign
 module Ipath = Bistpath_ipath.Ipath
 module Listx = Bistpath_util.Listx
+module Telemetry = Bistpath_telemetry.Telemetry
 
 type solution = {
   embeddings : Ipath.embedding list;
@@ -111,6 +112,9 @@ let solve ?(model = Area.default) ?(width = 8) ?(forbidden = [])
   let untestable =
     List.filter_map (fun (m, es) -> if es = [] then Some m else None) with_embeddings
   in
+  Telemetry.incr "bist.units" ~by:(List.length with_embeddings);
+  Telemetry.incr "bist.embedding_candidates"
+    ~by:(Listx.sum_by (fun (_, es) -> List.length es) with_embeddings);
   let eng = fresh_engine () in
   let delta_of e =
     apply eng e;
@@ -171,6 +175,7 @@ let solve ?(model = Area.default) ?(width = 8) ?(forbidden = [])
         (fun e ->
           if (not !exhausted) && eng.cost < !best_cost then begin
             incr nodes;
+            Telemetry.incr "bist.embeddings_explored";
             apply eng e;
             chosen.(i) <- Some e;
             (* A later embedding can never remove a duty, so a partial
@@ -225,6 +230,12 @@ let solve ?(model = Area.default) ?(width = 8) ?(forbidden = [])
   let embeddings =
     List.sort (fun (a : Ipath.embedding) b -> compare a.mid b.mid) chosen_embeddings
   in
+  (* CBILBO-requiring embeddings that were on the table but not picked. *)
+  let cbilbos l = List.length (List.filter Ipath.requires_cbilbo l) in
+  Telemetry.incr "bist.cbilbos_avoided"
+    ~by:
+      (max 0
+         (cbilbos (List.concat_map snd with_embeddings) - cbilbos embeddings));
   (* Recompute final styles and cost from scratch for reporting. *)
   let eng3 = fresh_engine () in
   List.iter (apply eng3) embeddings;

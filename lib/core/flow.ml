@@ -4,6 +4,7 @@ module Datapath = Bistpath_datapath.Datapath
 module Interconnect = Bistpath_datapath.Interconnect
 module Allocator = Bistpath_bist.Allocator
 module Session = Bistpath_bist.Session
+module Telemetry = Bistpath_telemetry.Telemetry
 
 type style = Traditional | Testable of Testable_alloc.options
 
@@ -37,7 +38,16 @@ let sd_weight dfg massign regalloc =
 
 let run ?(model = Area.default) ?(width = 8) ?(io_penalty_percent = 100)
     ?(transparency = false) ~style dfg massign ~policy =
+  Telemetry.with_span "flow"
+    ~attrs:
+      [
+        ("dfg", dfg.Bistpath_dfg.Dfg.name);
+        ("style",
+         match style with Traditional -> "traditional" | Testable _ -> "testable");
+      ]
+  @@ fun () ->
   let regalloc =
+    Telemetry.with_span "regalloc" @@ fun () ->
     match style with
     | Traditional -> Traditional_alloc.allocate dfg ~policy
     | Testable options ->
@@ -48,9 +58,21 @@ let run ?(model = Area.default) ?(width = 8) ?(io_penalty_percent = 100)
     | Traditional -> { Interconnect.weight = (fun _ -> 0) }
     | Testable _ -> { Interconnect.weight = sd_weight dfg massign regalloc }
   in
-  let datapath = Interconnect.optimize dfg massign regalloc ~policy ~objective in
-  let bist = Allocator.solve ~model ~width ~io_penalty_percent ~transparency datapath in
-  let sessions = Session.schedule bist in
+  let datapath =
+    Telemetry.with_span "interconnect" @@ fun () ->
+    Interconnect.optimize dfg massign regalloc ~policy ~objective
+  in
+  let bist =
+    Telemetry.with_span "bist_alloc" @@ fun () ->
+    Allocator.solve ~model ~width ~io_penalty_percent ~transparency datapath
+  in
+  let sessions =
+    Telemetry.with_span "sessions" @@ fun () -> Session.schedule bist
+  in
+  Telemetry.set "regs.allocated" (Datapath.allocated_register_count datapath);
+  Telemetry.set "muxes.allocated" (Datapath.mux_count datapath);
+  Telemetry.set "bist.delta_gates" bist.Allocator.delta_gates;
+  Telemetry.set "sessions.count" (Session.num_sessions sessions);
   {
     style;
     regalloc;

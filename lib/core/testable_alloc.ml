@@ -6,6 +6,7 @@ module Chordal = Bistpath_graphs.Chordal
 module Ugraph = Bistpath_graphs.Ugraph
 module Regalloc = Bistpath_datapath.Regalloc
 module Listx = Bistpath_util.Listx
+module Telemetry = Bistpath_telemetry.Telemetry
 
 type options = {
   sd_ordering : bool;
@@ -64,10 +65,12 @@ let allocate ?(options = default_options) dfg massign ~policy =
       !classes
   in
   let choose i =
+    Telemetry.incr "regalloc.steps";
     let v = idx.Lifetime.of_index i in
     let nonconf = List.filter (fun (rid, _) -> not (conflicts i rid)) !classes in
     match nonconf with
     | [] ->
+      Telemetry.incr "regalloc.fresh_registers";
       let rid = Printf.sprintf "R%d" (List.length !classes + 1) in
       classes := !classes @ [ (rid, [ v ]) ];
       trace := { vertex = v; chosen = rid; fresh = true; reason = "conflict-all" } :: !trace
@@ -85,11 +88,25 @@ let allocate ?(options = default_options) dfg massign ~policy =
               ~classes:(snapshot_with rid v)
             <= baseline
           in
-          match List.filter ok nonconf with [] -> nonconf | l -> l
+          match List.filter ok nonconf with
+          | [] -> nonconf
+          | l ->
+            Telemetry.incr "regalloc.cbilbo_avoided"
+              ~by:(List.length nonconf - List.length l);
+            l
       in
-      let delta (_, vars) = Sharing.delta_sd ctx vars v in
-      let sd_reg (_, vars) = Sharing.sd_vars ctx vars in
-      let sd_with (_, vars) = Sharing.sd_vars ctx (v :: vars) in
+      let delta (_, vars) =
+        Telemetry.incr "regalloc.sd_evals";
+        Sharing.delta_sd ctx vars v
+      in
+      let sd_reg (_, vars) =
+        Telemetry.incr "regalloc.sd_evals";
+        Sharing.sd_vars ctx vars
+      in
+      let sd_with (_, vars) =
+        Telemetry.incr "regalloc.sd_evals";
+        Sharing.sd_vars ctx (v :: vars)
+      in
       let aff (_, vars) = affinity ctx vars v in
       (* Primary choice: maximize Delta-SD; ties by register SD, then by
          interconnect affinity, then by creation order (stable). *)

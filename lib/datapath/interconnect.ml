@@ -3,6 +3,7 @@ module Op = Bistpath_dfg.Op
 module Massign = Bistpath_dfg.Massign
 module Policy = Bistpath_dfg.Policy
 module Listx = Bistpath_util.Listx
+module Telemetry = Bistpath_telemetry.Telemetry
 
 type objective = { weight : string -> int }
 
@@ -27,6 +28,7 @@ let operand_regs regalloc policy (op : Op.t) =
    list: smaller tuples are better. [swaps] has one bit per instance
    (non-commutative instances are pinned to false). *)
 let score_unit objective instances swaps =
+  Telemetry.incr "interconnect.orientations";
   let l_sources = Hashtbl.create 8 and r_sources = Hashtbl.create 8 in
   List.iteri
     (fun i ((l, r), _commutative) ->

@@ -84,6 +84,7 @@ let simulate_unit ~width ~pattern_count ~seed (e : Ipath.embedding) (u : Massign
             operand_pairs)
         (Listx.range 0 (List.length kinds))
   in
+  Bistpath_telemetry.Telemetry.incr "bist_sim.patterns" ~by:(List.length vectors);
   let num_inputs = List.length circuit.Circuit.inputs in
   let packed = List.map (pack num_inputs) (chunks 64 vectors) in
   let chunk_sizes = List.map List.length (chunks 64 vectors) in
@@ -99,6 +100,7 @@ let simulate_unit ~width ~pattern_count ~seed (e : Ipath.embedding) (u : Massign
     Misr.signature misr
   in
   let faults = Fault.collapsed circuit in
+  Bistpath_telemetry.Telemetry.incr "bist_sim.faults" ~by:(List.length faults);
   let detected = ref 0 and aliased = ref 0 in
   List.iter
     (fun f ->

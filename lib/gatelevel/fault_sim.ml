@@ -33,6 +33,9 @@ let run c ~faults ~patterns =
       if List.length p <> num_inputs then
         invalid_arg "Fault_sim.run: pattern arity mismatch")
     patterns;
+  Bistpath_telemetry.Telemetry.incr "fault_sim.faults" ~by:(List.length faults);
+  Bistpath_telemetry.Telemetry.incr "fault_sim.events"
+    ~by:(List.length faults * List.length patterns);
   let packed = List.map (pack_chunk num_inputs) (chunks 64 patterns) in
   let golden =
     List.map

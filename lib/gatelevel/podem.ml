@@ -209,6 +209,7 @@ let generate ?(max_backtracks = 10_000) (c : Circuit.t) (fault : Fault.t) =
           search ())
   and backtrack () =
     incr backtracks;
+    Bistpath_telemetry.Telemetry.incr "podem.backtracks";
     if !backtracks > max_backtracks then raise Exit
     else
       match !stack with
@@ -227,9 +228,15 @@ let generate ?(max_backtracks = 10_000) (c : Circuit.t) (fault : Fault.t) =
         end
   in
   match search () with
-  | Some vector -> Test vector
-  | None -> Untestable
-  | exception Exit -> Aborted
+  | Some vector ->
+    Bistpath_telemetry.Telemetry.incr "podem.tests";
+    Test vector
+  | None ->
+    Bistpath_telemetry.Telemetry.incr "podem.untestable";
+    Untestable
+  | exception Exit ->
+    Bistpath_telemetry.Telemetry.incr "podem.aborts";
+    Aborted
 
 let verify c fault vector =
   if List.length vector <> List.length c.Circuit.inputs then

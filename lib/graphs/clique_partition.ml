@@ -1,4 +1,5 @@
 module Iset = Ugraph.Iset
+module Telemetry = Bistpath_telemetry.Telemetry
 
 (* Super-vertex merging: clusters are cliques; two clusters can merge iff
    every cross pair is an edge. We score a merge by the number of other
@@ -12,6 +13,7 @@ let greedy ?(weight = fun _ _ -> 0) g =
     Iset.fold (fun u acc -> Iset.fold (fun v acc -> acc + weight u v) b acc) a 0
   in
   let rec go clusters =
+    Telemetry.incr "clique.iterations";
     let mergeable =
       Bistpath_util.Listx.pairs clusters
       |> List.filter (fun (a, b) -> can_merge a b)
@@ -33,6 +35,7 @@ let greedy ?(weight = fun _ _ -> 0) g =
         | None -> assert false
       in
       let a, b = best in
+      Telemetry.incr "clique.merges";
       let clusters =
         Iset.union a b
         :: List.filter (fun c -> not (Iset.equal c a || Iset.equal c b)) clusters

@@ -1,0 +1,302 @@
+module Table = Bistpath_util.Table
+
+type attr = string * string
+
+type span = {
+  name : string;
+  attrs : attr list;
+  depth : int;
+  parent : int option;
+  start_ns : int64;
+  mutable dur_ns : int64;
+  mutable counters : (string * int) list;
+}
+
+type t = {
+  tbl : (int, span) Hashtbl.t;  (* index -> span, indices are dense *)
+  mutable len : int;
+  mutable stack : int list;  (* open span indices, innermost first *)
+  mutable snapshots : (string * int) list list;  (* counters at open *)
+  values : (string, int) Hashtbl.t;
+}
+
+let clock : (unit -> int64) ref = ref Monotonic_clock.now
+let set_clock f = clock := f
+let use_monotonic_clock () = clock := Monotonic_clock.now
+
+let current : t option ref = ref None
+
+let create () =
+  { tbl = Hashtbl.create 32; len = 0; stack = []; snapshots = []; values = Hashtbl.create 32 }
+
+let install r = current := Some r
+let uninstall () = current := None
+let enabled () = Option.is_some !current
+
+let snapshot r = Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.values []
+
+let delta_since r snap =
+  Hashtbl.fold
+    (fun k v acc ->
+      let before = match List.assoc_opt k snap with Some x -> x | None -> 0 in
+      if v <> before then (k, v - before) :: acc else acc)
+    r.values []
+  |> List.sort compare
+
+let open_span r name attrs =
+  let parent = match r.stack with [] -> None | i :: _ -> Some i in
+  let s =
+    {
+      name;
+      attrs;
+      depth = List.length r.stack;
+      parent;
+      start_ns = !clock ();
+      dur_ns = -1L;
+      counters = [];
+    }
+  in
+  let idx = r.len in
+  Hashtbl.replace r.tbl idx s;
+  r.len <- r.len + 1;
+  r.stack <- idx :: r.stack;
+  r.snapshots <- snapshot r :: r.snapshots;
+  idx
+
+(* Closes intervening spans too, so an exotic control path that escapes a
+   nested [with_span] still leaves a well-formed trace. *)
+let close_span r idx =
+  let now = !clock () in
+  let rec pop () =
+    match (r.stack, r.snapshots) with
+    | i :: stack, snap :: snaps ->
+      r.stack <- stack;
+      r.snapshots <- snaps;
+      let s = Hashtbl.find r.tbl i in
+      s.dur_ns <- Int64.sub now s.start_ns;
+      s.counters <- delta_since r snap;
+      if i <> idx then pop ()
+    | _ -> ()
+  in
+  pop ()
+
+let with_span ?(attrs = []) name f =
+  match !current with
+  | None -> f ()
+  | Some r ->
+    let idx = open_span r name attrs in
+    Fun.protect ~finally:(fun () -> close_span r idx) f
+
+let incr ?(by = 1) name =
+  match !current with
+  | None -> ()
+  | Some r ->
+    let v = match Hashtbl.find_opt r.values name with Some v -> v | None -> 0 in
+    Hashtbl.replace r.values name (v + by)
+
+let set name v =
+  match !current with None -> () | Some r -> Hashtbl.replace r.values name v
+
+let collect f =
+  let r = create () in
+  let prev = !current in
+  current := Some r;
+  Fun.protect
+    ~finally:(fun () -> current := prev)
+    (fun () ->
+      let x = f () in
+      (x, r))
+
+let spans r = List.init r.len (Hashtbl.find r.tbl)
+let counters r = snapshot r |> List.sort compare
+
+let counter r name =
+  match Hashtbl.find_opt r.values name with Some v -> v | None -> 0
+
+let span_count r name =
+  List.length (List.filter (fun s -> String.equal s.name name) (spans r))
+
+let total_ns r name =
+  List.fold_left
+    (fun acc s ->
+      if String.equal s.name name && s.dur_ns >= 0L then Int64.add acc s.dur_ns
+      else acc)
+    0L (spans r)
+
+(* --- rendering ----------------------------------------------------- *)
+
+let pp_ns ns =
+  let ns = Int64.to_float ns in
+  if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.3f s" (ns /. 1e9)
+
+let summary_table r =
+  let buf = Buffer.create 512 in
+  let ss = spans r in
+  if ss <> [] then begin
+    let root_ns =
+      List.fold_left
+        (fun acc s -> if s.depth = 0 && s.dur_ns > 0L then Int64.add acc s.dur_ns else acc)
+        0L ss
+    in
+    let t =
+      Table.create
+        [ ("span", Table.Left); ("wall", Table.Right); ("%", Table.Right);
+          ("counters", Table.Left) ]
+    in
+    List.iter
+      (fun s ->
+        let pct =
+          if root_ns > 0L && s.dur_ns >= 0L then
+            Printf.sprintf "%.1f"
+              (100.0 *. Int64.to_float s.dur_ns /. Int64.to_float root_ns)
+          else "-"
+        in
+        let cs =
+          String.concat " "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.counters)
+        in
+        Table.add_row t
+          [
+            String.make (2 * s.depth) ' ' ^ s.name;
+            (if s.dur_ns >= 0L then pp_ns s.dur_ns else "(open)");
+            pct;
+            cs;
+          ])
+      ss;
+    Buffer.add_string buf (Table.to_string t);
+    Buffer.add_char buf '\n'
+  end;
+  (match counters r with
+  | [] -> ()
+  | cs ->
+    if ss <> [] then Buffer.add_char buf '\n';
+    let t = Table.create [ ("counter", Table.Left); ("value", Table.Right) ] in
+    List.iter (fun (k, v) -> Table.add_row t [ k; string_of_int v ]) cs;
+    Buffer.add_string buf (Table.to_string t);
+    Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+(* --- JSON ---------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_obj_of_pairs pairs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) v) pairs)
+  ^ "}"
+
+let json_counters cs =
+  json_obj_of_pairs (List.map (fun (k, v) -> (k, string_of_int v)) cs)
+
+let json_attrs attrs =
+  json_obj_of_pairs
+    (List.map (fun (k, v) -> (k, "\"" ^ json_escape v ^ "\"")) attrs)
+
+let stats_json r =
+  let span_json s =
+    json_obj_of_pairs
+      [
+        ("name", "\"" ^ json_escape s.name ^ "\"");
+        ("depth", string_of_int s.depth);
+        ("start_ns", Int64.to_string s.start_ns);
+        ("dur_ns", Int64.to_string s.dur_ns);
+        ("attrs", json_attrs s.attrs);
+        ("counters", json_counters s.counters);
+      ]
+  in
+  json_obj_of_pairs
+    [
+      ("spans", "[" ^ String.concat "," (List.map span_json (spans r)) ^ "]");
+      ("counters", json_counters (counters r));
+    ]
+
+let chrome_trace_json r =
+  let ss = Array.of_list (spans r) in
+  let n = Array.length ss in
+  let t0 =
+    Array.fold_left (fun acc s -> min acc s.start_ns)
+      (if n = 0 then 0L else ss.(0).start_ns)
+      ss
+  in
+  let trace_end =
+    Array.fold_left
+      (fun acc s ->
+        if s.dur_ns >= 0L then max acc (Int64.add s.start_ns s.dur_ns) else acc)
+      t0 ss
+  in
+  let end_of s = if s.dur_ns >= 0L then Int64.add s.start_ns s.dur_ns else trace_end in
+  let us ns = Printf.sprintf "%.3f" (Int64.to_float (Int64.sub ns t0) /. 1e3) in
+  let children = Array.make n [] in
+  let roots = ref [] in
+  for i = n - 1 downto 0 do
+    match ss.(i).parent with
+    | Some p -> children.(p) <- i :: children.(p)
+    | None -> roots := i :: !roots
+  done;
+  let events = Buffer.create 1024 in
+  let emit obj =
+    if Buffer.length events > 0 then Buffer.add_string events ",\n";
+    Buffer.add_string events obj
+  in
+  let rec walk i =
+    let s = ss.(i) in
+    emit
+      (json_obj_of_pairs
+         [
+           ("ph", "\"B\"");
+           ("name", "\"" ^ json_escape s.name ^ "\"");
+           ("cat", "\"bistpath\"");
+           ("pid", "1");
+           ("tid", "1");
+           ("ts", us s.start_ns);
+           ("args", json_attrs s.attrs);
+         ]);
+    List.iter walk children.(i);
+    emit
+      (json_obj_of_pairs
+         [
+           ("ph", "\"E\"");
+           ("name", "\"" ^ json_escape s.name ^ "\"");
+           ("cat", "\"bistpath\"");
+           ("pid", "1");
+           ("tid", "1");
+           ("ts", us (end_of s));
+         ])
+  in
+  List.iter walk !roots;
+  List.iter
+    (fun (k, v) ->
+      emit
+        (json_obj_of_pairs
+           [
+             ("ph", "\"C\"");
+             ("name", "\"" ^ json_escape k ^ "\"");
+             ("pid", "1");
+             ("tid", "1");
+             ("ts", us trace_end);
+             ("args", json_obj_of_pairs [ ("value", string_of_int v) ]);
+           ]))
+    (counters r);
+  "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n" ^ Buffer.contents events
+  ^ "\n]}\n"
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)

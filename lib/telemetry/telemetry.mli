@@ -1,0 +1,146 @@
+(** Pipeline telemetry: hierarchical timed spans, named counters and
+    gauges, and pluggable export sinks.
+
+    The synthesis pipeline is instrumented with {!with_span}, {!incr} and
+    {!set} calls throughout [Flow.run], the allocators and the gate-level
+    simulators. When no recorder is installed (the default) every
+    instrumentation point costs a single global read and branch, so
+    leaving the calls in hot paths is free in practice. Installing a
+    {!type:t} recorder (see {!install} / {!collect}) captures a trace that
+    can then be exported as a human-readable summary table
+    ({!summary_table}), a JSON statistics dump ({!stats_json}), or a
+    Chrome trace-event file ({!chrome_trace_json}) loadable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto} for
+    flamegraph views.
+
+    {1 Counter name registry}
+
+    Counters are monotonic within one recording; gauges ({!set}) hold the
+    last written value. The pipeline emits the following names:
+
+    - [clique.iterations] — merge rounds of
+      [Clique_partition.greedy] (module assignment, CP register
+      allocation).
+    - [clique.merges] — super-vertex merges actually performed.
+    - [regalloc.steps] — coloring steps of the testable register
+      allocator (one per conflict-graph vertex).
+    - [regalloc.fresh_registers] — steps that had to open a new register.
+    - [regalloc.sd_evals] — sharing-degree evaluations while ranking
+      candidate registers.
+    - [regalloc.cbilbo_avoided] — candidate registers discarded because
+      the merge would create a Lemma-2 CBILBO situation.
+    - [interconnect.orientations] — operand-orientation assignments
+      scored by the interconnect optimizer.
+    - [bist.units] — functional units considered by the BIST allocator.
+    - [bist.embedding_candidates] — I-path embeddings enumerated across
+      all units before the search.
+    - [bist.embeddings_explored] — candidate embeddings applied during
+      the branch-and-bound search (search nodes).
+    - [bist.cbilbos_avoided] — enumerated CBILBO-requiring embeddings the
+      chosen solution managed to avoid.
+    - [fault_sim.faults] — faults submitted to parallel fault simulation.
+    - [fault_sim.events] — fault-pattern simulation events
+      (faults x patterns).
+    - [podem.backtracks] — PODEM decision backtracks.
+    - [podem.tests] / [podem.untestable] / [podem.aborts] — PODEM
+      per-fault outcomes.
+    - [bist_sim.patterns] — test patterns applied by the BIST session
+      simulator.
+    - [bist_sim.faults] — faults graded by the BIST session simulator.
+
+    Gauges set by [Flow.run]: [regs.allocated], [muxes.allocated],
+    [bist.delta_gates], [sessions.count].
+
+    Span names emitted by [Flow.run]: a root [flow] span containing
+    [regalloc], [interconnect], [bist_alloc] and [sessions], one each. *)
+
+type attr = string * string
+
+type span = private {
+  name : string;
+  attrs : attr list;
+  depth : int;  (** 0 for root spans *)
+  parent : int option;  (** index of the enclosing span, in {!spans} order *)
+  start_ns : int64;  (** monotonic clock at open *)
+  mutable dur_ns : int64;  (** wall time; [-1L] while still open *)
+  mutable counters : (string * int) list;
+      (** counter deltas attributed to this span (including children),
+          sorted by name *)
+}
+
+type t
+(** A recorder: an in-memory sink accumulating spans and counters. *)
+
+(** {1 Recording} *)
+
+val create : unit -> t
+
+val install : t -> unit
+(** Make [t] the process-wide current sink. *)
+
+val uninstall : unit -> unit
+(** Remove the current sink; instrumentation reverts to no-ops. *)
+
+val enabled : unit -> bool
+
+val collect : (unit -> 'a) -> 'a * t
+(** [collect f] runs [f] under a fresh recorder (restoring the previous
+    sink afterwards, even on exceptions) and returns its result and the
+    recording. *)
+
+val set_clock : (unit -> int64) -> unit
+(** Override the nanosecond clock (tests use a deterministic counter). *)
+
+val use_monotonic_clock : unit -> unit
+(** Restore the default monotonic clock. *)
+
+(** {1 Instrumentation points} *)
+
+val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f] as a child of the innermost open span.
+    The span is closed even if [f] raises. No-op wrapper when disabled. *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to a named counter. *)
+
+val set : string -> int -> unit
+(** Write a gauge: the counter takes exactly this value. *)
+
+(** {1 Reading a recording} *)
+
+val spans : t -> span list
+(** All spans in opening order (parents before children). *)
+
+val counters : t -> (string * int) list
+(** Final counter values, sorted by name. *)
+
+val counter : t -> string -> int
+(** Final value of one counter; 0 if never touched. *)
+
+val span_count : t -> string -> int
+(** Number of spans with the given name. *)
+
+val total_ns : t -> string -> int64
+(** Summed wall time of all closed spans with the given name. *)
+
+(** {1 Export sinks} *)
+
+val summary_table : t -> string
+(** Human-readable report built on [Bistpath_util.Table]: a span tree
+    with wall times and per-span counter deltas, then the counter
+    totals. *)
+
+val stats_json : t -> string
+(** [{"spans":[...],"counters":{...}}] machine-readable dump. *)
+
+val chrome_trace_json : t -> string
+(** Chrome trace-event JSON ([{"traceEvents":[...]}]): one [B]/[E] event
+    pair per span (properly nested) plus one [C] (counter) event per
+    counter. Load in [chrome://tracing] or Perfetto. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents] — tiny helper used by the CLI/bench sinks. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside JSON double quotes (exposed for
+    external sinks such as the benchmark harness). *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "bistpath"
     [
       ("util", Test_util.suite);
+      ("telemetry", Test_telemetry.suite);
       ("graphs", Test_graphs.suite);
       ("dfg", Test_dfg.suite);
       ("lifetime", Test_lifetime.suite);

@@ -1,0 +1,334 @@
+(* Telemetry tests: span nesting/ordering under a deterministic clock,
+   counter accumulation, the disabled sink being a no-op, Chrome trace
+   JSON well-formedness (every B paired with an E), and the end-to-end
+   stage spans emitted by Flow.run. *)
+
+module Telemetry = Bistpath_telemetry.Telemetry
+module B = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Testable_alloc = Bistpath_core.Testable_alloc
+module Clique_partition = Bistpath_graphs.Clique_partition
+module Ugraph = Bistpath_graphs.Ugraph
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+(* Deterministic clock: every read advances 10 ns. *)
+let with_fake_clock f =
+  let t = ref 0L in
+  Telemetry.set_clock (fun () ->
+      t := Int64.add !t 10L;
+      !t);
+  Fun.protect ~finally:Telemetry.use_monotonic_clock f
+
+let span_nesting () =
+  with_fake_clock @@ fun () ->
+  let (), r =
+    Telemetry.collect (fun () ->
+        Telemetry.with_span "outer" (fun () ->
+            Telemetry.with_span "inner1" (fun () -> ());
+            Telemetry.with_span "inner2" (fun () ->
+                Telemetry.with_span "leaf" (fun () -> ()))))
+  in
+  let names = List.map (fun s -> s.Telemetry.name) (Telemetry.spans r) in
+  check (Alcotest.list Alcotest.string) "opening order"
+    [ "outer"; "inner1"; "inner2"; "leaf" ] names;
+  let depths = List.map (fun s -> s.Telemetry.depth) (Telemetry.spans r) in
+  check (Alcotest.list Alcotest.int) "depths" [ 0; 1; 1; 2 ] depths;
+  let parents = List.map (fun s -> s.Telemetry.parent) (Telemetry.spans r) in
+  check
+    (Alcotest.list (Alcotest.option Alcotest.int))
+    "parents" [ None; Some 0; Some 0; Some 2 ] parents;
+  List.iter
+    (fun s -> check Alcotest.bool "closed with positive duration" true (s.Telemetry.dur_ns > 0L))
+    (Telemetry.spans r);
+  (* the outer span spans all clock ticks of its children *)
+  check Alcotest.bool "outer dominates" true
+    (Telemetry.total_ns r "outer" > Telemetry.total_ns r "inner2")
+
+let span_closes_on_raise () =
+  with_fake_clock @@ fun () ->
+  let (), r =
+    Telemetry.collect (fun () ->
+        try Telemetry.with_span "boom" (fun () -> failwith "x")
+        with Failure _ -> ())
+  in
+  match Telemetry.spans r with
+  | [ s ] ->
+    check Alcotest.string "name" "boom" s.Telemetry.name;
+    check Alcotest.bool "closed" true (s.Telemetry.dur_ns >= 0L)
+  | ss -> Alcotest.failf "expected 1 span, got %d" (List.length ss)
+
+let counter_accumulation () =
+  let (), r =
+    Telemetry.collect (fun () ->
+        Telemetry.incr "a";
+        Telemetry.incr "a" ~by:4;
+        Telemetry.incr "b" ~by:2;
+        Telemetry.set "g" 7;
+        Telemetry.set "g" 3)
+  in
+  check Alcotest.int "a accumulates" 5 (Telemetry.counter r "a");
+  check Alcotest.int "b" 2 (Telemetry.counter r "b");
+  check Alcotest.int "gauge takes last value" 3 (Telemetry.counter r "g");
+  check Alcotest.int "untouched" 0 (Telemetry.counter r "zzz");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "sorted" [ ("a", 5); ("b", 2); ("g", 3) ] (Telemetry.counters r)
+
+let span_counter_deltas () =
+  let (), r =
+    Telemetry.collect (fun () ->
+        Telemetry.incr "pre";
+        Telemetry.with_span "s" (fun () -> Telemetry.incr "in" ~by:3))
+  in
+  match List.filter (fun s -> s.Telemetry.name = "s") (Telemetry.spans r) with
+  | [ s ] ->
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+      "only in-span deltas" [ ("in", 3) ] s.Telemetry.counters
+  | _ -> Alcotest.fail "missing span"
+
+let disabled_is_noop () =
+  check Alcotest.bool "disabled by default" false (Telemetry.enabled ());
+  (* none of these may record or raise *)
+  Telemetry.incr "a";
+  Telemetry.set "g" 1;
+  let x = Telemetry.with_span "s" (fun () -> 41 + 1) in
+  check Alcotest.int "with_span is transparent" 42 x;
+  (* a later recording starts empty: nothing leaked into a global *)
+  let (), r = Telemetry.collect (fun () -> ()) in
+  check Alcotest.int "no spans" 0 (List.length (Telemetry.spans r));
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "no counters" [] (Telemetry.counters r)
+
+(* --- minimal JSON parser, for validating exporter output ----------- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+let parse_json text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = Alcotest.failf "JSON parse error at %d: %s" !pos msg in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            advance ()
+          done;
+          Buffer.add_char buf '?'
+        | Some c ->
+          advance ();
+          Buffer.add_char buf c
+        | None -> fail "bad escape");
+        go ()
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when is_num c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    float_of_string (String.sub text start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Jobj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Jobj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); Jarr [])
+      else
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            Jarr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        items []
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let field name = function
+  | Jobj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let check_b_e_balanced events =
+  let stack =
+    List.fold_left
+      (fun stack ev ->
+        match (field "ph" ev, field "name" ev) with
+        | Some (Jstr "B"), Some (Jstr n) -> n :: stack
+        | Some (Jstr "E"), Some (Jstr n) -> (
+          match stack with
+          | top :: rest ->
+            check Alcotest.string "E matches innermost B" top n;
+            rest
+          | [] -> Alcotest.fail "E without open B")
+        | Some (Jstr "C"), _ -> stack
+        | _ -> Alcotest.fail "event missing ph/name")
+      [] events
+  in
+  check (Alcotest.list Alcotest.string) "all B closed" [] stack
+
+let chrome_trace_well_formed () =
+  with_fake_clock @@ fun () ->
+  let (), r =
+    Telemetry.collect (fun () ->
+        Telemetry.with_span "a" (fun () ->
+            Telemetry.with_span "b" (fun () -> Telemetry.incr "n" ~by:2);
+            Telemetry.with_span "c" (fun () -> ())))
+  in
+  let json = parse_json (Telemetry.chrome_trace_json r) in
+  match field "traceEvents" json with
+  | Some (Jarr events) ->
+    check_b_e_balanced events;
+    let phs =
+      List.filter_map
+        (fun e -> match field "ph" e with Some (Jstr p) -> Some p | _ -> None)
+        events
+    in
+    check Alcotest.int "3 B events" 3 (List.length (List.filter (( = ) "B") phs));
+    check Alcotest.int "3 E events" 3 (List.length (List.filter (( = ) "E") phs));
+    check Alcotest.int "1 C event" 1 (List.length (List.filter (( = ) "C") phs))
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let stats_json_well_formed () =
+  let (), r =
+    Telemetry.collect (fun () ->
+        Telemetry.with_span "weird \"name\"\n" (fun () -> Telemetry.incr "k"))
+  in
+  match parse_json (Telemetry.stats_json r) with
+  | Jobj _ as j ->
+    (match field "counters" j with
+    | Some (Jobj [ ("k", Jnum 1.0) ]) -> ()
+    | _ -> Alcotest.fail "counters object wrong")
+  | _ -> Alcotest.fail "stats not an object"
+
+let greedy_clique_counters () =
+  let g = Ugraph.of_edges ~vertices:[ 0; 1; 2 ] [ (0, 1); (1, 2); (0, 2) ] in
+  let parts, r = Telemetry.collect (fun () -> Clique_partition.greedy g) in
+  check Alcotest.int "one clique" 1 (List.length parts);
+  check Alcotest.int "two merges" 2 (Telemetry.counter r "clique.merges");
+  check Alcotest.bool "iterations counted" true
+    (Telemetry.counter r "clique.iterations" >= 2)
+
+let flow_stage_spans () =
+  let inst = B.ex1 () in
+  let _, r =
+    Telemetry.collect (fun () ->
+        Flow.run
+          ~style:(Flow.Testable Testable_alloc.default_options)
+          inst.B.dfg inst.B.massign ~policy:inst.B.policy)
+  in
+  List.iter
+    (fun name ->
+      check Alcotest.int (name ^ " appears exactly once") 1
+        (Telemetry.span_count r name))
+    [ "flow"; "regalloc"; "interconnect"; "bist_alloc"; "sessions" ];
+  (* stage spans nest under the flow root *)
+  List.iter
+    (fun s ->
+      if s.Telemetry.name <> "flow" then
+        check (Alcotest.option Alcotest.int) (s.Telemetry.name ^ " parented") (Some 0)
+          s.Telemetry.parent)
+    (Telemetry.spans r);
+  check Alcotest.bool "regalloc steps counted" true
+    (Telemetry.counter r "regalloc.steps" > 0);
+  check Alcotest.bool "bist candidates counted" true
+    (Telemetry.counter r "bist.embedding_candidates" > 0);
+  check Alcotest.bool "gauges set" true (Telemetry.counter r "regs.allocated" > 0)
+
+let suite =
+  [
+    case "span nesting and ordering" span_nesting;
+    case "span closes on raise" span_closes_on_raise;
+    case "counter accumulation" counter_accumulation;
+    case "per-span counter deltas" span_counter_deltas;
+    case "disabled sink is a no-op" disabled_is_noop;
+    case "chrome trace well-formed, B/E paired" chrome_trace_well_formed;
+    case "stats json well-formed and escaped" stats_json_well_formed;
+    case "clique partition counters" greedy_clique_counters;
+    case "flow emits each stage span once" flow_stage_spans;
+  ]
