@@ -68,7 +68,7 @@ let or_die = function
     prerr_endline ("synth: " ^ msg);
     exit 1
 
-(* --- telemetry flags (available on every subcommand) --------------- *)
+(* --- telemetry and parallelism flags (every subcommand) ------------ *)
 
 let stats_arg =
   let doc =
@@ -83,13 +83,30 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel stages (fault simulation, PODEM, \
+     Pareto exploration). Defaults to $(b,BISTPATH_JOBS) or the \
+     machine's core count; $(docv)=1 runs the exact sequential code \
+     path. Results are bit-identical at every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let telemetry_term =
-  Term.(const (fun stats trace -> (stats, trace)) $ stats_arg $ trace_arg)
+  Term.(
+    const (fun stats trace jobs -> (stats, trace, jobs))
+    $ stats_arg $ trace_arg $ jobs_arg)
 
 (* Telemetry goes to stderr or the named trace file, never stdout: for
    rtl/dot/vcd/tb/export the primary artifact is the stdout stream and
    must stay machine-parsable. *)
-let with_telemetry (stats, trace) f =
+let with_telemetry (stats, trace, jobs) f =
+  (match jobs with
+  | Some n when n >= 1 -> Bistpath_parallel.Pool.set_jobs n
+  | Some n ->
+    prerr_endline ("synth: --jobs must be >= 1, got " ^ string_of_int n);
+    exit 1
+  | None -> ());
   if (not stats) && trace = None then f ()
   else begin
     let x, r = Telemetry.collect f in

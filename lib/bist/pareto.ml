@@ -43,7 +43,7 @@ let solution_of dp model width embeddings =
   }
 
 let explore ?(model = Area.default) ?(width = 8) ?(transparency = false)
-    ?(slack_percent = 50) ?(leaf_budget = 20_000) dp =
+    ?(slack_percent = 50) ?(leaf_budget = 20_000) ?pool dp =
   let minimum = Allocator.solve ~model ~width ~transparency dp in
   let bound = minimum.Allocator.delta_gates * (100 + slack_percent) / 100 in
   let units =
@@ -55,32 +55,43 @@ let explore ?(model = Area.default) ?(width = 8) ?(transparency = false)
            | [] -> None
            | es -> Some es)
   in
-  let leaves = ref [] in
+  (* Enumerating the embedding combinations is cheap (cons cells only);
+     costing a leaf — building the solution and scheduling its sessions —
+     is the hot part, so the leaves are collected first and evaluated on
+     the domain pool. The collected list is in reverse enumeration order,
+     exactly the order the sequential evaluator accumulated results in,
+     so the front below is bit-identical at any pool width. *)
+  let chosen_leaves = ref [] in
   let count = ref 0 in
   let rec enumerate chosen = function
     | [] ->
       incr count;
-      if !count <= leaf_budget then begin
-        let sol = solution_of dp model width chosen in
-        if sol.Allocator.delta_gates <= bound then
-          leaves :=
-            ( sol.Allocator.delta_gates,
-              Session.num_sessions (Session.schedule sol),
-              sol )
-            :: !leaves
-      end
+      if !count <= leaf_budget then chosen_leaves := chosen :: !chosen_leaves
     | es :: rest ->
       if !count <= leaf_budget then
         List.iter (fun e -> enumerate (e :: chosen) rest) es
   in
   enumerate [] units;
+  let evaluate chosen =
+    let sol = solution_of dp model width chosen in
+    if sol.Allocator.delta_gates <= bound then
+      Some
+        ( sol.Allocator.delta_gates,
+          Session.num_sessions (Session.schedule sol),
+          sol )
+    else None
+  in
+  let leaves =
+    List.filter_map Fun.id
+      (Bistpath_parallel.Par.map_list ?pool evaluate !chosen_leaves)
+  in
   (* Always include the true minimum (the enumeration may be cut). *)
   let min_point =
     ( minimum.Allocator.delta_gates,
       Session.num_sessions (Session.schedule minimum),
       minimum )
   in
-  let candidates = min_point :: !leaves in
+  let candidates = min_point :: leaves in
   let dominated (d, s, _) =
     List.exists
       (fun (d', s', _) -> d' <= d && s' <= s && (d' < d || s' < s))

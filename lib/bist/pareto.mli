@@ -20,12 +20,17 @@ val explore :
   ?transparency:bool ->
   ?slack_percent:int ->
   ?leaf_budget:int ->
+  ?pool:Bistpath_parallel.Pool.t ->
   Bistpath_datapath.Datapath.t ->
   point list
 (** Points sorted by [delta_gates], mutually non-dominated (no point is
     at least as good on both axes as another). [slack_percent] (default
     50) bounds the search to cost <= minimum * (100+slack)/100;
     [leaf_budget] (default 20_000) caps the enumeration. The minimum-
-    area solution's cost is always represented. *)
+    area solution's cost is always represented. Embedding leaves are
+    costed (solution build + session scheduling) in parallel on the
+    [Bistpath_parallel] pool (the shared pool unless [?pool] is given);
+    the front is assembled in deterministic enumeration order and is
+    bit-identical to the sequential result at any pool width. *)
 
 val pp : Format.formatter -> point list -> unit

@@ -59,7 +59,7 @@ let lane_outputs c nets lane =
     (fun n -> if Int64.logand (Int64.shift_right_logical nets.(n) lane) 1L = 1L then 1 else 0)
     c.Circuit.outputs
 
-let simulate_unit ~width ~pattern_count ~seed (e : Ipath.embedding) (u : Massign.hw) =
+let simulate_unit ?pool ~width ~pattern_count ~seed (e : Ipath.embedding) (u : Massign.hw) =
   let circuit =
     match u.kinds with
     | [ k ] -> Library.of_kind k ~width
@@ -101,27 +101,34 @@ let simulate_unit ~width ~pattern_count ~seed (e : Ipath.embedding) (u : Massign
   in
   let faults = Fault.collapsed circuit in
   Bistpath_telemetry.Telemetry.incr "bist_sim.faults" ~by:(List.length faults);
+  (* Each fault carries its own MISR, so grading fans out over the
+     domain pool; the (detected, aliased) flags fold back in fault
+     order, keeping counts identical to the sequential loop. *)
+  let packed_golden = List.combine packed golden_nets in
+  let grade f =
+    let misr = Misr.create ~width in
+    let seen_diff = ref false in
+    List.iter2
+      (fun (words, golden) size ->
+        let nets = Fault.inject circuit f words in
+        for lane = 0 to size - 1 do
+          let out = lane_outputs circuit nets lane in
+          if not !seen_diff then
+            if out <> lane_outputs circuit golden lane then seen_diff := true;
+          Misr.absorb misr (fold_outputs width out)
+        done)
+      packed_golden chunk_sizes;
+    (!seen_diff, !seen_diff && Misr.signature misr = golden_signature)
+  in
+  let graded = Bistpath_parallel.Par.map_list ?pool grade faults in
   let detected = ref 0 and aliased = ref 0 in
   List.iter
-    (fun f ->
-      let misr = Misr.create ~width in
-      let seen_diff = ref false in
-      List.iter2
-        (fun (words, golden) size ->
-          let nets = Fault.inject circuit f words in
-          for lane = 0 to size - 1 do
-            let out = lane_outputs circuit nets lane in
-            if not !seen_diff then
-              if out <> lane_outputs circuit golden lane then seen_diff := true;
-            Misr.absorb misr (fold_outputs width out)
-          done)
-        (List.combine packed golden_nets)
-        chunk_sizes;
-      if !seen_diff then begin
+    (fun (hit, alias) ->
+      if hit then begin
         incr detected;
-        if Misr.signature misr = golden_signature then incr aliased
+        if alias then incr aliased
       end)
-    faults;
+    graded;
   {
     mid = e.mid;
     patterns = List.length vectors;
@@ -134,7 +141,8 @@ let simulate_unit ~width ~pattern_count ~seed (e : Ipath.embedding) (u : Massign
     aliased = !aliased;
   }
 
-let run ?(width = 8) ?(pattern_count = 255) ?(seed = 1) dp (sol : Allocator.solution) =
+let run ?(width = 8) ?(pattern_count = 255) ?(seed = 1) ?pool dp
+    (sol : Allocator.solution) =
   let unit_by_id mid =
     List.find
       (fun (u : Massign.hw) -> String.equal u.mid mid)
@@ -143,7 +151,7 @@ let run ?(width = 8) ?(pattern_count = 255) ?(seed = 1) dp (sol : Allocator.solu
   let units =
     List.map
       (fun (e : Ipath.embedding) ->
-        simulate_unit ~width ~pattern_count ~seed e (unit_by_id e.mid))
+        simulate_unit ?pool ~width ~pattern_count ~seed e (unit_by_id e.mid))
       sol.Allocator.embeddings
   in
   { width; pattern_count; units }

@@ -29,6 +29,7 @@ val run :
   ?width:int ->
   ?pattern_count:int ->
   ?seed:int ->
+  ?pool:Bistpath_parallel.Pool.t ->
   Bistpath_datapath.Datapath.t ->
   Bistpath_bist.Allocator.solution ->
   report
@@ -36,7 +37,9 @@ val run :
     seed 1. Uses collapsed fault lists. Units reported untestable by the
     allocation are skipped. Multifunction ALUs are simulated per
     supported kind with the select line held; their coverage aggregates
-    over kinds. *)
+    over kinds. Fault grading fans out over the [Bistpath_parallel]
+    pool (the shared pool unless [?pool] is given) with results
+    identical to the sequential run at any pool width. *)
 
 val overall_coverage : report -> float
 (** Fault-weighted mean coverage across units. *)

@@ -26,7 +26,7 @@ let rec chunks n = function
     let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: t -> drop (k - 1) t in
     first :: chunks n (drop (List.length first) l)
 
-let run c ~faults ~patterns =
+let run ?pool c ~faults ~patterns =
   let num_inputs = List.length c.Circuit.inputs in
   List.iter
     (fun p ->
@@ -53,19 +53,28 @@ let run c ~faults ~patterns =
           c.Circuit.outputs good)
       packed golden
   in
-  let undetected = List.filter (fun f -> not (detected f)) faults in
+  (* Fan out over the fault list; detection flags come back in fault
+     order, so the result is bit-identical at any pool width (and with
+     jobs = 1 this is exactly [List.map detected faults]). *)
+  let flags = Bistpath_parallel.Par.map_list ?pool detected faults in
+  let undetected =
+    List.rev
+      (List.fold_left2
+         (fun acc f hit -> if hit then acc else f :: acc)
+         [] faults flags)
+  in
   {
     total = List.length faults;
     detected = List.length faults - List.length undetected;
     undetected;
   }
 
-let run_operand_patterns c ~width ~faults ~patterns =
+let run_operand_patterns ?pool c ~width ~faults ~patterns =
   if List.length c.Circuit.inputs <> 2 * width then
     invalid_arg "Fault_sim.run_operand_patterns: circuit is not a two-operand module";
   let bits_of v = List.init width (fun i -> (v lsr i) land 1) in
   let vectors = List.map (fun (a, b) -> bits_of a @ bits_of b) patterns in
-  run c ~faults ~patterns:vectors
+  run ?pool c ~faults ~patterns:vectors
 
 let random_operand_patterns rng ~width ~count =
   let bound = 1 lsl width in

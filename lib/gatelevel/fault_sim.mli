@@ -1,8 +1,12 @@
-(** Serial fault simulation with 64-way bit-parallel patterns.
+(** Fault simulation with 64-way bit-parallel patterns and optional
+    multi-domain fan-out over the fault list.
 
     For each fault, the circuit is re-evaluated with the faulty net
     forced; a fault is detected by a pattern whose fault-free and faulty
-    primary outputs differ. *)
+    primary outputs differ. Faults are independent, so they are graded
+    on the [Bistpath_parallel] pool (the shared pool unless [?pool] is
+    given); results are assembled in fault order, so the outcome is
+    bit-identical to the sequential run at any pool width. *)
 
 type result = {
   total : int;
@@ -14,12 +18,14 @@ val coverage : result -> float
 (** detected / total in [0, 1]; 1.0 for an empty fault list. *)
 
 val run :
+  ?pool:Bistpath_parallel.Pool.t ->
   Circuit.t -> faults:Fault.t list -> patterns:int list list -> result
 (** [patterns] is a list of input vectors, each one bit per primary input
     net (little-endian ints are NOT assumed — each element of a vector
     is 0 or 1). Patterns are packed 64 per simulation pass. *)
 
 val run_operand_patterns :
+  ?pool:Bistpath_parallel.Pool.t ->
   Circuit.t -> width:int -> faults:Fault.t list -> patterns:(int * int) list -> result
 (** Convenience for two-operand modules: each pattern is an (a, b) pair
     of [width]-bit operand values. Raises [Invalid_argument] if the

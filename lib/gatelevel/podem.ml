@@ -248,12 +248,21 @@ let verify c fault vector =
     (fun o g -> not (Int64.equal faulty.(o) g))
     c.Circuit.outputs (Array.to_list good)
 
-let classify_all ?(max_backtracks = 10_000) c =
+let classify_all ?(max_backtracks = 10_000) ?pool c =
+  (* Per-fault test generation is independent (each call builds its own
+     implication state), so the fault list fans out across the domain
+     pool; folding the per-fault outcomes in fault order reproduces the
+     sequential classification exactly. *)
+  let outcomes =
+    Bistpath_parallel.Par.map_list ?pool
+      (fun f -> (f, generate ~max_backtracks c f))
+      (Fault.collapsed c)
+  in
   List.fold_left
-    (fun acc f ->
-      match generate ~max_backtracks c f with
+    (fun acc (f, outcome) ->
+      match outcome with
       | Test v -> { acc with tested = (f, v) :: acc.tested }
       | Untestable -> { acc with untestable = f :: acc.untestable }
       | Aborted -> { acc with aborted = f :: acc.aborted })
     { tested = []; untestable = []; aborted = [] }
-    (Fault.collapsed c)
+    outcomes

@@ -28,5 +28,10 @@ type classification = {
   aborted : Fault.t list;
 }
 
-val classify_all : ?max_backtracks:int -> Circuit.t -> classification
-(** Run PODEM on every collapsed fault of the circuit. *)
+val classify_all :
+  ?max_backtracks:int -> ?pool:Bistpath_parallel.Pool.t -> Circuit.t -> classification
+(** Run PODEM on every collapsed fault of the circuit. Faults are
+    generated in parallel on the [Bistpath_parallel] pool (the shared
+    pool unless [?pool] is given); the classification is assembled in
+    fault order and is identical to the sequential run at any pool
+    width. *)

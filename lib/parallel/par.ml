@@ -1,0 +1,52 @@
+module Telemetry = Bistpath_telemetry.Telemetry
+
+let resolve = function Some p -> p | None -> Pool.get ()
+
+(* Chunk size balancing scheduling overhead against load imbalance:
+   about four chunks per worker unless the caller pins one. *)
+let chunk_size ~chunk ~jobs n =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some _ | None -> max 1 ((n + (4 * jobs) - 1) / (4 * jobs))
+
+let map_array ?pool ?chunk f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else
+    let pool = resolve pool in
+    if Pool.jobs pool = 1 || n = 1 then Array.map f a
+    else begin
+      (* Element 0 is computed inline to seed the result array without
+         an unsafe placeholder; chunks cover the remaining indices. *)
+      let res = Array.make n (f a.(0)) in
+      let chunk = chunk_size ~chunk ~jobs:(Pool.jobs pool) (n - 1) in
+      let thunks = ref [] in
+      let lo = ref 1 in
+      while !lo < n do
+        let lo' = !lo in
+        let hi = min n (lo' + chunk) in
+        thunks :=
+          (fun () ->
+            for i = lo' to hi - 1 do
+              res.(i) <- f a.(i)
+            done)
+          :: !thunks;
+        lo := hi
+      done;
+      let thunks = List.rev !thunks in
+      Telemetry.incr "parallel.chunks" ~by:(List.length thunks);
+      Telemetry.incr "parallel.items" ~by:n;
+      Pool.run pool thunks;
+      res
+    end
+
+let map_list ?pool ?chunk f l =
+  match l with
+  | [] -> []
+  | l ->
+    let pool = resolve pool in
+    if Pool.jobs pool = 1 then List.map f l
+    else Array.to_list (map_array ~pool ?chunk f (Array.of_list l))
+
+let reduce ?pool ?chunk f combine init l =
+  List.fold_left (fun acc y -> combine acc y) init (map_list ?pool ?chunk f l)

@@ -1,0 +1,32 @@
+(** Deterministic data-parallel combinators over a {!Pool}.
+
+    Every combinator assembles its results positionally — element [i] of
+    the output always comes from element [i] of the input, never from
+    completion order — so for a pure [f] the output is bit-for-bit
+    identical at any pool width, and with [jobs = 1] the combinators
+    take the exact sequential code path ([Array.map] / [List.map] /
+    [fold_left], no chunking, no pool traffic).
+
+    When [?pool] is omitted the process-wide {!Pool.get} pool is used.
+    [?chunk] pins the number of consecutive elements per pool task; the
+    default aims at four chunks per worker. *)
+
+val map_array : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. [f] must be pure (or at least domain-safe);
+    if it raises, the earliest-submitted failing chunk's exception is
+    re-raised. *)
+
+val map_list : ?pool:Pool.t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map], preserving list order. *)
+
+val reduce :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  ('a -> 'b) ->
+  ('b -> 'b -> 'b) ->
+  'b ->
+  'a list ->
+  'b
+(** [reduce f combine init l] maps [f] in parallel, then folds
+    [combine] left-to-right over the results in input order — an
+    ordered reduce, safe for non-commutative [combine]. *)

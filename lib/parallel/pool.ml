@@ -1,0 +1,166 @@
+module Telemetry = Bistpath_telemetry.Telemetry
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when the queue gains tasks or on stop *)
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  mutable active : int;
+  mutable max_active : int;
+}
+
+let jobs t = t.jobs
+
+(* Workers and the submitting domain both pull from the same queue; a
+   task is an already-wrapped closure that never raises (Run wraps user
+   thunks and parks their exceptions for the submitter to re-raise). *)
+let worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if t.stop then Mutex.unlock t.mutex
+    else
+      match Queue.take_opt t.queue with
+      | Some task ->
+        t.active <- t.active + 1;
+        if t.active > t.max_active then t.max_active <- t.active;
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        t.active <- t.active - 1;
+        next ()
+      | None ->
+        Condition.wait t.work t.mutex;
+        next ()
+  in
+  next ()
+
+let default_jobs () =
+  match Sys.getenv_opt "BISTPATH_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some n ->
+      if n < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+      n
+    | None -> default_jobs ()
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+      active = 0;
+      max_active = 0;
+    }
+  in
+  (* The submitting domain participates in [run], so a [jobs]-wide pool
+     only spawns [jobs - 1] workers; [jobs = 1] spawns none at all. *)
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stop then begin
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+  else Mutex.unlock t.mutex
+
+let run t thunks =
+  if t.stop then invalid_arg "Pool.run: pool is shut down";
+  match thunks with
+  | [] -> ()
+  | _ when t.jobs = 1 -> List.iter (fun f -> f ()) thunks
+  | _ ->
+    let n = List.length thunks in
+    let remaining = ref n in
+    (* first exception in task order, so a failing batch re-raises the
+       same exception the sequential loop would have *)
+    let failure = ref None in
+    let batch_done = Condition.create () in
+    let task i f () =
+      (try f ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         (match !failure with
+         | Some (j, _, _) when j < i -> ()
+         | _ -> failure := Some (i, e, bt));
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast batch_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    List.iteri (fun i f -> Queue.add (task i f) t.queue) thunks;
+    Condition.broadcast t.work;
+    (* Help-first waiting: the caller drains the queue alongside the
+       workers — running any batch's tasks, which is what makes nested
+       batches deadlock-free — then sleeps only on tasks already in
+       flight on other threads. *)
+    let rec drain () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+        t.active <- t.active + 1;
+        if t.active > t.max_active then t.max_active <- t.active;
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        t.active <- t.active - 1;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    while !remaining > 0 do
+      Condition.wait batch_done t.mutex
+    done;
+    let max_active = t.max_active in
+    Mutex.unlock t.mutex;
+    Telemetry.incr "parallel.tasks" ~by:n;
+    Telemetry.set "parallel.jobs" t.jobs;
+    Telemetry.set "parallel.max_active" max_active;
+    (match !failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ())
+
+(* --- the shared process-wide pool ---------------------------------- *)
+
+let requested : int option ref = ref None
+let global : t option ref = ref None
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: jobs must be >= 1";
+  (match !global with
+  | Some p when p.jobs <> n ->
+    shutdown p;
+    global := None
+  | _ -> ());
+  requested := Some n
+
+let configured_jobs () =
+  match !requested with Some n -> n | None -> default_jobs ()
+
+let get () =
+  match !global with
+  | Some p -> p
+  | None ->
+    let p = create ~jobs:(configured_jobs ()) () in
+    global := Some p;
+    p
+
+let () = at_exit (fun () -> match !global with Some p -> shutdown p | None -> ())

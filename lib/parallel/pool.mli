@@ -1,0 +1,68 @@
+(** Fixed-size domain pool.
+
+    A pool spawns its worker domains once ([create]) and reuses them for
+    every subsequent batch, so parallel regions in hot loops pay no
+    domain-spawn cost. The submitting domain participates in each batch,
+    so a [jobs]-wide pool runs on exactly [jobs] domains and a pool with
+    [jobs = 1] spawns no domains at all — that configuration executes
+    everything inline on the caller, which is how the engine degrades
+    gracefully on single-core machines.
+
+    Batches may nest: a task can itself submit a batch to the pool it
+    runs on (the benchmark harness fans out report sections whose hot
+    paths fan out again). This is deadlock-free because waiting is
+    help-first — a thread with an outstanding batch drains the shared
+    queue (running any batch's tasks) before sleeping, so queued work
+    can never be orphaned behind a sleeping submitter.
+
+    Telemetry: each {!run} adds the batch size to the [parallel.tasks]
+    counter and refreshes the [parallel.jobs] and [parallel.max_active]
+    (pool occupancy high-water mark) gauges. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains. [jobs] defaults
+    to {!default_jobs}; it must be >= 1 or [Invalid_argument] is
+    raised. *)
+
+val jobs : t -> int
+(** The pool's width (worker domains + the submitting domain). *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Execute every thunk, returning when all have finished. With
+    [jobs = 1] the thunks run inline, in order, on the caller — the
+    exact sequential code path. Otherwise completion order is
+    arbitrary; results must be assembled positionally by the caller
+    (see [Par]). If any thunk raises, the exception of the
+    earliest-submitted failing thunk is re-raised (with its backtrace)
+    after the whole batch has drained. Raises [Invalid_argument] on a
+    pool that has been shut down. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. Tasks already queued
+    by a concurrent [run] are abandoned — only call this with no batch
+    in flight. *)
+
+(** {1 Process-wide shared pool}
+
+    The synthesis hot paths ([Fault_sim], [Podem], [Pareto], the BIST
+    session simulator) draw their parallelism from one shared pool so a
+    whole pipeline run creates domains exactly once. *)
+
+val default_jobs : unit -> int
+(** The [BISTPATH_JOBS] environment variable if set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val set_jobs : int -> unit
+(** Configure the shared pool's width (the [-j] flag). If the shared
+    pool already exists at a different width it is shut down and
+    recreated on next {!get}. Raises [Invalid_argument] if [jobs < 1]. *)
+
+val configured_jobs : unit -> int
+(** The width {!get} would use: the last {!set_jobs} value, else
+    {!default_jobs}. Does not create the pool. *)
+
+val get : unit -> t
+(** The shared pool, created on first use and joined automatically at
+    process exit. *)

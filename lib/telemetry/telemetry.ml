@@ -26,6 +26,23 @@ let use_monotonic_clock () = clock := Monotonic_clock.now
 
 let current : t option ref = ref None
 
+(* One process-wide lock serializes every mutation of (and every read
+   from) the installed recorder, so worker domains may bump counters
+   concurrently with the main domain's spans. Instrumentation with no
+   recorder installed stays lock-free: the [!current] check happens
+   before any locking. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | x ->
+    Mutex.unlock lock;
+    x
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
 let create () =
   { tbl = Hashtbl.create 32; len = 0; stack = []; snapshots = []; values = Hashtbl.create 32 }
 
@@ -84,18 +101,21 @@ let with_span ?(attrs = []) name f =
   match !current with
   | None -> f ()
   | Some r ->
-    let idx = open_span r name attrs in
-    Fun.protect ~finally:(fun () -> close_span r idx) f
+    let idx = locked (fun () -> open_span r name attrs) in
+    Fun.protect ~finally:(fun () -> locked (fun () -> close_span r idx)) f
 
 let incr ?(by = 1) name =
   match !current with
   | None -> ()
   | Some r ->
-    let v = match Hashtbl.find_opt r.values name with Some v -> v | None -> 0 in
-    Hashtbl.replace r.values name (v + by)
+    locked (fun () ->
+        let v = match Hashtbl.find_opt r.values name with Some v -> v | None -> 0 in
+        Hashtbl.replace r.values name (v + by))
 
 let set name v =
-  match !current with None -> () | Some r -> Hashtbl.replace r.values name v
+  match !current with
+  | None -> ()
+  | Some r -> locked (fun () -> Hashtbl.replace r.values name v)
 
 let collect f =
   let r = create () in
@@ -107,11 +127,12 @@ let collect f =
       let x = f () in
       (x, r))
 
-let spans r = List.init r.len (Hashtbl.find r.tbl)
-let counters r = snapshot r |> List.sort compare
+let spans r = locked (fun () -> List.init r.len (Hashtbl.find r.tbl))
+let counters r = locked (fun () -> snapshot r) |> List.sort compare
 
 let counter r name =
-  match Hashtbl.find_opt r.values name with Some v -> v | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt r.values name with Some v -> v | None -> 0)
 
 let span_count r name =
   List.length (List.filter (fun s -> String.equal s.name name) (spans r))

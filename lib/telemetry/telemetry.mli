@@ -47,12 +47,32 @@
     - [bist_sim.patterns] — test patterns applied by the BIST session
       simulator.
     - [bist_sim.faults] — faults graded by the BIST session simulator.
+    - [parallel.tasks] — tasks executed by the domain pool
+      ([Bistpath_parallel.Pool]).
+    - [parallel.chunks] — work chunks formed by [Par.map_array] /
+      [Par.map_list] (parallel path only; [jobs = 1] runs sequentially
+      and counts nothing).
+    - [parallel.items] — elements processed through the parallel
+      combinators (parallel path only).
 
     Gauges set by [Flow.run]: [regs.allocated], [muxes.allocated],
-    [bist.delta_gates], [sessions.count].
+    [bist.delta_gates], [sessions.count]. Gauges set by the parallel
+    engine: [parallel.jobs] (pool width) and [parallel.max_active]
+    (peak concurrently busy workers — pool occupancy).
 
     Span names emitted by [Flow.run]: a root [flow] span containing
-    [regalloc], [interconnect], [bist_alloc] and [sessions], one each. *)
+    [regalloc], [interconnect], [bist_alloc] and [sessions], one each.
+
+    {1 Domain safety}
+
+    All instrumentation points ({!with_span}, {!incr}, {!set}) and
+    recorder reads are serialized by one process-wide mutex, so worker
+    domains of [Bistpath_parallel] may bump counters concurrently with
+    the main domain without crashing the recorder or losing counts.
+    Spans, however, form a single stack: open and close spans from one
+    domain at a time (in practice, only the main domain opens spans;
+    workers only touch counters). When no recorder is installed the
+    fast path remains a lock-free global read and branch. *)
 
 type attr = string * string
 

@@ -25,6 +25,19 @@ let float t bound =
   (* 53 random bits, the mantissa width of a double *)
   Int64.to_float r /. 9007199254740992.0 *. bound
 
+(* Splitting draws one value from the parent (advancing it by exactly one
+   step) and pushes it through a second, different finalizer — the
+   MurmurHash3 fmix64 constants — so the child's state cannot coincide
+   with any state the parent's own golden-ratio walk visits for the same
+   low-order trajectory. This is the split construction of the SplitMix64
+   paper, specialized to our fixed-gamma generator. *)
+let split t =
+  let z = next_int64 t in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  { state = z }
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

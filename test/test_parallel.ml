@@ -1,0 +1,165 @@
+(* Tests for the deterministic parallel execution engine: pool lifecycle,
+   exception propagation, ordered combinators, and bit-for-bit parity of
+   the parallelized hot paths at jobs=1 vs jobs=4. *)
+
+module Pool = Bistpath_parallel.Pool
+module Par = Bistpath_parallel.Par
+module Telemetry = Bistpath_telemetry.Telemetry
+module B = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Library = Bistpath_gatelevel.Library
+module Fault = Bistpath_gatelevel.Fault
+module Fault_sim = Bistpath_gatelevel.Fault_sim
+module Podem = Bistpath_gatelevel.Podem
+module Bist_sim = Bistpath_gatelevel.Bist_sim
+module Pareto = Bistpath_bist.Pareto
+module Prng = Bistpath_util.Prng
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+(* One multi-domain pool shared by the whole suite (also exercises
+   reuse: every case below runs batches on the same four domains). *)
+let par_pool = lazy (Pool.create ~jobs:4 ())
+let seq_pool = lazy (Pool.create ~jobs:1 ())
+
+let pool_reuse () =
+  let p = Lazy.force par_pool in
+  check Alcotest.int "width" 4 (Pool.jobs p);
+  (* several batches on the same pool, results positional every time *)
+  for round = 1 to 3 do
+    let a = Array.init 100 (fun i -> i * round) in
+    let doubled = Par.map_array ~pool:p ~chunk:7 (fun x -> 2 * x) a in
+    check (Alcotest.array Alcotest.int) "round result"
+      (Array.map (fun x -> 2 * x) a)
+      doubled
+  done
+
+let pool_shared_instance () =
+  let a = Pool.get () in
+  let b = Pool.get () in
+  check Alcotest.bool "same pool object" true (a == b)
+
+let pool_shutdown () =
+  let p = Pool.create ~jobs:3 () in
+  let r = Par.map_list ~pool:p string_of_int [ 1; 2; 3 ] in
+  check (Alcotest.list Alcotest.string) "works before" [ "1"; "2"; "3" ] r;
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run: pool is shut down") (fun () ->
+      Pool.run p [ (fun () -> ()) ])
+
+let exception_propagation () =
+  let p = Lazy.force par_pool in
+  (* several chunks fail; the earliest-submitted one's exception wins *)
+  Alcotest.check_raises "earliest failure re-raised" (Failure "boom3") (fun () ->
+      ignore
+        (Par.map_list ~pool:p ~chunk:1
+           (fun i -> if i mod 7 = 3 then failwith (Printf.sprintf "boom%d" i) else i)
+           (List.init 20 (fun i -> i + 1))));
+  (* the pool survives a failed batch *)
+  check (Alcotest.list Alcotest.int) "pool alive after failure" [ 2; 4 ]
+    (Par.map_list ~pool:p (fun x -> 2 * x) [ 1; 2 ])
+
+let ordered_reduce () =
+  let xs = List.init 30 (fun i -> i) in
+  let expected = String.concat "" (List.map string_of_int xs) in
+  List.iter
+    (fun pool ->
+      check Alcotest.string "non-commutative combine in order" expected
+        (Par.reduce ~pool ~chunk:3 string_of_int ( ^ ) "" xs))
+    [ Lazy.force seq_pool; Lazy.force par_pool ]
+
+let map_parity () =
+  let a = Array.init 999 (fun i -> i) in
+  let f x = (x * 2654435761) land 0xFFFFFF in
+  check (Alcotest.array Alcotest.int) "map_array jobs=1 vs jobs=4"
+    (Par.map_array ~pool:(Lazy.force seq_pool) f a)
+    (Par.map_array ~pool:(Lazy.force par_pool) f a)
+
+let counters_not_lost () =
+  (* worker domains bump a telemetry counter concurrently; the
+     mutex-guarded recorder must not lose any increment *)
+  let p = Lazy.force par_pool in
+  let n = 500 in
+  let (), r =
+    Telemetry.collect (fun () ->
+        ignore
+          (Par.map_list ~pool:p ~chunk:13
+             (fun i ->
+               Telemetry.incr "test.parallel_incr";
+               i)
+             (List.init n (fun i -> i))))
+  in
+  check Alcotest.int "every increment counted" n
+    (Telemetry.counter r "test.parallel_incr")
+
+(* --- hot-path parity: jobs=1 vs jobs=4 ---------------------------- *)
+
+let fault_sim_parity () =
+  let c = Library.array_multiplier ~width:3 in
+  let faults = Fault.collapsed c in
+  let rng = Prng.create 11 in
+  let patterns = Fault_sim.random_operand_patterns rng ~width:3 ~count:40 in
+  let seq =
+    Fault_sim.run_operand_patterns ~pool:(Lazy.force seq_pool) c ~width:3 ~faults
+      ~patterns
+  in
+  let par =
+    Fault_sim.run_operand_patterns ~pool:(Lazy.force par_pool) c ~width:3 ~faults
+      ~patterns
+  in
+  check Alcotest.int "total" seq.Fault_sim.total par.Fault_sim.total;
+  check Alcotest.int "detected" seq.Fault_sim.detected par.Fault_sim.detected;
+  check Alcotest.bool "undetected lists identical" true
+    (seq.Fault_sim.undetected = par.Fault_sim.undetected)
+
+let podem_parity () =
+  let c = Library.ripple_adder ~width:3 in
+  let seq = Podem.classify_all ~pool:(Lazy.force seq_pool) c in
+  let par = Podem.classify_all ~pool:(Lazy.force par_pool) c in
+  check Alcotest.bool "classification identical" true (seq = par)
+
+let datapath_of tag =
+  let inst = Option.get (B.by_tag tag) in
+  Flow.run ~style:(Flow.Testable Bistpath_core.Testable_alloc.default_options)
+    inst.B.dfg inst.B.massign ~policy:inst.B.policy
+
+let pareto_parity () =
+  List.iter
+    (fun tag ->
+      let dp = (datapath_of tag).Flow.datapath in
+      let seq = Pareto.explore ~pool:(Lazy.force seq_pool) dp in
+      let par = Pareto.explore ~pool:(Lazy.force par_pool) dp in
+      check Alcotest.int (tag ^ ": same number of points") (List.length seq)
+        (List.length par);
+      check Alcotest.bool (tag ^ ": fronts bit-identical") true (seq = par))
+    [ "ex1"; "Paulin" ]
+
+let bist_sim_parity () =
+  let r = datapath_of "ex1" in
+  let seq =
+    Bist_sim.run ~width:8 ~pattern_count:63 ~pool:(Lazy.force seq_pool)
+      r.Flow.datapath r.Flow.bist
+  in
+  let par =
+    Bist_sim.run ~width:8 ~pattern_count:63 ~pool:(Lazy.force par_pool)
+      r.Flow.datapath r.Flow.bist
+  in
+  check Alcotest.bool "coverage reports identical" true (seq = par)
+
+let suite =
+  [
+    case "pool reuse across batches" pool_reuse;
+    case "shared pool is one instance" pool_shared_instance;
+    case "pool shutdown" pool_shutdown;
+    case "worker exception propagates" exception_propagation;
+    case "ordered reduce" ordered_reduce;
+    case "map parity across pool widths" map_parity;
+    case "telemetry counters survive workers" counters_not_lost;
+    case "fault_sim parity jobs=1 vs 4" fault_sim_parity;
+    case "podem parity jobs=1 vs 4" podem_parity;
+    case "pareto parity jobs=1 vs 4" pareto_parity;
+    case "bist_sim parity jobs=1 vs 4" bist_sim_parity;
+  ]

@@ -66,6 +66,39 @@ let prng_pick_member () =
   Alcotest.check_raises "empty list" (Invalid_argument "Prng.pick: empty list") (fun () ->
       ignore (Prng.pick t []))
 
+let prng_split_vectors () =
+  (* reference vectors documented in prng.mli *)
+  let t = Prng.create 42 in
+  let c = Prng.split t in
+  check Alcotest.int64 "child's first draw" 0x2559B167601B8DD1L (Prng.next_int64 c);
+  check Alcotest.int64 "parent continues" 0x28EFE333B266F103L (Prng.next_int64 t);
+  (* split consumes exactly one parent draw *)
+  let t' = Prng.create 42 in
+  ignore (Prng.next_int64 t');
+  check Alcotest.int64 "parent advanced by one draw" 0x28EFE333B266F103L
+    (Prng.next_int64 t')
+
+let prng_split_deterministic_and_independent () =
+  let a = Prng.create 9 and b = Prng.create 9 in
+  let ca = Prng.split a and cb = Prng.split b in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "same split, same stream" (Prng.next_int64 ca)
+      (Prng.next_int64 cb)
+  done;
+  (* child and parent streams diverge *)
+  let t = Prng.create 17 in
+  let c = Prng.split t in
+  let child = List.init 20 (fun _ -> Prng.next_int64 c) in
+  let parent = List.init 20 (fun _ -> Prng.next_int64 t) in
+  check Alcotest.bool "streams differ" true (child <> parent);
+  (* sequential splits from one root give pairwise different streams *)
+  let root = Prng.create 1 in
+  let firsts =
+    List.init 32 (fun _ -> Prng.next_int64 (Prng.split root))
+  in
+  check Alcotest.int "32 distinct first draws" 32
+    (List.length (List.sort_uniq compare firsts))
+
 let prng_uniformity () =
   (* crude chi-square-ish check: each of 8 buckets within 3x of expected *)
   let t = Prng.create 123 in
@@ -173,6 +206,8 @@ let suite =
     case "prng float bounds" prng_float_bounds;
     case "prng shuffle permutes" prng_shuffle_permutes;
     case "prng pick" prng_pick_member;
+    case "prng split vectors" prng_split_vectors;
+    case "prng split deterministic, independent" prng_split_deterministic_and_independent;
     case "prng uniformity" prng_uniformity;
     case "prng float mean" prng_float_mean;
     case "listx pairs" listx_pairs;
