@@ -110,6 +110,7 @@ let telemetry_section () =
                        s.Telemetry.counters))))
           (Telemetry.spans r))
     telemetry_tags;
+  Bistpath_resilience.Inject.fire_sys_error "telemetry.write";
   Telemetry.write_file "BENCH_telemetry.json"
     ("[\n" ^ Buffer.contents records ^ "\n]\n");
   print_endline "(wrote BENCH_telemetry.json)"
@@ -180,6 +181,7 @@ let parallel_section () =
       stages
   in
   Pool.shutdown par_pool;
+  Bistpath_resilience.Inject.fire_sys_error "telemetry.write";
   Telemetry.write_file "BENCH_parallel.json"
     ("[\n" ^ String.concat ",\n" records ^ "\n]\n");
   print_endline "\n(wrote BENCH_parallel.json)"

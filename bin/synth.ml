@@ -15,31 +15,57 @@ module Podem = Bistpath_gatelevel.Podem
 module Library = Bistpath_gatelevel.Library
 module Massign = Bistpath_dfg.Massign
 module Telemetry = Bistpath_telemetry.Telemetry
+module Budget = Bistpath_resilience.Budget
+module Cancel = Bistpath_resilience.Cancel
+module Diagnostic = Bistpath_resilience.Diagnostic
+module Inject = Bistpath_resilience.Inject
 
 open Cmdliner
+
+(* Exit-code protocol: 0 success, 1 internal/CLI error, 3 degraded (a
+   budget tripped and best-so-far results were printed), 4 invalid
+   input (the DFG/behavioural text failed validation). *)
+let exit_degraded = 3
+let exit_invalid_input = 4
 
 let instance_of_dfg dfg =
   let massign = Bistpath_core.Module_assign.single_function dfg in
   { B.tag = dfg.Bistpath_dfg.Dfg.name; dfg; massign; policy = Policy.default }
 
-let load_instance spec =
+(* Load a design, accumulating every diagnostic instead of stopping at
+   the first: one failed run reports all problems, capped at
+   --max-errors. [Error] carries pre-rendered lines. *)
+let load_instance ?max_errors spec =
   match B.by_tag spec with
   | Some inst -> Ok inst
   | None ->
-    if Sys.file_exists spec then
+    if Sys.file_exists spec then begin
+      let locate d = { d with Diagnostic.file = Some spec } in
+      let render ds = List.map (fun d -> Diagnostic.to_string (locate d)) ds in
       if Filename.check_suffix spec ".beh" then
         (* behavioural program: compile, schedule as soon as possible *)
         let text = In_channel.with_open_text spec In_channel.input_all in
         let name = Filename.remove_extension (Filename.basename spec) in
-        Result.map instance_of_dfg (Bistpath_dfg.Frontend.compile ~name text)
-      else
-        match Parser.parse_file spec with
-        | Error msg -> Error msg
-        | Ok u -> Result.map instance_of_dfg (Parser.to_dfg u)
+        match Bistpath_dfg.Frontend.compile_diags ~name ?max_errors text with
+        | Ok dfg -> Ok (instance_of_dfg dfg)
+        | Error ds -> Error (render ds)
+      else begin
+        let u, diags = Parser.parse_file_diags ?max_errors spec in
+        if
+          List.exists
+            (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error)
+            diags
+        then Error (List.map Diagnostic.to_string diags)
+        else
+          match Parser.to_dfg_diags ?max_errors u with
+          | Ok dfg -> Ok (instance_of_dfg dfg)
+          | Error ds -> Error (render ds)
+      end
+    end
     else
       Error
-        (Printf.sprintf "unknown benchmark %S (and no such file); known: %s" spec
-           (String.concat ", " B.all_tags))
+        [ Printf.sprintf "unknown benchmark %S (and no such file); known: %s" spec
+            (String.concat ", " B.all_tags) ]
 
 let instance_arg =
   let doc = "Benchmark tag (see $(b,synth list)) or path to a DFG file." in
@@ -68,7 +94,15 @@ let or_die = function
     prerr_endline ("synth: " ^ msg);
     exit 1
 
-(* --- telemetry and parallelism flags (every subcommand) ------------ *)
+(* Invalid *input* (as opposed to CLI misuse) exits 4 so scripts can
+   tell "your DFG is broken" from "the tool broke". *)
+let or_die_input = function
+  | Ok x -> x
+  | Error lines ->
+    List.iter (fun l -> prerr_endline ("synth: " ^ l)) lines;
+    exit exit_invalid_input
+
+(* --- telemetry, parallelism and budget flags (every subcommand) ---- *)
 
 let stats_arg =
   let doc =
@@ -92,49 +126,131 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let telemetry_term =
+let timeout_arg =
+  let doc =
+    "Wall-clock budget in seconds (anytime mode). When the deadline \
+     hits, the search stops cooperatively, the best solution found so \
+     far is printed, and synth exits 3."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc)
+
+let leaf_budget_arg =
+  let doc =
+    "Stop after evaluating $(docv) enumeration leaves (anytime mode). \
+     Like $(b,--timeout), a tripped budget prints best-so-far results \
+     and exits 3; unlike it, the truncation point is deterministic and \
+     independent of $(b,--jobs)."
+  in
+  Arg.(value & opt (some int) None & info [ "leaf-budget" ] ~docv:"N" ~doc)
+
+let max_errors_arg =
+  let doc =
+    "Report at most $(docv) input diagnostics before truncating \
+     (invalid input exits 4)."
+  in
+  Arg.(value & opt (some int) None & info [ "max-errors" ] ~docv:"N" ~doc)
+
+type common = {
+  stats : bool;
+  trace : string option;
+  jobs : int option;
+  timeout : float option;
+  leaf_budget : int option;
+  max_errors : int option;
+}
+
+let common_term =
   Term.(
-    const (fun stats trace jobs -> (stats, trace, jobs))
-    $ stats_arg $ trace_arg $ jobs_arg)
+    const (fun stats trace jobs timeout leaf_budget max_errors ->
+        { stats; trace; jobs; timeout; leaf_budget; max_errors })
+    $ stats_arg $ trace_arg $ jobs_arg $ timeout_arg $ leaf_budget_arg
+    $ max_errors_arg)
 
 (* Telemetry goes to stderr or the named trace file, never stdout: for
    rtl/dot/vcd/tb/export the primary artifact is the stdout stream and
-   must stay machine-parsable. *)
-let with_telemetry (stats, trace, jobs) f =
-  (match jobs with
+   must stay machine-parsable.
+
+   [f] receives the budget built from --timeout/--leaf-budget
+   (Budget.unlimited when neither is given, keeping unbudgeted runs on
+   the exact historical code path). If the budget tripped, whatever
+   output [f] printed stands as the best-so-far answer and we exit 3
+   after the telemetry epilogue. *)
+let with_common c f =
+  (match c.jobs with
   | Some n when n >= 1 -> Bistpath_parallel.Pool.set_jobs n
   | Some n ->
     prerr_endline ("synth: --jobs must be >= 1, got " ^ string_of_int n);
     exit 1
   | None -> ());
-  if (not stats) && trace = None then f ()
-  else begin
-    let x, r = Telemetry.collect f in
-    if stats then prerr_string (Telemetry.summary_table r);
-    Option.iter
-      (fun file ->
-        try Telemetry.write_file file (Telemetry.chrome_trace_json r)
-        with Sys_error msg ->
-          Printf.eprintf "synth: cannot write trace file: %s\n" msg;
-          exit 1)
-      trace;
+  (match c.timeout with
+  | Some t when t <= 0.0 ->
+    prerr_endline "synth: --timeout must be positive";
+    exit 1
+  | _ -> ());
+  (match c.leaf_budget with
+  | Some n when n < 1 ->
+    prerr_endline "synth: --leaf-budget must be >= 1";
+    exit 1
+  | _ -> ());
+  (match c.max_errors with
+  | Some n when n < 1 ->
+    prerr_endline "synth: --max-errors must be >= 1";
+    exit 1
+  | _ -> ());
+  let budget =
+    match (c.timeout, c.leaf_budget) with
+    | None, None -> Budget.unlimited
+    | deadline_s, leaf_budget -> Budget.create ?deadline_s ?leaf_budget ()
+  in
+  let body () =
+    let x = f budget in
+    (match Budget.stop_reason budget with
+    | Some _ -> Telemetry.set "resilience.degraded" 1
+    | None -> ());
     x
-  end
+  in
+  let finish x =
+    match Budget.stop_reason budget with
+    | Some r ->
+      Printf.eprintf "synth: degraded: %s (best-so-far results shown)\n"
+        (Cancel.describe r);
+      exit exit_degraded
+    | None -> x
+  in
+  try
+    if (not c.stats) && c.trace = None then finish (body ())
+    else begin
+      let x, r = Telemetry.collect body in
+      if c.stats then prerr_string (Telemetry.summary_table r);
+      Option.iter
+        (fun file ->
+          try
+            Inject.fire_sys_error "telemetry.write";
+            Telemetry.write_file file (Telemetry.chrome_trace_json r)
+          with Sys_error msg ->
+            Printf.eprintf "synth: cannot write trace file: %s\n" msg;
+            exit 1)
+        c.trace;
+      finish x
+    end
+  with Inject.Injected site ->
+    Printf.eprintf "synth: injected fault at site %s\n" site;
+    exit 1
 
 let run_term =
-  let run tel spec width flow transparency =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width flow transparency =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
     let r =
-      Flow.run ~width ~transparency ~style inst.B.dfg inst.B.massign
+      Flow.run ~budget ~width ~transparency ~style inst.B.dfg inst.B.massign
         ~policy:inst.B.policy
     in
     Format.printf "%a@.@.%a@." Bistpath_dfg.Dfg.pp inst.B.dfg Flow.pp_result r;
     Format.printf "@.test sessions: %a@." Bistpath_bist.Session.pp r.Flow.sessions
   in
   Term.(
-    const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg
+    const run $ common_term $ instance_arg $ width_arg $ flow_arg
     $ transparency_arg)
 
 let run_cmd =
@@ -142,9 +258,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc) run_term
 
 let compare_cmd =
-  let run tel spec width =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width =
+    with_common c @@ fun _budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let c = Report.compare_instance ~width inst in
     Format.printf "=== traditional ===@.%a@.@.=== testable ===@.%a@.@.reduction: %.2f%%@."
       Flow.pp_result c.Report.traditional Flow.pp_result c.Report.testable
@@ -153,11 +269,11 @@ let compare_cmd =
   in
   let doc = "Run both flows on one DFG and show the BIST overhead reduction." in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ telemetry_term $ instance_arg $ width_arg)
+    Term.(const run $ common_term $ instance_arg $ width_arg)
 
 let tables_cmd =
-  let run tel width =
-    with_telemetry tel @@ fun () ->
+  let run c width =
+    with_common c @@ fun _budget ->
     print_endline (Report.table1 ~width ());
     print_newline ();
     print_endline (Report.table2 ~width ());
@@ -165,11 +281,11 @@ let tables_cmd =
     print_endline (Report.table3 ~width ())
   in
   let doc = "Reproduce the paper's Tables I, II and III." in
-  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ telemetry_term $ width_arg)
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ common_term $ width_arg)
 
 let figures_cmd =
-  let run tel width =
-    with_telemetry tel @@ fun () ->
+  let run c width =
+    with_common c @@ fun _budget ->
     List.iter
       (fun s ->
         print_endline s;
@@ -177,14 +293,14 @@ let figures_cmd =
       [ Report.fig2 (); Report.fig4 (); Report.fig5 ~width (); Report.fig1_3 ~width (); Report.fig6 () ]
   in
   let doc = "Reproduce the paper's figures (2, 4, 5, 1/3, 6)." in
-  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ telemetry_term $ width_arg)
+  Cmd.v (Cmd.info "figures" ~doc) Term.(const run $ common_term $ width_arg)
 
 let ablation_cmd =
-  let run tel width =
-    with_telemetry tel @@ fun () -> print_endline (Report.ablation ~width ())
+  let run c width =
+    with_common c @@ fun _budget -> print_endline (Report.ablation ~width ())
   in
   let doc = "Ablate the testable allocator's ingredients across benchmarks." in
-  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ telemetry_term $ width_arg)
+  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ common_term $ width_arg)
 
 let rtl_cmd =
   let bist_arg =
@@ -195,11 +311,11 @@ let rtl_cmd =
     let doc = "Also emit the self-test wrapper (implies $(b,--bist))." in
     Arg.(value & flag & info [ "wrapper" ] ~doc)
   in
-  let run tel spec width flow bist wrapper =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width flow bist wrapper =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
-    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
     let bist = bist || wrapper in
     print_endline (Verilog.primitives ~width);
     print_endline
@@ -220,7 +336,7 @@ let rtl_cmd =
   let doc = "Emit structural Verilog for the synthesized data path." in
   Cmd.v (Cmd.info "rtl" ~doc)
     Term.(
-      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg $ bist_arg
+      const run $ common_term $ instance_arg $ width_arg $ flow_arg $ bist_arg
       $ wrapper_arg)
 
 let dot_cmd =
@@ -228,40 +344,40 @@ let dot_cmd =
     let doc = "What to draw: $(b,datapath) (default) or $(b,dfg)." in
     Arg.(value & opt string "datapath" & info [ "what" ] ~docv:"KIND" ~doc)
   in
-  let run tel spec width flow what =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width flow what =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     match what with
     | "dfg" -> print_endline (Dot.of_dfg inst.B.dfg)
     | "datapath" ->
       let style = or_die (style_of_flow flow) in
-      let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+      let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
       print_endline (Dot.of_datapath ~bist:r.Flow.bist r.Flow.datapath)
     | s -> or_die (Error (Printf.sprintf "unknown kind %S" s))
   in
   let doc = "Emit Graphviz DOT for a DFG or synthesized data path." in
   Cmd.v (Cmd.info "dot" ~doc)
     Term.(
-      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg $ what_arg)
+      const run $ common_term $ instance_arg $ width_arg $ flow_arg $ what_arg)
 
 let coverage_cmd =
   let patterns_arg =
     let doc = "Number of LFSR patterns per test session." in
     Arg.(value & opt int 255 & info [ "patterns" ] ~docv:"N" ~doc)
   in
-  let run tel spec width flow patterns =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width flow patterns =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
-    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
-    let rep = Bist_sim.run ~width ~pattern_count:patterns r.Flow.datapath r.Flow.bist in
+    let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let rep = Bist_sim.run ~budget ~width ~pattern_count:patterns r.Flow.datapath r.Flow.bist in
     Format.printf "%a@." Bist_sim.pp rep
   in
   let doc = "Gate-level stuck-at coverage of the chosen BIST configuration." in
   Cmd.v
     (Cmd.info "coverage" ~doc)
     Term.(
-      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg
+      const run $ common_term $ instance_arg $ width_arg $ flow_arg
       $ patterns_arg)
 
 let vcd_cmd =
@@ -269,11 +385,11 @@ let vcd_cmd =
     let doc = "Input values as name=value pairs (defaults to a seeded random vector)." in
     Arg.(value & opt_all string [] & info [ "set" ] ~docv:"VAR=VAL" ~doc)
   in
-  let run tel spec width flow sets =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width flow sets =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
-    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
     let used =
       List.filter
         (fun v -> Bistpath_dfg.Dfg.consumers inst.B.dfg v <> [])
@@ -285,7 +401,13 @@ let vcd_cmd =
       List.map
         (fun s ->
           match String.split_on_char '=' s with
-          | [ k; v ] -> (k, int_of_string v)
+          | [ k; v ] -> (
+            match int_of_string_opt v with
+            | Some x -> (k, x)
+            | None ->
+              or_die
+                (Error
+                   (Printf.sprintf "bad --set %S (%S is not an integer)" s v)))
           | _ -> or_die (Error (Printf.sprintf "bad --set %S (want VAR=VAL)" s)))
         sets
     in
@@ -300,7 +422,7 @@ let vcd_cmd =
   let doc = "Interpret the data path and dump a VCD waveform (view in GTKWave)." in
   Cmd.v (Cmd.info "vcd" ~doc)
     Term.(
-      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg
+      const run $ common_term $ instance_arg $ width_arg $ flow_arg
       $ inputs_arg)
 
 let tb_cmd =
@@ -312,11 +434,11 @@ let tb_cmd =
     let doc = "PRNG seed for the vectors." in
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
   in
-  let run tel spec width flow count seed =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width flow count seed =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
-    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
     let rng = Bistpath_util.Prng.create seed in
     let vectors =
       Bistpath_rtl.Testbench.random_vectors rng r.Flow.datapath ~width ~count
@@ -330,15 +452,15 @@ let tb_cmd =
   in
   Cmd.v (Cmd.info "tb" ~doc)
     Term.(
-      const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg
+      const run $ common_term $ instance_arg $ width_arg $ flow_arg
       $ count_arg $ seed_arg)
 
 let area_cmd =
-  let run tel spec width flow =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width flow =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
-    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
     let m = Bistpath_datapath.Area.default in
     Format.printf "functional: %a@."
       Bistpath_datapath.Area.pp_breakdown
@@ -358,29 +480,29 @@ let area_cmd =
   in
   let doc = "Area breakdown, timing estimate and DFT cost summary." in
   Cmd.v (Cmd.info "area" ~doc)
-    Term.(const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg)
+    Term.(const run $ common_term $ instance_arg $ width_arg $ flow_arg)
 
 let pareto_cmd =
-  let run tel spec width flow =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width flow =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
-    let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+    let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
     Format.printf "%a@." Bistpath_bist.Pareto.pp
-      (Bistpath_bist.Pareto.explore ~width r.Flow.datapath)
+      (Bistpath_bist.Pareto.explore ~width ~budget r.Flow.datapath)
   in
   let doc = "Area vs test-session Pareto front for one design." in
   Cmd.v (Cmd.info "pareto" ~doc)
-    Term.(const run $ telemetry_term $ instance_arg $ width_arg $ flow_arg)
+    Term.(const run $ common_term $ instance_arg $ width_arg $ flow_arg)
 
 let check_cmd =
   let vectors_arg =
     let doc = "Number of random vectors for the equivalence check." in
     Arg.(value & opt int 25 & info [ "vectors" ] ~docv:"N" ~doc)
   in
-  let run tel spec width vectors =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width vectors =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let failures = ref 0 in
     let ok name cond =
       Printf.printf "  [%s] %s\n" (if cond then "ok" else "FAIL") name;
@@ -389,7 +511,7 @@ let check_cmd =
     List.iter
       (fun (label, style) ->
         Printf.printf "%s flow:\n" label;
-        let r = Flow.run ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+        let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
         let rng = Bistpath_util.Prng.create 42 in
         let equivalent = ref true in
         for _ = 1 to vectors do
@@ -435,16 +557,16 @@ let check_cmd =
   in
   let doc = "Self-verify a design: equivalence, allocation and BIST sanity." in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ telemetry_term $ instance_arg $ width_arg $ vectors_arg)
+    Term.(const run $ common_term $ instance_arg $ width_arg $ vectors_arg)
 
 let atpg_cmd =
   let backtracks_arg =
     let doc = "PODEM backtrack budget per fault before aborting." in
     Arg.(value & opt int 10_000 & info [ "max-backtracks" ] ~docv:"N" ~doc)
   in
-  let run tel spec width max_backtracks =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec width max_backtracks =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     List.iter
       (fun (u : Massign.hw) ->
         let circuit =
@@ -454,31 +576,34 @@ let atpg_cmd =
         in
         let cls =
           Telemetry.with_span "podem" ~attrs:[ ("unit", u.Massign.mid) ]
-            (fun () -> Podem.classify_all ~max_backtracks circuit)
+            (fun () -> Podem.classify_all ~max_backtracks ~budget circuit)
         in
         Printf.printf
-          "%s: %d faults tested, %d proven redundant, %d aborted (%d distinct vectors)\n"
+          "%s: %d faults tested, %d proven redundant, %d aborted (%d distinct vectors)%s\n"
           u.Massign.mid
           (List.length cls.Podem.tested)
           (List.length cls.Podem.untestable)
           (List.length cls.Podem.aborted)
-          (List.length (List.sort_uniq compare (List.map snd cls.Podem.tested))))
+          (List.length (List.sort_uniq compare (List.map snd cls.Podem.tested)))
+          (match cls.Podem.skipped with
+          | [] -> ""
+          | sk -> Printf.sprintf ", %d skipped" (List.length sk)))
       inst.B.massign.Massign.units
   in
   let doc =
     "Deterministic PODEM test generation for every functional unit of a design."
   in
   Cmd.v (Cmd.info "atpg" ~doc)
-    Term.(const run $ telemetry_term $ instance_arg $ width_arg $ backtracks_arg)
+    Term.(const run $ common_term $ instance_arg $ width_arg $ backtracks_arg)
 
 let export_cmd =
-  let run tel spec =
-    with_telemetry tel @@ fun () ->
-    let inst = or_die (load_instance spec) in
+  let run c spec =
+    with_common c @@ fun _budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     print_string (Parser.to_string inst.B.dfg)
   in
   let doc = "Print a design in the textual DFG format (re-loadable by every command)." in
-  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ telemetry_term $ instance_arg)
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ common_term $ instance_arg)
 
 let list_cmd =
   let run () =

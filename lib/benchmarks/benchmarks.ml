@@ -521,6 +521,14 @@ let by_tag = function
   | "ewf" -> Some (ewf ())
   | "ar" -> Some (ar_lattice ())
   | "dct4" -> Some (dct4 ())
+  | tag
+    when String.length tag > 3
+         && String.equal (String.sub tag 0 3) "fir" -> (
+    (* parametric family: "fir<N>" for any N >= 2, e.g. fir32 as a
+       larger stress instance; fir8 above stays the canonical tag *)
+    match int_of_string_opt (String.sub tag 3 (String.length tag - 3)) with
+    | Some taps when taps >= 2 -> Some (fir ~taps)
+    | _ -> None)
   | _ -> None
 
 let all_tags =

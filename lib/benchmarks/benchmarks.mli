@@ -74,6 +74,8 @@ val random :
 
 val by_tag : string -> instance option
 (** Look up any of the named instances above ("ex1", "ex2", "Tseng1",
-    "Tseng2", "Paulin", "fir8", "iir", "ewf"). *)
+    "Tseng2", "Paulin", "fir8", "iir", "ewf"), or a parametric
+    ["fir<N>"] tag (N >= 2, e.g. "fir32") for larger stress
+    instances. *)
 
 val all_tags : string list

@@ -4,6 +4,10 @@ module Massign = Bistpath_dfg.Massign
 module Ipath = Bistpath_ipath.Ipath
 module Listx = Bistpath_util.Listx
 module Telemetry = Bistpath_telemetry.Telemetry
+module Budget = Bistpath_resilience.Budget
+module Cancel = Bistpath_resilience.Cancel
+module Outcome = Bistpath_resilience.Outcome
+module Inject = Bistpath_resilience.Inject
 
 type solution = {
   embeddings : Ipath.embedding list;
@@ -82,7 +86,8 @@ let unapply eng (e : Ipath.embedding) =
       if String.equal e.l_tpg e.sa then s.both <- s.both - 1)
 
 let solve ?(model = Area.default) ?(width = 8) ?(forbidden = [])
-    ?(node_budget = 200_000) ?(io_penalty_percent = 100) ?(transparency = false) dp =
+    ?(node_budget = 200_000) ?(io_penalty_percent = 100) ?(transparency = false)
+    ?(budget = Budget.unlimited) dp =
   let penalized = Hashtbl.create 8 in
   if io_penalty_percent <> 100 then
     List.iter
@@ -163,8 +168,9 @@ let solve ?(model = Area.default) ?(width = 8) ?(forbidden = [])
   let nodes = ref 0 in
   let exhausted = ref false in
   let rec branch i =
-    if !nodes > node_budget then exhausted := true
+    if !nodes > node_budget || Budget.should_stop budget then exhausted := true
     else if i = n then begin
+      Inject.fire "allocator.leaf";
       if eng.feasible = 0 && eng.cost < !best_cost then begin
         best_cost := eng.cost;
         best := Some (Array.to_list chosen |> List.filter_map Fun.id)
@@ -175,6 +181,7 @@ let solve ?(model = Area.default) ?(width = 8) ?(forbidden = [])
         (fun e ->
           if (not !exhausted) && eng.cost < !best_cost then begin
             incr nodes;
+            Budget.node budget;
             Telemetry.incr "bist.embeddings_explored";
             apply eng e;
             chosen.(i) <- Some e;
@@ -257,6 +264,21 @@ let solve ?(model = Area.default) ?(width = 8) ?(forbidden = [])
     delta_gates = eng3.cost;
     exact = not !exhausted;
   }
+
+let solve_outcome ?model ?width ?forbidden ?(node_budget = 200_000)
+    ?io_penalty_percent ?transparency ?(budget = Budget.unlimited) dp =
+  let sol =
+    solve ?model ?width ?forbidden ~node_budget ?io_penalty_percent ?transparency
+      ~budget dp
+  in
+  if sol.exact then Outcome.Complete sol
+  else
+    (* Token first: a deadline or external cancel is the real cause even
+       though it surfaces through the same [exhausted] flag as the local
+       node quota. *)
+    match Budget.stop_reason budget with
+    | Some r -> Outcome.Degraded (sol, r)
+    | None -> Outcome.Degraded (sol, Cancel.Node_budget node_budget)
 
 let style_counts sol =
   [ Resource.Cbilbo; Resource.Bilbo; Resource.Tpg; Resource.Sa ]

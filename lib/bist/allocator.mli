@@ -25,6 +25,7 @@ val solve :
   ?node_budget:int ->
   ?io_penalty_percent:int ->
   ?transparency:bool ->
+  ?budget:Bistpath_resilience.Budget.t ->
   Bistpath_datapath.Datapath.t ->
   solution
 (** Default model {!Bistpath_datapath.Area.default}, width 8, node budget
@@ -39,7 +40,33 @@ val solve :
     sensitivity study in the bench harness sweeps this. With
     [~transparency:true] (default false) pattern generators may reach a
     port through one transparent unit ({!Bistpath_ipath.Ipath}), which
-    can only lower the minimum. Deterministic. *)
+    can only lower the minimum. Deterministic.
+
+    [budget] (default {!Bistpath_resilience.Budget.unlimited}) makes the
+    search anytime: every branch-and-bound node is counted against the
+    budget and the search polls its token, so a deadline or external
+    cancel truncates it exactly like the local node quota — the greedy
+    warm start (or best solution found so far) is returned with
+    [exact = false]. With the default budget behaviour and results are
+    bit-identical to previous releases.
+
+    Fault injection: each complete leaf probes the [allocator.leaf] site
+    ({!Bistpath_resilience.Inject}). *)
+
+val solve_outcome :
+  ?model:Bistpath_datapath.Area.model ->
+  ?width:int ->
+  ?forbidden:Resource.style list ->
+  ?node_budget:int ->
+  ?io_penalty_percent:int ->
+  ?transparency:bool ->
+  ?budget:Bistpath_resilience.Budget.t ->
+  Bistpath_datapath.Datapath.t ->
+  solution Bistpath_resilience.Outcome.t
+(** [solve] with the truncation cause made explicit: [Complete] iff
+    [exact], otherwise [Degraded] carrying the budget's stop reason
+    (falling back to [Node_budget] for the local quota, which has no
+    token). *)
 
 val style_counts : solution -> (Resource.style * int) list
 (** Histogram of non-[Normal] styles (Table II's resource mixes). *)

@@ -2,6 +2,10 @@ module Area = Bistpath_datapath.Area
 module Datapath = Bistpath_datapath.Datapath
 module Massign = Bistpath_dfg.Massign
 module Ipath = Bistpath_ipath.Ipath
+module Budget = Bistpath_resilience.Budget
+module Cancel = Bistpath_resilience.Cancel
+module Outcome = Bistpath_resilience.Outcome
+module Inject = Bistpath_resilience.Inject
 
 type point = {
   delta_gates : int;
@@ -42,9 +46,10 @@ let solution_of dp model width embeddings =
     exact = true;
   }
 
-let explore ?(model = Area.default) ?(width = 8) ?(transparency = false)
-    ?(slack_percent = 50) ?(leaf_budget = 20_000) ?pool dp =
-  let minimum = Allocator.solve ~model ~width ~transparency dp in
+let explore_outcome ?(model = Area.default) ?(width = 8) ?(transparency = false)
+    ?(slack_percent = 50) ?(leaf_budget = 20_000) ?pool
+    ?(budget = Budget.unlimited) dp =
+  let minimum = Allocator.solve ~model ~width ~transparency ~budget dp in
   let bound = minimum.Allocator.delta_gates * (100 + slack_percent) / 100 in
   let units =
     dp.Datapath.massign.Massign.units
@@ -63,32 +68,48 @@ let explore ?(model = Area.default) ?(width = 8) ?(transparency = false)
      so the front below is bit-identical at any pool width. *)
   let chosen_leaves = ref [] in
   let count = ref 0 in
+  (* The enumeration counts every leaf against both the local quota and
+     the shared budget before fan-out, so a leaf-budget truncation is
+     decided here, sequentially — which is what keeps the truncated
+     front identical at every pool width. *)
   let rec enumerate chosen = function
     | [] ->
       incr count;
-      if !count <= leaf_budget then chosen_leaves := chosen :: !chosen_leaves
+      Budget.leaf budget;
+      if !count <= leaf_budget && not (Budget.should_stop budget) then
+        chosen_leaves := chosen :: !chosen_leaves
     | es :: rest ->
-      if !count <= leaf_budget then
+      if !count <= leaf_budget && not (Budget.should_stop budget) then
         List.iter (fun e -> enumerate (e :: chosen) rest) es
   in
   enumerate [] units;
   let evaluate chosen =
+    Inject.fire "pareto.leaf";
     let sol = solution_of dp model width chosen in
     if sol.Allocator.delta_gates <= bound then
       Some
         ( sol.Allocator.delta_gates,
-          Session.num_sessions (Session.schedule sol),
+          Session.num_sessions (Session.schedule ~budget sol),
           sol )
     else None
   in
   let leaves =
-    List.filter_map Fun.id
-      (Bistpath_parallel.Par.map_list ?pool evaluate !chosen_leaves)
+    let evaluated =
+      if Budget.is_unlimited budget then
+        Bistpath_parallel.Par.map_list ?pool evaluate !chosen_leaves
+      else
+        (* Under a live budget the chunks poll the token too, so a
+           deadline that trips mid-evaluation abandons queued leaves
+           ([None]) instead of finishing the whole batch. *)
+        Bistpath_parallel.Par.map_list_budget ?pool ~budget evaluate !chosen_leaves
+        |> List.map (function Some r -> r | None -> None)
+    in
+    List.filter_map Fun.id evaluated
   in
   (* Always include the true minimum (the enumeration may be cut). *)
   let min_point =
     ( minimum.Allocator.delta_gates,
-      Session.num_sessions (Session.schedule minimum),
+      Session.num_sessions (Session.schedule ~budget minimum),
       minimum )
   in
   let candidates = min_point :: leaves in
@@ -97,10 +118,22 @@ let explore ?(model = Area.default) ?(width = 8) ?(transparency = false)
       (fun (d', s', _) -> d' <= d && s' <= s && (d' < d || s' < s))
       candidates
   in
-  candidates
-  |> List.filter (fun p -> not (dominated p))
-  |> List.sort_uniq (fun (d, s, _) (d', s', _) -> compare (d, s) (d', s'))
-  |> List.map (fun (delta_gates, sessions, solution) -> { delta_gates; sessions; solution })
+  let points =
+    candidates
+    |> List.filter (fun p -> not (dominated p))
+    |> List.sort_uniq (fun (d, s, _) (d', s', _) -> compare (d, s) (d', s'))
+    |> List.map (fun (delta_gates, sessions, solution) -> { delta_gates; sessions; solution })
+  in
+  match Budget.stop_reason budget with
+  | Some r -> Outcome.Degraded (points, r)
+  | None ->
+    if !count > leaf_budget then Outcome.Degraded (points, Cancel.Leaf_budget leaf_budget)
+    else Outcome.Complete points
+
+let explore ?model ?width ?transparency ?slack_percent ?leaf_budget ?pool ?budget dp =
+  Outcome.value
+    (explore_outcome ?model ?width ?transparency ?slack_percent ?leaf_budget ?pool
+       ?budget dp)
 
 let pp ppf points =
   Format.fprintf ppf "@[<v>";

@@ -21,6 +21,7 @@ val explore :
   ?slack_percent:int ->
   ?leaf_budget:int ->
   ?pool:Bistpath_parallel.Pool.t ->
+  ?budget:Bistpath_resilience.Budget.t ->
   Bistpath_datapath.Datapath.t ->
   point list
 (** Points sorted by [delta_gates], mutually non-dominated (no point is
@@ -31,6 +32,33 @@ val explore :
     costed (solution build + session scheduling) in parallel on the
     [Bistpath_parallel] pool (the shared pool unless [?pool] is given);
     the front is assembled in deterministic enumeration order and is
-    bit-identical to the sequential result at any pool width. *)
+    bit-identical to the sequential result at any pool width.
+
+    [budget] (default {!Bistpath_resilience.Budget.unlimited}) makes the
+    exploration anytime: the minimum-area search, the enumeration (one
+    {!Bistpath_resilience.Budget.leaf} per combination, checked before
+    fan-out — so a leaf-budget truncation is still width-independent),
+    leaf costing (budget-aware parallel map; a mid-batch deadline
+    abandons queued leaves) and session scheduling all observe it. The
+    front of whatever was evaluated is still returned, with the
+    always-included minimum point guaranteeing it is non-empty.
+
+    Fault injection: every costed leaf probes the [pareto.leaf] site
+    ({!Bistpath_resilience.Inject}). *)
+
+val explore_outcome :
+  ?model:Bistpath_datapath.Area.model ->
+  ?width:int ->
+  ?transparency:bool ->
+  ?slack_percent:int ->
+  ?leaf_budget:int ->
+  ?pool:Bistpath_parallel.Pool.t ->
+  ?budget:Bistpath_resilience.Budget.t ->
+  Bistpath_datapath.Datapath.t ->
+  point list Bistpath_resilience.Outcome.t
+(** [explore] with the truncation cause made explicit: [Degraded] with
+    the budget's stop reason if its token tripped, [Degraded] with
+    [Leaf_budget] if the local enumeration cap was exceeded, [Complete]
+    otherwise. *)
 
 val pp : Format.formatter -> point list -> unit

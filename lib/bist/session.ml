@@ -2,6 +2,7 @@ module Ipath = Bistpath_ipath.Ipath
 module Ugraph = Bistpath_graphs.Ugraph
 module Coloring = Bistpath_graphs.Coloring
 module Listx = Bistpath_util.Listx
+module Budget = Bistpath_resilience.Budget
 
 type t = { sessions : string list list }
 
@@ -18,7 +19,12 @@ let conflict styles (a : Ipath.embedding) (b : Ipath.embedding) =
   || List.mem b.mid (channels a)
   || List.mem a.mid (channels b)
 
-let schedule (sol : Allocator.solution) =
+let schedule ?(budget = Budget.unlimited) (sol : Allocator.solution) =
+  if Budget.should_stop budget then
+    (* Degenerate but always-valid fallback under cancellation: one unit
+       per session trivially satisfies every conflict constraint. *)
+    { sessions = List.map (fun (e : Ipath.embedding) -> [ e.Ipath.mid ]) sol.embeddings }
+  else
   let es = Array.of_list sol.embeddings in
   let n = Array.length es in
   let edges =

@@ -16,7 +16,12 @@ type t = {
   sessions : string list list;  (** unit ids per session, session order *)
 }
 
-val schedule : Allocator.solution -> t
+val schedule : ?budget:Bistpath_resilience.Budget.t -> Allocator.solution -> t
+(** Greedy-coloring schedule. If [budget] (default
+    {!Bistpath_resilience.Budget.unlimited}) has already tripped, the
+    coloring is skipped and the degenerate one-unit-per-session schedule
+    — valid under every conflict constraint, just conservative — is
+    returned so a cancelled pipeline still emits a usable plan. *)
 
 val num_sessions : t -> int
 

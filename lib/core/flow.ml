@@ -5,6 +5,8 @@ module Interconnect = Bistpath_datapath.Interconnect
 module Allocator = Bistpath_bist.Allocator
 module Session = Bistpath_bist.Session
 module Telemetry = Bistpath_telemetry.Telemetry
+module Budget = Bistpath_resilience.Budget
+module Outcome = Bistpath_resilience.Outcome
 
 type style = Traditional | Testable of Testable_alloc.options
 
@@ -37,7 +39,7 @@ let sd_weight dfg massign regalloc =
       w
 
 let run ?(model = Area.default) ?(width = 8) ?(io_penalty_percent = 100)
-    ?(transparency = false) ~style dfg massign ~policy =
+    ?(transparency = false) ?(budget = Budget.unlimited) ~style dfg massign ~policy =
   Telemetry.with_span "flow"
     ~attrs:
       [
@@ -64,10 +66,10 @@ let run ?(model = Area.default) ?(width = 8) ?(io_penalty_percent = 100)
   in
   let bist =
     Telemetry.with_span "bist_alloc" @@ fun () ->
-    Allocator.solve ~model ~width ~io_penalty_percent ~transparency datapath
+    Allocator.solve ~model ~width ~io_penalty_percent ~transparency ~budget datapath
   in
   let sessions =
-    Telemetry.with_span "sessions" @@ fun () -> Session.schedule bist
+    Telemetry.with_span "sessions" @@ fun () -> Session.schedule ~budget bist
   in
   Telemetry.set "regs.allocated" (Datapath.allocated_register_count datapath);
   Telemetry.set "muxes.allocated" (Datapath.mux_count datapath);
@@ -83,6 +85,11 @@ let run ?(model = Area.default) ?(width = 8) ?(io_penalty_percent = 100)
     muxes = Datapath.mux_count datapath;
     overhead_percent = Allocator.overhead_percent ~model ~width datapath bist;
   }
+
+let run_outcome ?model ?width ?io_penalty_percent ?transparency
+    ?(budget = Budget.unlimited) ~style dfg massign ~policy =
+  let r = run ?model ?width ?io_penalty_percent ?transparency ~budget ~style dfg massign ~policy in
+  Budget.tag budget r
 
 let reduction_percent ~traditional ~testable =
   if traditional.overhead_percent = 0.0 then 0.0

@@ -24,6 +24,7 @@ val run :
   ?width:int ->
   ?io_penalty_percent:int ->
   ?transparency:bool ->
+  ?budget:Bistpath_resilience.Budget.t ->
   style:style ->
   Bistpath_dfg.Dfg.t ->
   Bistpath_dfg.Massign.t ->
@@ -31,7 +32,25 @@ val run :
   result
 (** Deterministic. [width] defaults to 8 bits; [io_penalty_percent]
     (default 100) is forwarded to the BIST allocation — see
-    {!Bistpath_bist.Allocator.solve}. *)
+    {!Bistpath_bist.Allocator.solve}. [budget] (default
+    {!Bistpath_resilience.Budget.unlimited}) is forwarded to the BIST
+    allocation and session scheduling, the two unbounded-search stages;
+    a tripped budget yields a valid flow built from the best allocation
+    found so far (check [result.bist.exact], or use {!run_outcome}). *)
+
+val run_outcome :
+  ?model:Bistpath_datapath.Area.model ->
+  ?width:int ->
+  ?io_penalty_percent:int ->
+  ?transparency:bool ->
+  ?budget:Bistpath_resilience.Budget.t ->
+  style:style ->
+  Bistpath_dfg.Dfg.t ->
+  Bistpath_dfg.Massign.t ->
+  policy:Bistpath_dfg.Policy.t ->
+  result Bistpath_resilience.Outcome.t
+(** [run] tagged with the budget's stop reason ([Degraded] iff its token
+    tripped). *)
 
 val reduction_percent : traditional:result -> testable:result -> float
 (** Table I's "% Reduction in BIST area":

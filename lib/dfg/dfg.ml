@@ -1,5 +1,6 @@
 module Smap = Map.Make (String)
 module Sset = Set.Make (String)
+module Diagnostic = Bistpath_resilience.Diagnostic
 
 type t = {
   name : string;
@@ -8,8 +9,6 @@ type t = {
   outputs : string list;
   schedule : int Smap.t;
 }
-
-let fail fmt = Format.kasprintf invalid_arg fmt
 
 let variables t =
   let add set v = Sset.add v set in
@@ -35,27 +34,33 @@ let num_csteps t = Smap.fold (fun _ c acc -> max acc c) t.schedule 0
 
 let ops_in_step t step = List.filter (fun (op : Op.t) -> cstep t op.id = step) t.ops
 
-let validate t =
+let diagnostics ?max_errors t =
+  let coll = Diagnostic.collector ?max_errors () in
+  let err fmt = Format.kasprintf (fun m -> Diagnostic.emit coll (Diagnostic.error m)) fmt in
+  (* Report each duplicated element once, at its first occurrence,
+     scanning positions in order — so the first diagnostic is exactly
+     the one the first-error path used to raise. *)
+  let dup_once l report =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun x ->
+        if
+          (not (Hashtbl.mem seen x))
+          && List.length (List.filter (String.equal x) l) > 1
+        then begin
+          Hashtbl.replace seen x ();
+          report x
+        end)
+      l
+  in
   let ids = List.map (fun (op : Op.t) -> op.id) t.ops in
-  (match
-     List.find_opt
-       (fun id -> List.length (List.filter (String.equal id) ids) > 1)
-       ids
-   with
-  | Some id -> fail "Dfg %s: duplicate operation id %s" t.name id
-  | None -> ());
+  dup_once ids (fun id -> err "Dfg %s: duplicate operation id %s" t.name id);
   let produced = List.map (fun (op : Op.t) -> op.out) t.ops in
-  (match
-     List.find_opt
-       (fun v -> List.length (List.filter (String.equal v) produced) > 1)
-       produced
-   with
-  | Some v -> fail "Dfg %s: variable %s produced by two operations" t.name v
-  | None -> ());
+  dup_once produced (fun v -> err "Dfg %s: variable %s produced by two operations" t.name v);
   List.iter
     (fun v ->
       if List.mem v t.inputs then
-        fail "Dfg %s: primary input %s is also an operation result" t.name v)
+        err "Dfg %s: primary input %s is also an operation result" t.name v)
     produced;
   let defined = Sset.union (Sset.of_list t.inputs) (Sset.of_list produced) in
   List.iter
@@ -63,34 +68,50 @@ let validate t =
       List.iter
         (fun v ->
           if not (Sset.mem v defined) then
-            fail "Dfg %s: operand %s of %s is undefined" t.name v op.id)
+            err "Dfg %s: operand %s of %s is undefined" t.name v op.id)
         [ op.left; op.right ])
     t.ops;
   List.iter
     (fun v ->
       if not (Sset.mem v defined) then
-        fail "Dfg %s: primary output %s is undefined" t.name v)
+        err "Dfg %s: primary output %s is undefined" t.name v)
     t.outputs;
   List.iter
     (fun (op : Op.t) ->
       match Smap.find_opt op.id t.schedule with
-      | None -> fail "Dfg %s: operation %s is not scheduled" t.name op.id
-      | Some c when c < 1 -> fail "Dfg %s: operation %s has control step %d < 1" t.name op.id c
+      | None -> err "Dfg %s: operation %s is not scheduled" t.name op.id
+      | Some c when c < 1 -> err "Dfg %s: operation %s has control step %d < 1" t.name op.id c
       | Some _ -> ())
     t.ops;
   (* Data dependencies: a producer must finish strictly before any use;
      this also rules out cycles since csteps strictly increase along
-     every path. *)
+     every path. Unlike the first-error path, accumulation reaches this
+     stage with unscheduled operations still present (reported above),
+     so comparisons are restricted to scheduled pairs. *)
+  let step id = Smap.find_opt id t.schedule in
   List.iter
     (fun (op : Op.t) ->
       List.iter
         (fun v ->
           match producer t v with
-          | Some p when cstep t p.id >= cstep t op.id ->
-            fail "Dfg %s: %s reads %s before %s produces it" t.name op.id v p.id
-          | Some _ | None -> ())
+          | Some p -> (
+            match (step p.id, step op.id) with
+            | Some pc, Some oc when pc >= oc ->
+              err "Dfg %s: %s reads %s before %s produces it" t.name op.id v p.id
+            | _ -> ())
+          | None -> ())
         [ op.left; op.right ])
-    t.ops
+    t.ops;
+  Diagnostic.all coll
+
+let validate t =
+  match
+    List.find_opt
+      (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error)
+      (diagnostics t)
+  with
+  | Some d -> invalid_arg d.Diagnostic.message
+  | None -> ()
 
 let make ~name ~ops ~inputs ~outputs ~schedule =
   let schedule =
@@ -99,6 +120,13 @@ let make ~name ~ops ~inputs ~outputs ~schedule =
   let t = { name; ops; inputs; outputs; schedule } in
   validate t;
   t
+
+let make_diags ?max_errors ~name ~ops ~inputs ~outputs ~schedule () =
+  let schedule =
+    List.fold_left (fun m (id, c) -> Smap.add id c m) Smap.empty schedule
+  in
+  let t = { name; ops; inputs; outputs; schedule } in
+  match diagnostics ?max_errors t with [] -> Ok t | ds -> Error ds
 
 let kind_counts t =
   Op.all_kinds

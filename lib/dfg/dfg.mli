@@ -25,7 +25,25 @@ val make :
     operand that is neither a primary input nor produced, a cycle, a
     missing or non-positive schedule entry, an operation scheduled no
     later than one of its producers, or an output variable that does not
-    exist. *)
+    exist. (The message is the first diagnostic of {!diagnostics}.) *)
+
+val make_diags :
+  ?max_errors:int ->
+  name:string ->
+  ops:Op.t list ->
+  inputs:string list ->
+  outputs:string list ->
+  schedule:(string * int) list ->
+  unit ->
+  (t, Bistpath_resilience.Diagnostic.t list) result
+(** Like {!make} but accumulating: [Error] carries every violation found
+    (capped at [max_errors],
+    {!Bistpath_resilience.Diagnostic.default_max_errors} by default)
+    instead of raising on the first. *)
+
+val diagnostics : ?max_errors:int -> t -> Bistpath_resilience.Diagnostic.t list
+(** All validation violations of an already-built value, in the order
+    {!make} checks them; empty iff the DFG is valid. *)
 
 val num_csteps : t -> int
 (** Largest control step used. *)

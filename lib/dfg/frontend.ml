@@ -8,10 +8,13 @@ type token =
   | Semicolon
   | Output_kw
 
-exception Error of string
+module Diagnostic = Bistpath_resilience.Diagnostic
+
+(* Internal control flow only; surfaced as diagnostics. *)
+exception Error_at of int option * string
 
 let fail lineno fmt =
-  Format.kasprintf (fun msg -> raise (Error (Printf.sprintf "line %d: %s" lineno msg))) fmt
+  Format.kasprintf (fun msg -> raise (Error_at (Some lineno, msg))) fmt
 
 let is_ident_char c =
   match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
@@ -153,7 +156,9 @@ let lower b lineno target ast =
       target v
   | Const _ -> fail lineno "constant assignment to %s is not supported" target
 
-let parse ~name text =
+let parse_diags ~name ?max_errors text =
+  let coll = Diagnostic.collector ?max_errors () in
+  let emit ?line msg = Diagnostic.emit coll (Diagnostic.error ?line msg) in
   let b =
     {
       ops = [];
@@ -164,15 +169,18 @@ let parse ~name text =
       constants = Hashtbl.create 8;
     }
   in
-  try
-    let lines = String.split_on_char '\n' text in
-    List.iteri
-      (fun i line ->
-        let lineno = i + 1 in
-        (* split statements on ';' *)
-        let chunks = String.split_on_char ';' line in
-        List.iter
-          (fun chunk ->
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      (* split statements on ';' *)
+      let chunks = String.split_on_char ';' line in
+      List.iter
+        (fun chunk ->
+          (* Statement-level recovery: a bad statement is reported and
+             skipped; later statements still parse, so one run reports
+             every problem in the text. *)
+          try
             match tokenize lineno chunk with
             | [] -> ()
             | Output_kw :: rest ->
@@ -187,11 +195,16 @@ let parse ~name text =
               if leftover <> [] then fail lineno "trailing tokens after expression";
               lower b lineno target ast;
               b.defined <- target :: b.defined
-            | _ -> fail lineno "expected 'name = expr' or 'output ...'")
-          chunks)
-      lines;
-    let ops = List.rev b.ops in
-    if ops = [] then raise (Error "no statements");
+            | _ -> fail lineno "expected 'name = expr' or 'output ...'"
+          with Error_at (l, m) -> emit ?line:l m)
+        chunks)
+    lines;
+  let ops = List.rev b.ops in
+  if ops = [] then begin
+    emit "no statements";
+    Error (Diagnostic.all coll)
+  end
+  else begin
     let produced = List.map (fun (o : Op.t) -> o.Op.out) ops in
     let used v =
       List.exists (fun (o : Op.t) -> String.equal o.Op.left v || String.equal o.Op.right v) ops
@@ -208,19 +221,41 @@ let parse ~name text =
     List.iter
       (fun v ->
         if not (List.mem v produced) then
-          raise (Error (Printf.sprintf "declared output %s is never defined" v)))
+          emit (Printf.sprintf "declared output %s is never defined" v))
       outputs;
-    Ok { Scheduler.name; ops; inputs; outputs }
-  with Error msg -> Result.Error msg
+    if Diagnostic.errors coll > 0 then Error (Diagnostic.all coll)
+    else Ok { Scheduler.name; ops; inputs; outputs }
+  end
 
-let compile ~name ?(resources = []) text =
-  match parse ~name text with
-  | Result.Error _ as e -> e
-  | Ok problem -> (
+(* Reconstruct the legacy single-error message (with its "line N: "
+   prefix when located) byte-identically. *)
+let render_first diags =
+  match
+    List.find_opt (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) diags
+  with
+  | Some d ->
+    (match d.Diagnostic.line with
+    | Some l -> Printf.sprintf "line %d: %s" l d.Diagnostic.message
+    | None -> d.Diagnostic.message)
+  | None -> "invalid input" (* unreachable: Error lists always carry an error *)
+
+let parse ~name text =
+  match parse_diags ~name text with
+  | Ok problem -> Ok problem
+  | Error diags -> Error (render_first diags)
+
+let compile_diags ~name ?(resources = []) ?max_errors text =
+  match parse_diags ~name ?max_errors text with
+  | Error _ as e -> e
+  | Ok problem ->
     let schedule =
       if resources = [] then Scheduler.asap problem
       else Scheduler.list_schedule problem ~resources
     in
-    match Scheduler.to_dfg problem schedule with
-    | dfg -> Ok dfg
-    | exception Invalid_argument msg -> Result.Error msg)
+    Dfg.make_diags ?max_errors ~name:problem.Scheduler.name ~ops:problem.Scheduler.ops
+      ~inputs:problem.Scheduler.inputs ~outputs:problem.Scheduler.outputs ~schedule ()
+
+let compile ~name ?(resources = []) text =
+  match compile_diags ~name ~resources text with
+  | Ok dfg -> Ok dfg
+  | Error diags -> Error (render_first diags)

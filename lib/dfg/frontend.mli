@@ -23,7 +23,18 @@
     every intermediate node gets a fresh [tN] variable. *)
 
 val parse : name:string -> string -> (Scheduler.problem, string) result
-(** Compile to an unscheduled problem; the error carries a line number. *)
+(** Compile to an unscheduled problem; the error carries a line number
+    (the first diagnostic of {!parse_diags}). *)
+
+val parse_diags :
+  name:string ->
+  ?max_errors:int ->
+  string ->
+  (Scheduler.problem, Bistpath_resilience.Diagnostic.t list) result
+(** Accumulating {!parse}: a bad statement is reported (with its line
+    number) and skipped rather than aborting, so one run surfaces every
+    problem in the text, capped at [max_errors]
+    ({!Bistpath_resilience.Diagnostic.default_max_errors} by default). *)
 
 val compile :
   name:string ->
@@ -32,3 +43,13 @@ val compile :
   (Dfg.t, string) result
 (** {!parse} followed by resource-constrained list scheduling (default:
     unconstrained — every operation as early as possible). *)
+
+val compile_diags :
+  name:string ->
+  ?resources:(Op.kind * int) list ->
+  ?max_errors:int ->
+  string ->
+  (Dfg.t, Bistpath_resilience.Diagnostic.t list) result
+(** Accumulating {!compile}: parse diagnostics, or — when parsing
+    succeeded — every DFG validation violation
+    ({!Dfg.make_diags}) instead of only the first. *)

@@ -1,3 +1,5 @@
+module Diagnostic = Bistpath_resilience.Diagnostic
+
 type unscheduled = {
   name : string;
   ops : Op.t list;
@@ -11,9 +13,9 @@ let split_words s =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun w -> not (String.equal w ""))
 
-let parse_op_line lineno words =
+let parse_op_line words =
   (* op <id> = <left> <sym> <right> -> <out> [@ <step>] *)
-  let err msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let err msg = Error msg in
   match words with
   | [ "op"; id; "="; left; sym; right; "->"; out ] -> (
     match Op.of_symbol sym with
@@ -26,56 +28,97 @@ let parse_op_line lineno words =
     | Some kind, Some s -> Ok ({ Op.id; kind; left; right; out }, Some s))
   | _ -> err "malformed op line"
 
-let parse_string text =
-  let lines = String.split_on_char '\n' text in
-  let rec go lineno acc = function
-    | [] -> Ok acc
-    | line :: rest -> (
+let parse_string_diags ?max_errors text =
+  let coll = Diagnostic.collector ?max_errors () in
+  let acc =
+    ref { name = "unnamed"; ops = []; inputs = []; outputs = []; partial_schedule = [] }
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
       let line =
         match String.index_opt line '#' with
         | Some i -> String.sub line 0 i
         | None -> line
       in
+      (* A bad line is reported and skipped; parsing continues so one
+         report covers every problem in the file. *)
       match split_words line with
-      | [] -> go (lineno + 1) acc rest
-      | "dfg" :: [ name ] -> go (lineno + 1) { acc with name } rest
-      | "input" :: vars -> go (lineno + 1) { acc with inputs = acc.inputs @ vars } rest
-      | "output" :: vars -> go (lineno + 1) { acc with outputs = acc.outputs @ vars } rest
+      | [] -> ()
+      | "dfg" :: [ name ] -> acc := { !acc with name }
+      | "input" :: vars -> acc := { !acc with inputs = !acc.inputs @ vars }
+      | "output" :: vars -> acc := { !acc with outputs = !acc.outputs @ vars }
       | "op" :: _ as words -> (
-        match parse_op_line lineno words with
-        | Error _ as e -> e
+        match parse_op_line words with
+        | Error msg -> Diagnostic.emit coll (Diagnostic.error ~line:lineno msg)
         | Ok (op, step) ->
-          let acc = { acc with ops = acc.ops @ [ op ] } in
-          let acc =
-            match step with
-            | Some s -> { acc with partial_schedule = acc.partial_schedule @ [ (op.Op.id, s) ] }
-            | None -> acc
-          in
-          go (lineno + 1) acc rest)
-      | w :: _ -> Error (Printf.sprintf "line %d: unknown directive %S" lineno w))
-  in
-  go 1 { name = "unnamed"; ops = []; inputs = []; outputs = []; partial_schedule = [] } lines
+          acc := { !acc with ops = !acc.ops @ [ op ] };
+          (match step with
+          | Some s ->
+            acc := { !acc with partial_schedule = !acc.partial_schedule @ [ (op.Op.id, s) ] }
+          | None -> ()))
+      | w :: _ ->
+        Diagnostic.emit coll (Diagnostic.errorf ~line:lineno "unknown directive %S" w))
+    (String.split_on_char '\n' text);
+  (!acc, Diagnostic.all coll)
+
+(* Reconstruct the legacy single-error message — with its "line N: "
+   prefix when the diagnostic has a location — byte-identically. *)
+let render_first diags =
+  match
+    List.find_opt (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) diags
+  with
+  | None -> None
+  | Some d ->
+    Some
+      (match d.Diagnostic.line with
+      | Some l -> Printf.sprintf "line %d: %s" l d.Diagnostic.message
+      | None -> d.Diagnostic.message)
+
+let parse_string text =
+  let u, diags = parse_string_diags text in
+  match render_first diags with Some msg -> Error msg | None -> Ok u
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> parse_string text
   | exception Sys_error msg -> Error msg
 
-let to_dfg u =
+let parse_file_diags ?max_errors path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text ->
+    let u, diags = parse_string_diags ?max_errors text in
+    (u, List.map (fun d -> { d with Diagnostic.file = Some path }) diags)
+  | exception Sys_error msg ->
+    ( { name = "unnamed"; ops = []; inputs = []; outputs = []; partial_schedule = [] },
+      [ Diagnostic.error msg ] )
+
+let to_dfg_diags ?max_errors u =
   let unscheduled =
     List.filter
       (fun (op : Op.t) -> not (List.mem_assoc op.id u.partial_schedule))
       u.ops
   in
   match unscheduled with
-  | op :: _ -> Error (Printf.sprintf "operation %s has no control step" op.Op.id)
-  | [] -> (
-    match
-      Dfg.make ~name:u.name ~ops:u.ops ~inputs:u.inputs ~outputs:u.outputs
-        ~schedule:u.partial_schedule
-    with
-    | dfg -> Ok dfg
-    | exception Invalid_argument msg -> Error msg)
+  | [] ->
+    Dfg.make_diags ?max_errors ~name:u.name ~ops:u.ops ~inputs:u.inputs
+      ~outputs:u.outputs ~schedule:u.partial_schedule ()
+  | ops ->
+    let coll = Diagnostic.collector ?max_errors () in
+    List.iter
+      (fun (op : Op.t) ->
+        Diagnostic.emit coll
+          (Diagnostic.errorf "operation %s has no control step" op.Op.id))
+      ops;
+    Error (Diagnostic.all coll)
+
+let to_dfg u =
+  match to_dfg_diags u with
+  | Ok dfg -> Ok dfg
+  | Error diags -> (
+    match render_first diags with
+    | Some msg -> Error msg
+    | None -> Error "invalid DFG" (* unreachable: an Error always has an error *))
 
 let to_string (t : Dfg.t) =
   let buf = Buffer.create 256 in

@@ -22,12 +22,35 @@ type unscheduled = {
 }
 
 val parse_string : string -> (unscheduled, string) result
-(** Parse; the error is a human-readable message with a line number. *)
+(** Parse; the error is a human-readable message with a line number
+    (the first diagnostic of {!parse_string_diags}). *)
 
 val parse_file : string -> (unscheduled, string) result
 
+val parse_string_diags :
+  ?max_errors:int -> string -> unscheduled * Bistpath_resilience.Diagnostic.t list
+(** Accumulating parse: a malformed line is reported (with its line
+    number) and skipped rather than aborting, so one run surfaces every
+    problem in the file, capped at [max_errors]
+    ({!Bistpath_resilience.Diagnostic.default_max_errors} by default).
+    The returned pieces cover every line that did parse; they are only
+    meaningful when the diagnostic list carries no error. *)
+
+val parse_file_diags :
+  ?max_errors:int -> string -> unscheduled * Bistpath_resilience.Diagnostic.t list
+(** {!parse_string_diags} on a file's contents, with the path attached
+    to every diagnostic. An unreadable file yields one error. *)
+
 val to_dfg : unscheduled -> (Dfg.t, string) result
 (** Requires every operation scheduled; validates via {!Dfg.make}. *)
+
+val to_dfg_diags :
+  ?max_errors:int ->
+  unscheduled ->
+  (Dfg.t, Bistpath_resilience.Diagnostic.t list) result
+(** Accumulating {!to_dfg}: reports {e every} unscheduled operation, or
+    every validation violation ({!Dfg.make_diags}), instead of only the
+    first. *)
 
 val to_string : Dfg.t -> string
 (** Render in the accepted format. *)

@@ -4,6 +4,7 @@ module Op = Bistpath_dfg.Op
 module Ipath = Bistpath_ipath.Ipath
 module Allocator = Bistpath_bist.Allocator
 module Listx = Bistpath_util.Listx
+module Budget = Bistpath_resilience.Budget
 
 type unit_report = {
   mid : string;
@@ -13,6 +14,7 @@ type unit_report = {
   coverage : float;
   signature : int;
   aliased : int;
+  skipped : int;
 }
 
 type report = {
@@ -59,7 +61,8 @@ let lane_outputs c nets lane =
     (fun n -> if Int64.logand (Int64.shift_right_logical nets.(n) lane) 1L = 1L then 1 else 0)
     c.Circuit.outputs
 
-let simulate_unit ?pool ~width ~pattern_count ~seed (e : Ipath.embedding) (u : Massign.hw) =
+let simulate_unit ?pool ?(budget = Budget.unlimited) ~width ~pattern_count ~seed
+    (e : Ipath.embedding) (u : Massign.hw) =
   let circuit =
     match u.kinds with
     | [ k ] -> Library.of_kind k ~width
@@ -120,14 +123,20 @@ let simulate_unit ?pool ~width ~pattern_count ~seed (e : Ipath.embedding) (u : M
       packed_golden chunk_sizes;
     (!seen_diff, !seen_diff && Misr.signature misr = golden_signature)
   in
-  let graded = Bistpath_parallel.Par.map_list ?pool grade faults in
-  let detected = ref 0 and aliased = ref 0 in
+  let graded =
+    if Budget.is_unlimited budget then
+      List.map Option.some (Bistpath_parallel.Par.map_list ?pool grade faults)
+    else Bistpath_parallel.Par.map_list_budget ?pool ~budget grade faults
+  in
+  let detected = ref 0 and aliased = ref 0 and skipped = ref 0 in
   List.iter
-    (fun (hit, alias) ->
-      if hit then begin
-        incr detected;
-        if alias then incr aliased
-      end)
+    (function
+      | Some (hit, alias) ->
+        if hit then begin
+          incr detected;
+          if alias then incr aliased
+        end
+      | None -> incr skipped)
     graded;
   {
     mid = e.mid;
@@ -139,9 +148,10 @@ let simulate_unit ?pool ~width ~pattern_count ~seed (e : Ipath.embedding) (u : M
        else float_of_int !detected /. float_of_int (List.length faults));
     signature = golden_signature;
     aliased = !aliased;
+    skipped = !skipped;
   }
 
-let run ?(width = 8) ?(pattern_count = 255) ?(seed = 1) ?pool dp
+let run ?(width = 8) ?(pattern_count = 255) ?(seed = 1) ?pool ?budget dp
     (sol : Allocator.solution) =
   let unit_by_id mid =
     List.find
@@ -151,7 +161,7 @@ let run ?(width = 8) ?(pattern_count = 255) ?(seed = 1) ?pool dp
   let units =
     List.map
       (fun (e : Ipath.embedding) ->
-        simulate_unit ?pool ~width ~pattern_count ~seed e (unit_by_id e.mid))
+        simulate_unit ?pool ?budget ~width ~pattern_count ~seed e (unit_by_id e.mid))
       sol.Allocator.embeddings
   in
   { width; pattern_count; units }
@@ -167,8 +177,9 @@ let pp ppf r =
   List.iter
     (fun u ->
       Format.fprintf ppf
-        "  %s: %d/%d stuck-at faults detected (%.1f%%), signature %0*X, %d aliased@,"
+        "  %s: %d/%d stuck-at faults detected (%.1f%%), signature %0*X, %d aliased%s@,"
         u.mid u.faults_detected u.faults_total (100.0 *. u.coverage)
-        ((r.width + 3) / 4) u.signature u.aliased)
+        ((r.width + 3) / 4) u.signature u.aliased
+        (if u.skipped > 0 then Printf.sprintf ", %d skipped" u.skipped else ""))
     r.units;
   Format.fprintf ppf "  overall coverage: %.1f%%@]" (100.0 *. overall_coverage r)

@@ -17,6 +17,9 @@ type unit_report = {
   aliased : int;
       (** detected-at-outputs faults whose faulty signature nevertheless
           equals the fault-free one (escaped by aliasing) *)
+  skipped : int;
+      (** faults not graded before the budget's token tripped; 0 for
+          unbudgeted runs (skipped faults count against [coverage]) *)
 }
 
 type report = {
@@ -30,6 +33,7 @@ val run :
   ?pattern_count:int ->
   ?seed:int ->
   ?pool:Bistpath_parallel.Pool.t ->
+  ?budget:Bistpath_resilience.Budget.t ->
   Bistpath_datapath.Datapath.t ->
   Bistpath_bist.Allocator.solution ->
   report
@@ -39,7 +43,9 @@ val run :
     supported kind with the select line held; their coverage aggregates
     over kinds. Fault grading fans out over the [Bistpath_parallel]
     pool (the shared pool unless [?pool] is given) with results
-    identical to the sequential run at any pool width. *)
+    identical to the sequential run at any pool width. Under a
+    [budget] ({!Bistpath_resilience.Budget}), faults not graded before
+    the token tripped are counted per unit in [skipped]. *)
 
 val overall_coverage : report -> float
 (** Fault-weighted mean coverage across units. *)

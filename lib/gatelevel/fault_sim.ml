@@ -1,7 +1,10 @@
+module Budget = Bistpath_resilience.Budget
+
 type result = {
   total : int;
   detected : int;
   undetected : Fault.t list;
+  skipped : Fault.t list;
 }
 
 let coverage r = if r.total = 0 then 1.0 else float_of_int r.detected /. float_of_int r.total
@@ -26,7 +29,7 @@ let rec chunks n = function
     let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: t -> drop (k - 1) t in
     first :: chunks n (drop (List.length first) l)
 
-let run ?pool c ~faults ~patterns =
+let run ?pool ?(budget = Budget.unlimited) c ~faults ~patterns =
   let num_inputs = List.length c.Circuit.inputs in
   List.iter
     (fun p ->
@@ -56,25 +59,38 @@ let run ?pool c ~faults ~patterns =
   (* Fan out over the fault list; detection flags come back in fault
      order, so the result is bit-identical at any pool width (and with
      jobs = 1 this is exactly [List.map detected faults]). *)
-  let flags = Bistpath_parallel.Par.map_list ?pool detected faults in
-  let undetected =
-    List.rev
-      (List.fold_left2
-         (fun acc f hit -> if hit then acc else f :: acc)
-         [] faults flags)
+  let flags =
+    if Budget.is_unlimited budget then
+      List.map Option.some (Bistpath_parallel.Par.map_list ?pool detected faults)
+    else
+      (* Budget-aware path: faults not graded before the token tripped
+         come back [None] and are reported as [skipped], never silently
+         counted as undetected. *)
+      Bistpath_parallel.Par.map_list_budget ?pool ~budget detected faults
   in
+  let undetected, skipped =
+    List.fold_left2
+      (fun (und, sk) f hit ->
+        match hit with
+        | Some true -> (und, sk)
+        | Some false -> (f :: und, sk)
+        | None -> (und, f :: sk))
+      ([], []) faults flags
+  in
+  let undetected = List.rev undetected and skipped = List.rev skipped in
   {
     total = List.length faults;
-    detected = List.length faults - List.length undetected;
+    detected = List.length faults - List.length undetected - List.length skipped;
     undetected;
+    skipped;
   }
 
-let run_operand_patterns ?pool c ~width ~faults ~patterns =
+let run_operand_patterns ?pool ?budget c ~width ~faults ~patterns =
   if List.length c.Circuit.inputs <> 2 * width then
     invalid_arg "Fault_sim.run_operand_patterns: circuit is not a two-operand module";
   let bits_of v = List.init width (fun i -> (v lsr i) land 1) in
   let vectors = List.map (fun (a, b) -> bits_of a @ bits_of b) patterns in
-  run ?pool c ~faults ~patterns:vectors
+  run ?pool ?budget c ~faults ~patterns:vectors
 
 let random_operand_patterns rng ~width ~count =
   let bound = 1 lsl width in

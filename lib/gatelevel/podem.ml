@@ -1,3 +1,5 @@
+module Budget = Bistpath_resilience.Budget
+
 type result =
   | Test of int list
   | Untestable
@@ -7,6 +9,7 @@ type classification = {
   tested : (Fault.t * int list) list;
   untestable : Fault.t list;
   aborted : Fault.t list;
+  skipped : Fault.t list;
 }
 
 (* Three-valued logic for the good and the faulty machine. *)
@@ -170,7 +173,8 @@ let backtrace st (net, want) =
   in
   go net want (Array.length st.good + 1)
 
-let generate ?(max_backtracks = 10_000) (c : Circuit.t) (fault : Fault.t) =
+let generate ?(max_backtracks = 10_000) ?(budget = Budget.unlimited) (c : Circuit.t)
+    (fault : Fault.t) =
   let driver = Hashtbl.create 64 in
   Array.iter (fun (g : Circuit.gate) -> Hashtbl.replace driver g.Circuit.output g) c.Circuit.gates;
   let st =
@@ -210,7 +214,10 @@ let generate ?(max_backtracks = 10_000) (c : Circuit.t) (fault : Fault.t) =
   and backtrack () =
     incr backtracks;
     Bistpath_telemetry.Telemetry.incr "podem.backtracks";
-    if !backtracks > max_backtracks then raise Exit
+    Budget.node budget;
+    (* A tripped budget aborts exactly like the backtrack quota: the
+       fault is reported [Aborted], never misclassified as untestable. *)
+    if !backtracks > max_backtracks || Budget.should_stop budget then raise Exit
     else
       match !stack with
       | [] -> None
@@ -248,21 +255,24 @@ let verify c fault vector =
     (fun o g -> not (Int64.equal faulty.(o) g))
     c.Circuit.outputs (Array.to_list good)
 
-let classify_all ?(max_backtracks = 10_000) ?pool c =
+let classify_all ?(max_backtracks = 10_000) ?pool ?(budget = Budget.unlimited) c =
   (* Per-fault test generation is independent (each call builds its own
      implication state), so the fault list fans out across the domain
      pool; folding the per-fault outcomes in fault order reproduces the
      sequential classification exactly. *)
+  let faults = Fault.collapsed c in
+  let gen f = generate ~max_backtracks ~budget c f in
   let outcomes =
-    Bistpath_parallel.Par.map_list ?pool
-      (fun f -> (f, generate ~max_backtracks c f))
-      (Fault.collapsed c)
+    if Budget.is_unlimited budget then
+      List.map Option.some (Bistpath_parallel.Par.map_list ?pool gen faults)
+    else Bistpath_parallel.Par.map_list_budget ?pool ~budget gen faults
   in
-  List.fold_left
-    (fun acc (f, outcome) ->
+  List.fold_left2
+    (fun acc f outcome ->
       match outcome with
-      | Test v -> { acc with tested = (f, v) :: acc.tested }
-      | Untestable -> { acc with untestable = f :: acc.untestable }
-      | Aborted -> { acc with aborted = f :: acc.aborted })
-    { tested = []; untestable = []; aborted = [] }
-    outcomes
+      | Some (Test v) -> { acc with tested = (f, v) :: acc.tested }
+      | Some Untestable -> { acc with untestable = f :: acc.untestable }
+      | Some Aborted -> { acc with aborted = f :: acc.aborted }
+      | None -> { acc with skipped = f :: acc.skipped })
+    { tested = []; untestable = []; aborted = []; skipped = [] }
+    faults outcomes

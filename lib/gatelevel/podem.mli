@@ -15,8 +15,14 @@ type result =
   | Aborted  (** backtrack budget exhausted *)
 
 val generate :
-  ?max_backtracks:int -> Circuit.t -> Fault.t -> result
-(** Default budget 10_000 backtracks. *)
+  ?max_backtracks:int ->
+  ?budget:Bistpath_resilience.Budget.t ->
+  Circuit.t -> Fault.t -> result
+(** Default budget 10_000 backtracks. A [budget]
+    ({!Bistpath_resilience.Budget}) whose token trips mid-search aborts
+    exactly like the backtrack quota — the fault is reported [Aborted],
+    never misclassified as [Untestable]; each backtrack also counts one
+    budget node. *)
 
 val verify : Circuit.t -> Fault.t -> int list -> bool
 (** Does the vector actually detect the fault (differing primary
@@ -26,12 +32,19 @@ type classification = {
   tested : (Fault.t * int list) list;  (** fault with a verified vector *)
   untestable : Fault.t list;
   aborted : Fault.t list;
+  skipped : Fault.t list;
+      (** faults never attempted because the budget's token tripped
+          first; empty for unbudgeted runs *)
 }
 
 val classify_all :
-  ?max_backtracks:int -> ?pool:Bistpath_parallel.Pool.t -> Circuit.t -> classification
+  ?max_backtracks:int ->
+  ?pool:Bistpath_parallel.Pool.t ->
+  ?budget:Bistpath_resilience.Budget.t ->
+  Circuit.t -> classification
 (** Run PODEM on every collapsed fault of the circuit. Faults are
     generated in parallel on the [Bistpath_parallel] pool (the shared
     pool unless [?pool] is given); the classification is assembled in
     fault order and is identical to the sequential run at any pool
-    width. *)
+    width. Under a [budget], in-flight generations abort ([aborted]) and
+    unstarted faults are abandoned ([skipped]) once the token trips. *)

@@ -50,3 +50,57 @@ let map_list ?pool ?chunk f l =
 
 let reduce ?pool ?chunk f combine init l =
   List.fold_left (fun acc y -> combine acc y) init (map_list ?pool ?chunk f l)
+
+(* --- budget-aware variants ------------------------------------------ *)
+
+module Budget = Bistpath_resilience.Budget
+
+let map_array_budget ?pool ?chunk ~budget f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let pool = resolve pool in
+    let res = Array.make n None in
+    if Pool.jobs pool = 1 || n = 1 then begin
+      (* Sequential path: the same per-element poll the parallel chunks
+         perform, so a pre-cancelled token yields all-[None] at every
+         pool width and a leaf-budget cut is width-independent. *)
+      for i = 0 to n - 1 do
+        if not (Budget.should_stop budget) then res.(i) <- Some (f a.(i))
+      done
+    end
+    else begin
+      let chunk = chunk_size ~chunk ~jobs:(Pool.jobs pool) n in
+      let thunks = ref [] in
+      let lo = ref 0 in
+      while !lo < n do
+        let lo' = !lo in
+        let hi = min n (lo' + chunk) in
+        thunks :=
+          (fun () ->
+            (* Workers poll the token between chunks (here, at chunk
+               entry) so a cancelled batch unwinds promptly even when
+               many chunks are still queued... *)
+            if Budget.should_stop budget then
+              Telemetry.incr "resilience.cancelled_chunks"
+            else
+              for i = lo' to hi - 1 do
+                (* ... and between elements, so long chunks stop early
+                   too. Slots left at [None] mark unevaluated items. *)
+                if not (Budget.should_stop budget) then res.(i) <- Some (f a.(i))
+              done)
+          :: !thunks;
+        lo := hi
+      done;
+      let thunks = List.rev !thunks in
+      Telemetry.incr "parallel.chunks" ~by:(List.length thunks);
+      Telemetry.incr "parallel.items" ~by:n;
+      Pool.run pool thunks
+    end;
+    res
+  end
+
+let map_list_budget ?pool ?chunk ~budget f l =
+  match l with
+  | [] -> []
+  | l -> Array.to_list (map_array_budget ?pool ?chunk ~budget f (Array.of_list l))

@@ -30,3 +30,36 @@ val reduce :
 (** [reduce f combine init l] maps [f] in parallel, then folds
     [combine] left-to-right over the results in input order — an
     ordered reduce, safe for non-commutative [combine]. *)
+
+(** {1 Budget-aware variants}
+
+    Cooperative-cancellation versions of the maps: element [i] of the
+    output is [Some (f input_i)] if it was evaluated before the
+    budget's token tripped and [None] otherwise. Chunks poll the token
+    at entry (a skipped chunk counts one [resilience.cancelled_chunks])
+    and between elements, so a tripped budget unwinds the whole batch
+    promptly instead of finishing queued work.
+
+    Determinism: with an untripped budget the output equals
+    [map_* (fun x -> Some (f x))] bit-for-bit at any pool width, and a
+    token cancelled {e before} the call yields all-[None] at any width.
+    A deadline tripping {e mid}-batch cuts at a scheduling-dependent
+    point — width-independent results under truncation require a
+    deterministic quota (leaf/node budget checked before fan-out), which
+    is how [Pareto.explore] uses these. *)
+
+val map_array_budget :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  budget:Bistpath_resilience.Budget.t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b option array
+
+val map_list_budget :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  budget:Bistpath_resilience.Budget.t ->
+  ('a -> 'b) ->
+  'a list ->
+  'b option list

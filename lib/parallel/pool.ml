@@ -1,4 +1,5 @@
 module Telemetry = Bistpath_telemetry.Telemetry
+module Inject = Bistpath_resilience.Inject
 
 type t = {
   jobs : int;
@@ -36,12 +37,30 @@ let worker_loop t =
   in
   next ()
 
+(* Beyond ~4x the core count extra domains only add scheduling pressure;
+   treat larger BISTPATH_JOBS values as configuration mistakes. *)
+let max_sensible_jobs () = 4 * Domain.recommended_domain_count ()
+
 let default_jobs () =
   match Sys.getenv_opt "BISTPATH_JOBS" with
   | Some s -> (
+    let cores = Domain.recommended_domain_count () in
+    let cap = max_sensible_jobs () in
     match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> Domain.recommended_domain_count ())
+    | Some n when n >= 1 && n <= cap -> n
+    | Some n when n < 1 ->
+      Printf.eprintf "bistpath: BISTPATH_JOBS=%d is not positive; clamping to 1\n%!" n;
+      1
+    | Some n ->
+      Printf.eprintf
+        "bistpath: BISTPATH_JOBS=%d exceeds 4x the %d available cores; clamping to %d\n%!"
+        n cores cap;
+      cap
+    | None ->
+      Printf.eprintf
+        "bistpath: BISTPATH_JOBS=%S is not an integer; using the core count (%d)\n%!" s
+        cores;
+      cores)
   | None -> Domain.recommended_domain_count ()
 
 let create ?jobs () =
@@ -93,7 +112,9 @@ let run t thunks =
     let failure = ref None in
     let batch_done = Condition.create () in
     let task i f () =
-      (try f ()
+      (try
+         Inject.fire "pool.worker";
+         f ()
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          Mutex.lock t.mutex;

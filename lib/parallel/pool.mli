@@ -37,7 +37,12 @@ val run : t -> (unit -> unit) list -> unit
     (see [Par]). If any thunk raises, the exception of the
     earliest-submitted failing thunk is re-raised (with its backtrace)
     after the whole batch has drained. Raises [Invalid_argument] on a
-    pool that has been shut down. *)
+    pool that has been shut down.
+
+    Fault injection: each task on the parallel path probes the
+    [pool.worker] site ({!Bistpath_resilience.Inject}) before running
+    its thunk; an injected hit is handled exactly like a thunk
+    exception — parked, batch drained, earliest re-raised. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent. Tasks already queued
@@ -51,8 +56,12 @@ val shutdown : t -> unit
     whole pipeline run creates domains exactly once. *)
 
 val default_jobs : unit -> int
-(** The [BISTPATH_JOBS] environment variable if set to a positive
-    integer, otherwise [Domain.recommended_domain_count ()]. *)
+(** The [BISTPATH_JOBS] environment variable, otherwise
+    [Domain.recommended_domain_count ()]. Out-of-range values are
+    rejected with a warning on stderr and clamped rather than silently
+    accepted: values [<= 0] clamp to 1, values above 4x the core count
+    (where extra domains only add scheduling pressure) clamp to that
+    ceiling, and non-integer values fall back to the core count. *)
 
 val set_jobs : int -> unit
 (** Configure the shared pool's width (the [-j] flag). If the shared

@@ -1,0 +1,58 @@
+(** Typed diagnostics with bounded accumulation.
+
+    The DFG front ends report {e every} problem they can find — not just
+    the first — as a list of typed diagnostics carrying a severity, an
+    optional source location and a message, capped by a [max_errors]
+    budget so a garbage input cannot produce an unbounded report. The
+    legacy first-error APIs ([Dfg.validate], [Parser.parse_string],
+    [Frontend.compile]) are thin wrappers that surface the first
+    accumulated error with an unchanged message. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  file : string option;
+  line : int option;  (** 1-based *)
+  message : string;
+}
+
+val error : ?file:string -> ?line:int -> string -> t
+val warning : ?file:string -> ?line:int -> string -> t
+val note : ?file:string -> ?line:int -> string -> t
+val errorf : ?file:string -> ?line:int -> ('a, Format.formatter, unit, t) format4 -> 'a
+val warningf : ?file:string -> ?line:int -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val to_string : t -> string
+(** ["file:3: error: ..."] / ["line 3: error: ..."] / ["error: ..."]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val default_max_errors : int
+(** 20 — the default error cap everywhere (the CLI's [--max-errors]). *)
+
+(** {1 Accumulation} *)
+
+type collector
+
+val collector : ?max_errors:int -> unit -> collector
+(** Errors beyond [max_errors] (default {!default_max_errors}, must be
+    >= 1) are counted but not stored; warnings and notes are never
+    capped. *)
+
+val emit : collector -> t -> unit
+
+val errors : collector -> int
+(** Errors stored (capped). *)
+
+val truncated : collector -> bool
+(** At least one error was dropped by the cap. *)
+
+val dropped : collector -> int
+
+val all : collector -> t list
+(** In emission order; if the cap dropped errors, a trailing [Note]
+    saying how many. *)
+
+val first_error : collector -> t option
+(** The first error emitted, for legacy single-error interfaces. *)

@@ -1,0 +1,63 @@
+(** Deterministic fault injection for resilience testing.
+
+    Named code sites call {!fire} (or {!should_fire} /
+    {!fire_sys_error}); when the process is armed — via the
+    [BISTPATH_INJECT] environment variable or {!configure} — each call
+    draws from a deterministic per-site PRNG stream and fails with
+    probability [p], letting tests and CI prove that the degradation
+    paths (pool exception propagation, telemetry sink error handling,
+    allocator unwinding) actually recover. Disarmed (the production
+    default), every probe costs one atomic load and a branch.
+
+    {b Environment}: [BISTPATH_INJECT="site[=prob][,site[=prob]...]"],
+    probability in \[0,1\] defaulting to 1.0 (always fire);
+    [BISTPATH_INJECT_SEED] (integer, default 0xB157) seeds the root
+    generator. Example:
+    [BISTPATH_INJECT="pool.worker=0.05,telemetry.write" synth ...].
+
+    {b Determinism}: each site receives one {!Bistpath_util.Prng.split}
+    child of the root generator, derived in sorted-site order, so a
+    site's fire/no-fire stream depends only on the seed and the set of
+    armed sites — not on configuration order. Draws within a site are
+    serialized by a mutex; with several domains probing one site the
+    {e assignment} of draws to callers follows scheduling, so exact-
+    reproducibility experiments should either run with [jobs = 1] or
+    use probability 1.0 (which never consumes a draw).
+
+    {b Registered sites} (see {!sites}):
+    - [pool.worker] — a pool task raises before running its thunk
+      ([Bistpath_parallel.Pool.run], parallel path only).
+    - [telemetry.write] — the trace-file sink fails with [Sys_error]
+      (probed by the CLI and bench harness before
+      [Telemetry.write_file]).
+    - [allocator.leaf] — the BIST allocator's branch-and-bound raises at
+      a complete assignment ([Bistpath_bist.Allocator.solve]).
+    - [pareto.leaf] — a Pareto leaf evaluation raises
+      ([Bistpath_bist.Pareto.explore]).
+
+    Telemetry: every shot that fires increments [resilience.injected]. *)
+
+exception Injected of string
+(** Raised by {!fire}; the payload is the site name. *)
+
+val sites : string list
+(** All site names probed by the pipeline. *)
+
+val enabled : unit -> bool
+(** At least one site is armed. *)
+
+val configure : ?seed:int -> (string * float) list -> unit
+(** Arm the given sites programmatically (tests), replacing any previous
+    or environment-derived configuration. [configure []] disarms. Sites
+    with probability 0 are dropped. *)
+
+val should_fire : string -> bool
+(** Draw for one site; [false] when disarmed or the site is not
+    configured. *)
+
+val fire : string -> unit
+(** [should_fire] and raise {!Injected} on a hit. *)
+
+val fire_sys_error : string -> unit
+(** [should_fire] and raise [Sys_error "injected fault at site <s>"] on
+    a hit — for sites whose real failure mode is an I/O error. *)

@@ -1,0 +1,12 @@
+type 'a t =
+  | Complete of 'a
+  | Degraded of 'a * Cancel.reason
+
+let value = function Complete x | Degraded (x, _) -> x
+let is_complete = function Complete _ -> true | Degraded _ -> false
+let reason = function Complete _ -> None | Degraded (_, r) -> Some r
+let map f = function Complete x -> Complete (f x) | Degraded (x, r) -> Degraded (f x, r)
+
+let of_reason x = function
+  | None -> Complete x
+  | Some r -> Degraded (x, r)

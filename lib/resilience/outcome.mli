@@ -1,0 +1,21 @@
+(** Anytime-solver results.
+
+    Every budgeted solver returns its best-so-far answer tagged with
+    whether the search ran to completion or was cut short — and if so,
+    why — instead of raising or running forever. A [Degraded] value is
+    still a valid solution (a correct datapath, a consistent Pareto
+    front, a sound fault classification); it is merely potentially
+    sub-optimal or incomplete, which the caller can surface (the CLI
+    exits 3 and prints the reason). *)
+
+type 'a t =
+  | Complete of 'a  (** the search ran to its natural end *)
+  | Degraded of 'a * Cancel.reason  (** best-so-far, stopped early *)
+
+val value : 'a t -> 'a
+val is_complete : 'a t -> bool
+val reason : 'a t -> Cancel.reason option
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val of_reason : 'a -> Cancel.reason option -> 'a t
+(** [of_reason x None = Complete x]; [of_reason x (Some r) = Degraded (x, r)]. *)

@@ -54,11 +54,19 @@
       and counts nothing).
     - [parallel.items] — elements processed through the parallel
       combinators (parallel path only).
+    - [resilience.deadline_hits] — budgets whose wall-clock deadline
+      tripped ([Bistpath_resilience.Budget], first trip per budget).
+    - [resilience.cancelled_chunks] — parallel work chunks abandoned at
+      entry because a budget's token had tripped
+      ([Par.map_array_budget] / [Par.map_list_budget]).
+    - [resilience.injected] — fault-injection shots that fired
+      ([Bistpath_resilience.Inject]).
 
     Gauges set by [Flow.run]: [regs.allocated], [muxes.allocated],
     [bist.delta_gates], [sessions.count]. Gauges set by the parallel
     engine: [parallel.jobs] (pool width) and [parallel.max_active]
-    (peak concurrently busy workers — pool occupancy).
+    (peak concurrently busy workers — pool occupancy). The CLI sets
+    [resilience.degraded] to 1 when a run ends degraded (exit code 3).
 
     Span names emitted by [Flow.run]: a root [flow] span containing
     [regalloc], [interconnect], [bist_alloc] and [sessions], one each.

@@ -154,7 +154,7 @@ let fault_sim_chunking () =
 
 let coverage_edge_cases () =
   check (Alcotest.float 1e-9) "empty fault list" 1.0
-    (Fault_sim.coverage { Fault_sim.total = 0; detected = 0; undetected = [] })
+    (Fault_sim.coverage { Fault_sim.total = 0; detected = 0; undetected = []; skipped = [] })
 
 let lfsr_full_period () =
   List.iter

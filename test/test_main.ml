@@ -23,6 +23,7 @@ let () =
       ("transparency", Test_transparency.suite);
       ("pareto", Test_pareto.suite);
       ("injection", Test_injection.suite);
+      ("resilience", Test_resilience.suite);
       ("timing-vcd", Test_timing_vcd.suite);
       ("partial-scan", Test_partial_scan.suite);
       ("rtl-sim", Test_rtl_sim.suite);
