@@ -186,6 +186,87 @@ let parallel_section () =
     ("[\n" ^ String.concat ",\n" records ^ "\n]\n");
   print_endline "\n(wrote BENCH_parallel.json)"
 
+(* --- service mode: supervised batch throughput -------------------- *)
+
+module Service = Bistpath_service.Service
+module Inject = Bistpath_resilience.Inject
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+(* One spool of real jobs through [Service.run], clean and under
+   injected faults: the records capture batch wall time plus how much
+   work the retry/breaker machinery did, so the perf trajectory shows
+   what supervision costs. *)
+let service_section () =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "Service mode: supervised batch, clean vs injected faults\n";
+  Printf.printf "================================================================\n\n";
+  let jobs =
+    List.concat_map
+      (fun tag ->
+        [
+          Printf.sprintf {|{"id":"%s-run","spec":"%s","pipeline":"run"}|} tag tag;
+          Printf.sprintf {|{"id":"%s-rtl","spec":"%s","pipeline":"rtl"}|} tag tag;
+        ])
+      [ "ex1"; "ex2"; "Tseng1"; "Paulin" ]
+  in
+  let scenarios =
+    [
+      ("clean", []);
+      ( "injected",
+        [ ("service.worker", 0.3); ("service.result_io", 0.2);
+          ("service.journal", 0.2) ] );
+    ]
+  in
+  let records =
+    List.map
+      (fun (scenario, faults) ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "bistpath-bench-serve-%d-%s" (Unix.getpid ()) scenario)
+        in
+        rm_rf dir;
+        Unix.mkdir dir 0o755;
+        Out_channel.with_open_text (Filename.concat dir "jobs.ndjson") (fun oc ->
+            List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) jobs);
+        Inject.configure faults;
+        let cfg =
+          { (Service.default_config (Service.Spool_dir dir)) with
+            Service.retry_base_ms = 1.0;
+            verbose = false }
+        in
+        let t0 = Monotonic_clock.now () in
+        let stats = Service.run cfg in
+        let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+        Inject.configure [];
+        rm_rf dir;
+        Printf.printf
+          "  %-9s %d jobs in %10Ld ns   ok %d  degraded %d  failed %d  retries \
+           %d  breaker trips %d  journal errors %d\n"
+          scenario stats.Service.accepted wall_ns stats.Service.completed
+          stats.Service.degraded stats.Service.failed stats.Service.retries
+          stats.Service.breaker_trips stats.Service.journal_errors;
+        Printf.sprintf
+          "{\"scenario\":\"%s\",\"jobs\":%d,\"wall_ns\":%Ld,\"completed\":%d,\
+           \"degraded\":%d,\"failed\":%d,\"retries\":%d,\"breaker_trips\":%d,\
+           \"journal_errors\":%d}"
+          scenario stats.Service.accepted wall_ns stats.Service.completed
+          stats.Service.degraded stats.Service.failed stats.Service.retries
+          stats.Service.breaker_trips stats.Service.journal_errors)
+      scenarios
+  in
+  Inject.fire_sys_error "telemetry.write";
+  Telemetry.write_file "BENCH_service.json"
+    ("[\n" ^ String.concat ",\n" records ^ "\n]\n");
+  print_endline "\n(wrote BENCH_service.json)"
+
 (* --- Bechamel timing benches ------------------------------------- *)
 
 open Bechamel
@@ -291,6 +372,7 @@ let () =
   run_reports ();
   telemetry_section ();
   parallel_section ();
+  service_section ();
   match Sys.getenv_opt "BISTPATH_SKIP_TIMING" with
   | Some _ -> print_endline "\n(timing skipped: BISTPATH_SKIP_TIMING set)"
   | None -> benchmark ()

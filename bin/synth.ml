@@ -19,6 +19,7 @@ module Budget = Bistpath_resilience.Budget
 module Cancel = Bistpath_resilience.Cancel
 module Diagnostic = Bistpath_resilience.Diagnostic
 module Inject = Bistpath_resilience.Inject
+module Service = Bistpath_service.Service
 
 open Cmdliner
 
@@ -102,6 +103,46 @@ let or_die_input = function
     List.iter (fun l -> prerr_endline ("synth: " ^ l)) lines;
     exit exit_invalid_input
 
+(* --- uniform numeric-flag validation ------------------------------- *)
+
+(* Numeric resource flags share one parse path: a negative, zero or
+   garbage value is invalid input — exit 4 with a diagnostic — rather
+   than a silent clamp, a cmdliner usage error, or a degraded run. *)
+let invalid_flag flag got want =
+  prerr_endline
+    ("synth: "
+    ^ Diagnostic.to_string
+        (Diagnostic.error (Printf.sprintf "%s: expected %s, got %S" flag want got)));
+  exit exit_invalid_input
+
+let pos_float_of ~flag = function
+  | None -> None
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some v when v > 0.0 && Float.is_finite v -> Some v
+    | _ -> invalid_flag flag s "a positive number")
+
+let pos_int_of ~flag = function
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= 1 -> Some v
+    | _ -> invalid_flag flag s "a positive integer")
+
+let nonneg_float_of ~flag ~default = function
+  | None -> default
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some v when v >= 0.0 && Float.is_finite v -> v
+    | _ -> invalid_flag flag s "a non-negative number")
+
+let nonneg_int_of ~flag ~default = function
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= 0 -> v
+    | _ -> invalid_flag flag s "a non-negative integer")
+
 (* --- telemetry, parallelism and budget flags (every subcommand) ---- *)
 
 let stats_arg =
@@ -124,7 +165,7 @@ let jobs_arg =
      machine's core count; $(docv)=1 runs the exact sequential code \
      path. Results are bit-identical at every value."
   in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some string) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let timeout_arg =
   let doc =
@@ -132,7 +173,7 @@ let timeout_arg =
      hits, the search stops cooperatively, the best solution found so \
      far is printed, and synth exits 3."
   in
-  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc)
+  Arg.(value & opt (some string) None & info [ "timeout" ] ~docv:"SEC" ~doc)
 
 let leaf_budget_arg =
   let doc =
@@ -141,14 +182,14 @@ let leaf_budget_arg =
      and exits 3; unlike it, the truncation point is deterministic and \
      independent of $(b,--jobs)."
   in
-  Arg.(value & opt (some int) None & info [ "leaf-budget" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some string) None & info [ "leaf-budget" ] ~docv:"N" ~doc)
 
 let max_errors_arg =
   let doc =
     "Report at most $(docv) input diagnostics before truncating \
      (invalid input exits 4)."
   in
-  Arg.(value & opt (some int) None & info [ "max-errors" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some string) None & info [ "max-errors" ] ~docv:"N" ~doc)
 
 type common = {
   stats : bool;
@@ -162,7 +203,14 @@ type common = {
 let common_term =
   Term.(
     const (fun stats trace jobs timeout leaf_budget max_errors ->
-        { stats; trace; jobs; timeout; leaf_budget; max_errors })
+        {
+          stats;
+          trace;
+          jobs = pos_int_of ~flag:"--jobs" jobs;
+          timeout = pos_float_of ~flag:"--timeout" timeout;
+          leaf_budget = pos_int_of ~flag:"--leaf-budget" leaf_budget;
+          max_errors = pos_int_of ~flag:"--max-errors" max_errors;
+        })
     $ stats_arg $ trace_arg $ jobs_arg $ timeout_arg $ leaf_budget_arg
     $ max_errors_arg)
 
@@ -176,27 +224,7 @@ let common_term =
    output [f] printed stands as the best-so-far answer and we exit 3
    after the telemetry epilogue. *)
 let with_common c f =
-  (match c.jobs with
-  | Some n when n >= 1 -> Bistpath_parallel.Pool.set_jobs n
-  | Some n ->
-    prerr_endline ("synth: --jobs must be >= 1, got " ^ string_of_int n);
-    exit 1
-  | None -> ());
-  (match c.timeout with
-  | Some t when t <= 0.0 ->
-    prerr_endline "synth: --timeout must be positive";
-    exit 1
-  | _ -> ());
-  (match c.leaf_budget with
-  | Some n when n < 1 ->
-    prerr_endline "synth: --leaf-budget must be >= 1";
-    exit 1
-  | _ -> ());
-  (match c.max_errors with
-  | Some n when n < 1 ->
-    prerr_endline "synth: --max-errors must be >= 1";
-    exit 1
-  | _ -> ());
+  Option.iter Bistpath_parallel.Pool.set_jobs c.jobs;
   let budget =
     match (c.timeout, c.leaf_budget) with
     | None, None -> Budget.unlimited
@@ -220,17 +248,32 @@ let with_common c f =
   try
     if (not c.stats) && c.trace = None then finish (body ())
     else begin
-      let x, r = Telemetry.collect body in
-      if c.stats then prerr_string (Telemetry.summary_table r);
-      Option.iter
-        (fun file ->
-          try
-            Inject.fire_sys_error "telemetry.write";
-            Telemetry.write_file file (Telemetry.chrome_trace_json r)
-          with Sys_error msg ->
-            Printf.eprintf "synth: cannot write trace file: %s\n" msg;
-            exit 1)
-        c.trace;
+      let r = Telemetry.create () in
+      let flushed = ref false in
+      let flush ~exit_on_error =
+        if not !flushed then begin
+          flushed := true;
+          if c.stats then prerr_string (Telemetry.summary_table r);
+          Option.iter
+            (fun file ->
+              try
+                Inject.fire_sys_error "telemetry.write";
+                Telemetry.write_file file (Telemetry.chrome_trace_json r)
+              with Sys_error msg ->
+                Printf.eprintf "synth: cannot write trace file: %s\n" msg;
+                if exit_on_error then exit 1)
+            c.trace
+        end
+      in
+      (* Crash-safe sinks: flush from [at_exit] too, so a fatal error
+         mid-pipeline (injected fault, allocator bug, [exit 1]) still
+         lands the recorded prefix — open spans included — on disk and
+         stderr instead of dropping the buffered tail. *)
+      at_exit (fun () -> flush ~exit_on_error:false);
+      Telemetry.install r;
+      let x = body () in
+      Telemetry.uninstall ();
+      flush ~exit_on_error:true;
       finish x
     end
   with Inject.Injected site ->
@@ -605,6 +648,166 @@ let export_cmd =
   let doc = "Print a design in the textual DFG format (re-loadable by every command)." in
   Cmd.v (Cmd.info "export" ~doc) Term.(const run $ common_term $ instance_arg)
 
+let serve_cmd =
+  let spool_arg =
+    let doc =
+      "Spool directory holding NDJSON job-spec files ($(b,*.ndjson), \
+       $(b,*.jsonl), $(b,*.json); one JSON object per line). Use $(b,-) \
+       (or omit) to read specs from stdin until EOF."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SPOOL" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Directory for per-job artifacts ($(docv)/<id>.out, <id>.err). \
+       Defaults to $(b,SPOOL/results) (or $(b,./results) for stdin)."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let journal_arg =
+    let doc =
+      "Write-ahead journal file. Defaults to $(b,SPOOL/journal.ndjson) \
+       (or $(b,./journal.ndjson) for stdin)."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Replay the journal: jobs already done keep their results \
+       (exactly-once), unfinished jobs re-run. Required when the \
+       journal is non-empty."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let max_attempts_arg =
+    let doc = "Attempts per job before a terminal failure record." in
+    Arg.(value & opt (some string) None & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let retry_base_arg =
+    let doc =
+      "Backoff base in milliseconds: attempt $(i,n) waits \
+       base*2^(n-1), scaled by deterministic per-job jitter in \
+       [0.5, 1.5)."
+    in
+    Arg.(value & opt (some string) None & info [ "retry-base-ms" ] ~docv:"MS" ~doc)
+  in
+  let breaker_threshold_arg =
+    let doc =
+      "Consecutive failures that trip a job class's circuit breaker open."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "breaker-threshold" ] ~docv:"K" ~doc)
+  in
+  let breaker_cooldown_arg =
+    let doc = "Seconds an open breaker waits before admitting a half-open probe." in
+    Arg.(
+      value & opt (some string) None & info [ "breaker-cooldown" ] ~docv:"SEC" ~doc)
+  in
+  let queue_cap_arg =
+    let doc =
+      "Bounded-queue capacity; spool ingestion pauses (backpressure) \
+       while the queue is full."
+    in
+    Arg.(value & opt (some string) None & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let job_delay_arg =
+    let doc =
+      "Pause this many milliseconds before each attempt — a determinism \
+       aid for crash-recovery and drain testing; leave 0 in production."
+    in
+    Arg.(value & opt (some string) None & info [ "job-delay-ms" ] ~docv:"MS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Root seed of the deterministic per-job backoff-jitter streams." in
+    Arg.(value & opt (some string) None & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress per-job progress lines on stderr." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let run c spool out journal resume max_attempts retry_base breaker_k breaker_cd
+      queue_cap job_delay seed quiet =
+    with_common c @@ fun _budget ->
+    let source =
+      match spool with
+      | None | Some "-" -> Service.Stdin
+      | Some dir -> Service.Spool_dir dir
+    in
+    let dc = Service.default_config source in
+    let cfg =
+      {
+        dc with
+        Service.out_dir = Option.value out ~default:dc.Service.out_dir;
+        journal_path = Option.value journal ~default:dc.Service.journal_path;
+        resume;
+        max_attempts =
+          Option.value
+            (pos_int_of ~flag:"--max-attempts" max_attempts)
+            ~default:dc.Service.max_attempts;
+        retry_base_ms =
+          nonneg_float_of ~flag:"--retry-base-ms"
+            ~default:dc.Service.retry_base_ms retry_base;
+        breaker_threshold =
+          Option.value
+            (pos_int_of ~flag:"--breaker-threshold" breaker_k)
+            ~default:dc.Service.breaker_threshold;
+        breaker_cooldown_s =
+          nonneg_float_of ~flag:"--breaker-cooldown"
+            ~default:dc.Service.breaker_cooldown_s breaker_cd;
+        queue_cap =
+          Option.value
+            (pos_int_of ~flag:"--queue-cap" queue_cap)
+            ~default:dc.Service.queue_cap;
+        job_delay_ms = nonneg_int_of ~flag:"--job-delay-ms" ~default:0 job_delay;
+        default_timeout_s = c.timeout;
+        default_leaf_budget = c.leaf_budget;
+        seed =
+          Option.value (pos_int_of ~flag:"--seed" seed) ~default:dc.Service.seed;
+        verbose = not quiet;
+      }
+    in
+    match Service.run cfg with
+    | exception Sys_error msg ->
+      (* setup problems (missing spool dir, refused journal) are
+         invalid input, not an internal error *)
+      prerr_endline ("synth: " ^ Diagnostic.to_string (Diagnostic.error msg));
+      exit exit_invalid_input
+    | stats ->
+      (* one machine-parsable summary line on stdout; artifacts live in
+         the results directory *)
+      Printf.printf
+        "{\"accepted\":%d,\"completed\":%d,\"degraded\":%d,\"failed\":%d,\
+         \"rejected_specs\":%d,\"retries\":%d,\"breaker_trips\":%d,\
+         \"journal_errors\":%d,\"pending\":%d,\"drained\":%b}\n"
+        stats.Service.accepted stats.Service.completed stats.Service.degraded
+        stats.Service.failed stats.Service.rejected_specs stats.Service.retries
+        stats.Service.breaker_trips stats.Service.journal_errors
+        stats.Service.pending stats.Service.drained;
+      if stats.Service.drained && stats.Service.pending > 0 then begin
+        Printf.eprintf
+          "synth: degraded: drain requested with %d job(s) pending (rerun with \
+           --resume to finish them)\n"
+          stats.Service.pending;
+        exit exit_degraded
+      end
+      else if stats.Service.failed > 0 then begin
+        Printf.eprintf "synth: degraded: %d job(s) failed permanently\n"
+          stats.Service.failed;
+        exit exit_degraded
+      end
+  in
+  let doc =
+    "Run as a supervised batch service: crash-isolated jobs from a spool \
+     directory or stdin, with retries, circuit breakers and a crash-safe \
+     journal ($(b,--resume) continues after a kill)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ common_term $ spool_arg $ out_arg $ journal_arg $ resume_arg
+      $ max_attempts_arg $ retry_base_arg $ breaker_threshold_arg
+      $ breaker_cooldown_arg $ queue_cap_arg $ job_delay_arg $ seed_arg
+      $ quiet_arg)
+
 let list_cmd =
   let run () =
     List.iter
@@ -627,7 +830,7 @@ let () =
   let cmds =
     [ run_cmd; compare_cmd; tables_cmd; figures_cmd; ablation_cmd; rtl_cmd;
       dot_cmd; coverage_cmd; atpg_cmd; tb_cmd; vcd_cmd; area_cmd; pareto_cmd;
-      check_cmd; export_cmd; list_cmd ]
+      check_cmd; export_cmd; serve_cmd; list_cmd ]
   in
   (* A first argument that is neither a subcommand nor an option is a DFG
      spec: treat `synth data/Paulin.dfg --stats` as `synth run ...`. *)

@@ -3,7 +3,11 @@ module Telemetry = Bistpath_telemetry.Telemetry
 
 exception Injected of string
 
-let sites = [ "pool.worker"; "telemetry.write"; "allocator.leaf"; "pareto.leaf" ]
+let sites =
+  [
+    "pool.worker"; "telemetry.write"; "allocator.leaf"; "pareto.leaf";
+    "service.journal"; "service.result_io"; "service.worker";
+  ]
 
 type site_state = { prob : float; prng : Prng.t }
 

@@ -34,6 +34,16 @@
       a complete assignment ([Bistpath_bist.Allocator.solve]).
     - [pareto.leaf] — a Pareto leaf evaluation raises
       ([Bistpath_bist.Pareto.explore]).
+    - [service.journal] — a write-ahead journal append fails with
+      [Sys_error] ([Bistpath_service.Journal.append]); the supervisor
+      retries the append and degrades to in-memory state rather than
+      crashing.
+    - [service.result_io] — a per-job result-file write fails with
+      [Sys_error] ([Bistpath_service.Service]); the job is retried
+      with backoff like any other failure.
+    - [service.worker] — job execution raises before running the
+      pipeline ([Bistpath_service.Service]), modelling a crashed
+      worker; the job becomes a typed failure record and is retried.
 
     Telemetry: every shot that fires increments [resilience.injected]. *)
 

@@ -1,0 +1,84 @@
+module Telemetry = Bistpath_telemetry.Telemetry
+
+type state =
+  | Closed of int  (* consecutive failures so far *)
+  | Open of int64  (* opened at (clock ns) *)
+  | Half_open
+
+type t = {
+  clock : unit -> int64;
+  threshold : int;
+  cooldown_ns : int64;
+  tbl : (string, state) Hashtbl.t;
+}
+
+let create ?(clock = Monotonic_clock.now) ~threshold ~cooldown_s () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if cooldown_s < 0.0 then invalid_arg "Breaker.create: cooldown_s must be >= 0";
+  {
+    clock;
+    threshold;
+    cooldown_ns = Int64.of_float (cooldown_s *. 1e9);
+    tbl = Hashtbl.create 8;
+  }
+
+let state t cls =
+  match Hashtbl.find_opt t.tbl cls with Some s -> s | None -> Closed 0
+
+let open_count t =
+  Hashtbl.fold
+    (fun _ s acc -> match s with Open _ | Half_open -> acc + 1 | Closed _ -> acc)
+    t.tbl 0
+
+let publish_gauge t = Telemetry.set "service.breaker_open" (open_count t)
+
+type decision = Allow | Probe | Reject of float
+
+let check t cls =
+  match state t cls with
+  | Closed _ -> Allow
+  | Half_open ->
+    (* a probe is already in flight; single-owner loops only reach
+       this if the probe was parked on backoff — keep rejecting *)
+    Reject 0.0
+  | Open since ->
+    let elapsed = Int64.sub (t.clock ()) since in
+    if elapsed >= t.cooldown_ns then begin
+      Hashtbl.replace t.tbl cls Half_open;
+      Probe
+    end
+    else Reject (Int64.to_float (Int64.sub t.cooldown_ns elapsed) /. 1e9)
+
+let success t cls =
+  Hashtbl.replace t.tbl cls (Closed 0);
+  publish_gauge t
+
+let trip t cls =
+  Hashtbl.replace t.tbl cls (Open (t.clock ()));
+  Telemetry.incr "service.breaker_trips";
+  publish_gauge t
+
+let failure t cls =
+  match state t cls with
+  | Closed n ->
+    if n + 1 >= t.threshold then begin
+      trip t cls;
+      true
+    end
+    else begin
+      Hashtbl.replace t.tbl cls (Closed (n + 1));
+      false
+    end
+  | Half_open ->
+    (* failed probe: back to open, fresh cooldown *)
+    trip t cls;
+    true
+  | Open _ ->
+    Hashtbl.replace t.tbl cls (Open (t.clock ()));
+    false
+
+let state_name t cls =
+  match state t cls with
+  | Closed _ -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half_open"

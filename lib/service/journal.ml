@@ -1,0 +1,146 @@
+module Json = Bistpath_util.Json
+module Atomic_io = Bistpath_util.Atomic_io
+module Inject = Bistpath_resilience.Inject
+
+type event =
+  | Accept of Job.t
+  | Start of { id : string; attempt : int }
+  | Done of { id : string; attempt : int; status : string; reason : string option }
+  | Fail of { id : string; attempt : int; error : string }
+  | Give_up of { id : string; error : string }
+  | Drain
+
+type t = { fd : Unix.file_descr; path : string }
+
+let event_to_json = function
+  | Accept job -> Json.Obj [ ("ev", Json.Str "accept"); ("job", Job.to_json job) ]
+  | Start { id; attempt } ->
+    Json.Obj
+      [ ("ev", Json.Str "start"); ("id", Json.Str id);
+        ("attempt", Json.Num (float_of_int attempt)) ]
+  | Done { id; attempt; status; reason } ->
+    Json.Obj
+      ([ ("ev", Json.Str "done"); ("id", Json.Str id);
+         ("attempt", Json.Num (float_of_int attempt)); ("status", Json.Str status) ]
+      @ match reason with Some r -> [ ("reason", Json.Str r) ] | None -> [])
+  | Fail { id; attempt; error } ->
+    Json.Obj
+      [ ("ev", Json.Str "fail"); ("id", Json.Str id);
+        ("attempt", Json.Num (float_of_int attempt)); ("error", Json.Str error) ]
+  | Give_up { id; error } ->
+    Json.Obj
+      [ ("ev", Json.Str "give_up"); ("id", Json.Str id); ("error", Json.Str error) ]
+  | Drain -> Json.Obj [ ("ev", Json.Str "drain") ]
+
+let event_of_json json =
+  let ( let* ) = Result.bind in
+  let str name =
+    match Option.bind (Json.member name json) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing/bad field %S" name)
+  in
+  let int name =
+    match Option.bind (Json.member name json) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "missing/bad field %S" name)
+  in
+  let* ev = str "ev" in
+  match ev with
+  | "accept" -> (
+    match Json.member "job" json with
+    | None -> Error "accept record without job"
+    | Some j ->
+      let* job =
+        (* the journal's own records always carry an explicit id *)
+        Job.of_json ~default_id:"journal" j
+      in
+      Ok (Accept job))
+  | "start" ->
+    let* id = str "id" in
+    let* attempt = int "attempt" in
+    Ok (Start { id; attempt })
+  | "done" ->
+    let* id = str "id" in
+    let* attempt = int "attempt" in
+    let* status = str "status" in
+    let reason = Option.bind (Json.member "reason" json) Json.to_str in
+    Ok (Done { id; attempt; status; reason })
+  | "fail" ->
+    let* id = str "id" in
+    let* attempt = int "attempt" in
+    let* error = str "error" in
+    Ok (Fail { id; attempt; error })
+  | "give_up" ->
+    let* id = str "id" in
+    let* error = str "error" in
+    Ok (Give_up { id; error })
+  | "drain" -> Ok Drain
+  | s -> Error (Printf.sprintf "unknown journal event %S" s)
+
+let open_ path =
+  match
+    Unix.openfile path
+      [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT; Unix.O_CLOEXEC ]
+      0o644
+  with
+  | fd -> { fd; path }
+  | exception Unix.Unix_error (e, _, _) ->
+    raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let append t ev =
+  Inject.fire_sys_error "service.journal";
+  Atomic_io.fsync_append t.fd (Json.to_string (event_to_json ev) ^ "\n")
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let replay path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let text = In_channel.with_open_text path In_channel.input_all in
+    let lines = String.split_on_char '\n' text in
+    (* drop the final "" from a trailing newline; anything after the
+       last newline is a torn append and may legitimately fail to
+       parse *)
+    let rec parse acc = function
+      | [] -> List.rev acc
+      | [ last ] -> (
+        if String.trim last = "" then List.rev acc
+        else
+          match Result.bind (Json.parse last) event_of_json with
+          | Ok ev -> List.rev (ev :: acc)
+          | Error _ -> List.rev acc (* torn final record: crash mid-append *))
+      | line :: rest -> (
+        if String.trim line = "" then parse acc rest
+        else
+          match Result.bind (Json.parse line) event_of_json with
+          | Ok ev -> parse (ev :: acc) rest
+          | Error e ->
+            raise (Sys_error (Printf.sprintf "%s: corrupt journal record: %s" path e)))
+    in
+    parse [] lines
+  end
+
+type job_state = { job : Job.t; attempts : int; terminal : bool }
+
+let fold_state events =
+  let order = ref [] in
+  let tbl : (string, job_state) Hashtbl.t = Hashtbl.create 16 in
+  let update id f =
+    match Hashtbl.find_opt tbl id with
+    | None -> () (* record for a job we never saw accepted: ignore *)
+    | Some st -> Hashtbl.replace tbl id (f st)
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Accept job ->
+        if not (Hashtbl.mem tbl job.Job.id) then begin
+          Hashtbl.replace tbl job.Job.id { job; attempts = 0; terminal = false };
+          order := job.Job.id :: !order
+        end
+      | Start { id; _ } -> update id (fun st -> { st with attempts = st.attempts + 1 })
+      | Done { id; _ } | Give_up { id; _ } ->
+        update id (fun st -> { st with terminal = true })
+      | Fail _ | Drain -> ())
+    events;
+  List.rev_map (fun id -> Hashtbl.find tbl id) !order

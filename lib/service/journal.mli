@@ -1,0 +1,66 @@
+(** Write-ahead journal for the job service.
+
+    An append-only NDJSON file recording every job state transition:
+
+    {v
+    {"ev":"accept","job":{...full spec...}}
+    {"ev":"start","id":"j1","attempt":1}
+    {"ev":"fail","id":"j1","attempt":1,"error":"..."}
+    {"ev":"done","id":"j1","attempt":2,"status":"ok"}
+    {"ev":"give_up","id":"j2","error":"..."}
+    {"ev":"drain"}
+    v}
+
+    Each append is one [write] + [fsync] on an [O_APPEND] descriptor,
+    so a record is durable before the action it authorizes proceeds
+    (result files are written {e before} their [done] record, making
+    [done] the commit point of exactly-once semantics). {!replay}
+    tolerates a truncated final line — the signature of a crash
+    mid-append — by ignoring it.
+
+    Fault injection: {!append} probes the [service.journal] site and
+    raises [Sys_error] on a hit, exactly like a real disk error. *)
+
+type event =
+  | Accept of Job.t
+  | Start of { id : string; attempt : int }
+  | Done of { id : string; attempt : int; status : string; reason : string option }
+      (** [status] is ["ok"] or ["degraded"]; [reason] is the budget's
+          stop reason for degraded results. *)
+  | Fail of { id : string; attempt : int; error : string }
+  | Give_up of { id : string; error : string }
+  | Drain  (** graceful-shutdown checkpoint: in-flight work was abandoned *)
+
+type t
+(** An open journal (descriptor kept across appends). *)
+
+val open_ : string -> t
+(** Open for append, creating the file if needed. Raises [Sys_error]. *)
+
+val append : t -> event -> unit
+(** Serialize, append, fsync. Raises [Sys_error] on I/O failure or an
+    injected [service.journal] fault. *)
+
+val close : t -> unit
+
+val replay : string -> event list
+(** Parse the journal back, in order. A missing file is an empty
+    journal; an unparsable {e final} line is ignored (crash
+    mid-append); an unparsable line elsewhere raises [Sys_error] —
+    that is corruption, not a crash artifact. *)
+
+(** {1 Derived state} *)
+
+type job_state = {
+  job : Job.t;
+  attempts : int;  (** [start] records seen *)
+  terminal : bool;  (** a [done] or [give_up] record exists *)
+}
+
+val fold_state : event list -> job_state list
+(** Accepted jobs in first-accept order with their replayed state —
+    what [--resume] re-queues ([terminal = false] entries). Duplicate
+    accepts of one id collapse onto the first. *)
+
+val event_to_json : event -> Bistpath_util.Json.t
+val event_of_json : Bistpath_util.Json.t -> (event, string) result

@@ -1,0 +1,88 @@
+module B = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Testable_alloc = Bistpath_core.Testable_alloc
+module Policy = Bistpath_dfg.Policy
+module Parser = Bistpath_dfg.Parser
+module Frontend = Bistpath_dfg.Frontend
+module Dfg = Bistpath_dfg.Dfg
+module Diagnostic = Bistpath_resilience.Diagnostic
+module Verilog = Bistpath_rtl.Verilog
+module Bist_sim = Bistpath_gatelevel.Bist_sim
+module Session = Bistpath_bist.Session
+module Pareto = Bistpath_bist.Pareto
+
+type error = Invalid_input of string list
+
+(* Mirrors the CLI's load_instance: benchmark tag, .beh program or
+   textual DFG file, with accumulated diagnostics. *)
+let load_instance spec =
+  match B.by_tag spec with
+  | Some inst -> Ok inst
+  | None ->
+    let instance_of_dfg dfg =
+      let massign = Bistpath_core.Module_assign.single_function dfg in
+      { B.tag = dfg.Dfg.name; dfg; massign; policy = Policy.default }
+    in
+    if Sys.file_exists spec then begin
+      let locate d = { d with Diagnostic.file = Some spec } in
+      let render ds = List.map (fun d -> Diagnostic.to_string (locate d)) ds in
+      if Filename.check_suffix spec ".beh" then
+        let text = In_channel.with_open_text spec In_channel.input_all in
+        let name = Filename.remove_extension (Filename.basename spec) in
+        match Frontend.compile_diags ~name text with
+        | Ok dfg -> Ok (instance_of_dfg dfg)
+        | Error ds -> Error (render ds)
+      else begin
+        let u, diags = Parser.parse_file_diags spec in
+        if List.exists (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) diags
+        then Error (List.map Diagnostic.to_string diags)
+        else
+          match Parser.to_dfg_diags u with
+          | Ok dfg -> Ok (instance_of_dfg dfg)
+          | Error ds -> Error (render ds)
+      end
+    end
+    else
+      Error
+        [ Printf.sprintf "unknown benchmark %S (and no such file); known: %s" spec
+            (String.concat ", " B.all_tags) ]
+
+let style_of_flow = function
+  | "traditional" -> Flow.Traditional
+  | _ -> Flow.Testable Testable_alloc.default_options
+
+let execute ~budget (job : Job.t) =
+  match load_instance job.Job.spec with
+  | Error lines -> Error (Invalid_input lines)
+  | Ok inst ->
+    let width = job.Job.width in
+    let style = style_of_flow job.Job.flow in
+    let flow () =
+      Flow.run ~budget ~width ~transparency:job.Job.transparency ~style inst.B.dfg
+        inst.B.massign ~policy:inst.B.policy
+    in
+    let artifact =
+      match job.Job.pipeline with
+      | Job.Run ->
+        let r = flow () in
+        Format.asprintf "%a@.@.%a@.@.test sessions: %a@." Dfg.pp inst.B.dfg
+          Flow.pp_result r Session.pp r.Flow.sessions
+      | Job.Pareto ->
+        let r = flow () in
+        Format.asprintf "%a@." Pareto.pp
+          (Pareto.explore ~width ~budget r.Flow.datapath)
+      | Job.Coverage ->
+        let r = flow () in
+        let rep =
+          Bist_sim.run ~budget ~width ~pattern_count:job.Job.patterns
+            r.Flow.datapath r.Flow.bist
+        in
+        Format.asprintf "%a@." Bist_sim.pp rep
+      | Job.Rtl ->
+        let r = flow () in
+        Verilog.primitives ~width ^ "\n"
+        ^ Verilog.emit ~width ~bist:r.Flow.bist r.Flow.datapath
+        ^ "\n"
+      | Job.Export -> Parser.to_string inst.B.dfg
+    in
+    Ok artifact

@@ -1,0 +1,28 @@
+(** In-process execution of one job.
+
+    Runs the same library pipeline the corresponding CLI subcommand
+    would, but renders the artifact to a string instead of stdout, so
+    the supervisor can commit it atomically.
+
+    The split of failure modes matters for retry policy:
+
+    - [Error (Invalid_input lines)] — the spec names an unknown
+      benchmark, or the DFG/behavioural file fails validation. This is
+      deterministic; the supervisor gives up immediately (no retries)
+      and records the diagnostics.
+    - An exception (including injected faults and [Out_of_memory]) —
+      potentially transient; the supervisor catches it and applies
+      retry/backoff/breaker policy.
+
+    A job whose own budget trips mid-search returns [Ok] with a
+    best-so-far artifact; the caller distinguishes complete from
+    degraded via the budget's stop reason, exactly like the CLI's
+    exit-3 protocol. *)
+
+type error = Invalid_input of string list
+
+val execute : budget:Bistpath_resilience.Budget.t -> Job.t -> (string, error) result
+(** Deterministic for a fixed job and untripped budget: two runs
+    produce byte-identical artifacts (the exactly-once guarantee
+    leans on this — re-running a job after a crash rewrites the same
+    bytes). *)

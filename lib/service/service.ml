@@ -1,0 +1,509 @@
+module Atomic_io = Bistpath_util.Atomic_io
+module Prng = Bistpath_util.Prng
+module Telemetry = Bistpath_telemetry.Telemetry
+module Budget = Bistpath_resilience.Budget
+module Cancel = Bistpath_resilience.Cancel
+module Inject = Bistpath_resilience.Inject
+
+type source = Spool_dir of string | Stdin
+
+type config = {
+  source : source;
+  out_dir : string;
+  journal_path : string;
+  resume : bool;
+  max_attempts : int;
+  retry_base_ms : float;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+  queue_cap : int;
+  job_delay_ms : int;
+  default_timeout_s : float option;
+  default_leaf_budget : int option;
+  seed : int;
+  verbose : bool;
+}
+
+let default_config source =
+  let base = match source with Spool_dir d -> d | Stdin -> "." in
+  {
+    source;
+    out_dir = Filename.concat base "results";
+    journal_path = Filename.concat base "journal.ndjson";
+    resume = false;
+    max_attempts = 3;
+    retry_base_ms = 100.0;
+    breaker_threshold = 3;
+    breaker_cooldown_s = 1.0;
+    queue_cap = 64;
+    job_delay_ms = 0;
+    default_timeout_s = None;
+    default_leaf_budget = None;
+    seed = 0x5E41CE;
+    verbose = true;
+  }
+
+type stats = {
+  accepted : int;
+  completed : int;
+  degraded : int;
+  failed : int;
+  rejected_specs : int;
+  retries : int;
+  breaker_trips : int;
+  journal_errors : int;
+  pending : int;
+  drained : bool;
+}
+
+(* --- drain signalling ---------------------------------------------- *)
+
+let drain_flag = Atomic.make false
+let current_cancel : Cancel.t option ref = ref None
+let drain_cause = "drain requested (SIGINT/SIGTERM)"
+
+let request_drain () =
+  Atomic.set drain_flag true;
+  match !current_cancel with
+  | Some c -> ignore (Cancel.cancel c (Cancel.Cancelled drain_cause))
+  | None -> ()
+
+let draining () = Atomic.get drain_flag
+
+(* --- helpers ------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (Printf.sprintf "%s: %s" dir (Unix.error_message e)))
+  end
+  else if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"))
+
+let now_ns () = Monotonic_clock.now ()
+
+(* Per-job jitter stream: deterministic in (seed, id) only — stable
+   across restarts and independent of accept order. *)
+let job_prng ~seed id = Prng.split (Prng.create (seed lxor Hashtbl.hash id))
+
+(* One spec line at a time from the spool or stdin, with a
+   deterministic default id per line. *)
+let make_source cfg =
+  match cfg.source with
+  | Stdin ->
+    let n = ref 0 in
+    let rec next () =
+      match In_channel.input_line stdin with
+      | None -> None
+      | Some line when String.trim line = "" -> next ()
+      | Some line ->
+        incr n;
+        Some (Printf.sprintf "stdin-%d" !n, line)
+    in
+    next
+  | Spool_dir dir ->
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      raise (Sys_error (dir ^ ": no such spool directory"));
+    let spool_file f =
+      Filename.check_suffix f ".ndjson"
+      || Filename.check_suffix f ".jsonl"
+      || Filename.check_suffix f ".json"
+    in
+    (* The journal often lives inside the spool directory and would
+       match the glob; identify it by inode so no alias of its path can
+       ever be ingested as job specs (it grows while we run — reading
+       it back would chase our own appends forever). *)
+    let journal_ident =
+      try
+        let s = Unix.stat cfg.journal_path in
+        Some (s.Unix.st_dev, s.Unix.st_ino)
+      with Unix.Unix_error _ | Sys_error _ -> None
+    in
+    let is_journal f =
+      match journal_ident with
+      | None -> false
+      | Some id -> (
+        try
+          let s = Unix.stat f in
+          (s.Unix.st_dev, s.Unix.st_ino) = id
+        with Unix.Unix_error _ | Sys_error _ -> false)
+    in
+    let files =
+      Sys.readdir dir |> Array.to_list |> List.filter spool_file
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+      |> List.filter (fun f -> not (is_journal f))
+    in
+    let remaining = ref files in
+    let current : (string * In_channel.t * int ref) option ref = ref None in
+    let rec next () =
+      match !current with
+      | None -> (
+        match !remaining with
+        | [] -> None
+        | f :: rest ->
+          remaining := rest;
+          current := Some (Filename.remove_extension (Filename.basename f),
+                           In_channel.open_text f, ref 0);
+          next ())
+      | Some (stem, ic, lineno) -> (
+        match In_channel.input_line ic with
+        | None ->
+          In_channel.close ic;
+          current := None;
+          next ()
+        | Some line ->
+          incr lineno;
+          if String.trim line = "" then next ()
+          else Some (Printf.sprintf "%s-%d" stem !lineno, line))
+    in
+    next
+
+(* --- the supervisor ------------------------------------------------ *)
+
+type job_rec = {
+  job : Job.t;
+  prng : Prng.t;
+  mutable attempts : int;
+  mutable next_ready_ns : int64;  (* backoff gate; 0 = ready now *)
+}
+
+type state = {
+  cfg : config;
+  journal : Journal.t;
+  breaker : Breaker.t;
+  queue : job_rec Queue.t;  (* rotated to skip not-ready entries *)
+  known : (string, unit) Hashtbl.t;  (* accepted ids, this run or replayed *)
+  mutable s_accepted : int;
+  mutable s_completed : int;
+  mutable s_degraded : int;
+  mutable s_failed : int;
+  mutable s_rejected : int;
+  mutable s_retries : int;
+  mutable s_breaker_trips : int;
+  mutable s_journal_errors : int;
+}
+
+let log st fmt =
+  Printf.ksprintf
+    (fun s -> if st.cfg.verbose then Printf.eprintf "serve: %s\n%!" s)
+    fmt
+
+(* A lost journal record degrades resume fidelity (the job may re-run),
+   never correctness: results are committed atomically and re-runs are
+   byte-identical. So: bounded retries, then warn and move on. *)
+let journal_append st ev =
+  let rec go n =
+    match Journal.append st.journal ev with
+    | () -> ()
+    | exception Sys_error msg ->
+      if n < 4 then go (n + 1)
+      else begin
+        st.s_journal_errors <- st.s_journal_errors + 1;
+        Telemetry.incr "service.journal_errors";
+        Printf.eprintf "serve: warning: journal append failed: %s\n%!" msg
+      end
+  in
+  go 0
+
+let publish_queue_depth st =
+  Telemetry.set "service.queue_depth" (Queue.length st.queue)
+
+let enqueue st jr =
+  Queue.add jr st.queue;
+  publish_queue_depth st
+
+let out_path st (job : Job.t) ext = Filename.concat st.cfg.out_dir (job.Job.id ^ ext)
+
+let backoff_ns st (jr : job_rec) =
+  let attempt = jr.attempts in
+  let expo = Float.of_int (1 lsl min (attempt - 1) 10) in
+  let jitter = 0.5 +. Prng.float jr.prng 1.0 in
+  Int64.of_float (st.cfg.retry_base_ms *. 1e6 *. expo *. jitter)
+
+let give_up st (jr : job_rec) ~error =
+  journal_append st (Journal.Give_up { id = jr.job.Job.id; error });
+  (try Atomic_io.write_file (out_path st jr.job ".err") (error ^ "\n")
+   with Sys_error _ -> ());
+  st.s_failed <- st.s_failed + 1;
+  Telemetry.incr "service.jobs_failed";
+  log st "[%s] FAILED permanently: %s" jr.job.Job.id error
+
+let handle_failure st (jr : job_rec) ~error =
+  if Breaker.failure st.breaker (Job.class_of jr.job) then begin
+    st.s_breaker_trips <- st.s_breaker_trips + 1;
+    log st "breaker for class %S tripped open" (Job.class_of jr.job)
+  end;
+  journal_append st
+    (Journal.Fail { id = jr.job.Job.id; attempt = jr.attempts; error });
+  if jr.attempts >= st.cfg.max_attempts then give_up st jr ~error
+  else begin
+    st.s_retries <- st.s_retries + 1;
+    Telemetry.incr "service.retries";
+    jr.next_ready_ns <- Int64.add (now_ns ()) (backoff_ns st jr);
+    enqueue st jr;
+    log st "[%s] attempt %d failed (%s); retrying with backoff" jr.job.Job.id
+      jr.attempts error
+  end
+
+(* Returns [false] when the job was interrupted by a drain and should
+   stay pending. *)
+let run_job st (jr : job_rec) =
+  jr.attempts <- jr.attempts + 1;
+  journal_append st (Journal.Start { id = jr.job.Job.id; attempt = jr.attempts });
+  if st.cfg.job_delay_ms > 0 then
+    Unix.sleepf (Float.of_int st.cfg.job_delay_ms /. 1000.0);
+  let cancel = Cancel.create () in
+  current_cancel := Some cancel;
+  (* the signal may have raced the register above *)
+  if draining () then ignore (Cancel.cancel cancel (Cancel.Cancelled drain_cause));
+  let timeout_s =
+    match jr.job.Job.timeout_s with Some s -> Some s | None -> st.cfg.default_timeout_s
+  in
+  let leaf_budget =
+    match jr.job.Job.leaf_budget with
+    | Some n -> Some n
+    | None -> st.cfg.default_leaf_budget
+  in
+  let budget = Budget.create ?deadline_s:timeout_s ?leaf_budget ~cancel () in
+  let t0 = now_ns () in
+  let outcome =
+    match
+      Inject.fire "service.worker";
+      Runner.execute ~budget jr.job
+    with
+    | r -> Ok r
+    | exception e -> Error (Printexc.to_string e)
+  in
+  current_cancel := None;
+  let ms = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6 in
+  let drain_cancelled =
+    match Budget.stop_reason budget with
+    | Some (Cancel.Cancelled c) -> String.equal c drain_cause
+    | _ -> false
+  in
+  match outcome with
+  | Ok (Error (Runner.Invalid_input lines)) ->
+    (* deterministic: retrying cannot help, and a sick input says
+       nothing about the pipeline's health, so the breaker is not fed *)
+    give_up st jr ~error:(String.concat "; " lines);
+    true
+  | _ when drain_cancelled ->
+    (* partial work from a drained job is discarded; the job stays
+       pending and re-runs (from scratch, deterministically) on resume *)
+    jr.attempts <- jr.attempts - 1;
+    enqueue st jr;
+    log st "[%s] interrupted by drain; left pending" jr.job.Job.id;
+    false
+  | Ok (Ok artifact) -> (
+    match
+      Inject.fire_sys_error "service.result_io";
+      Atomic_io.write_file (out_path st jr.job ".out") artifact
+    with
+    | () ->
+      let status, reason =
+        match Budget.stop_reason budget with
+        | Some r -> ("degraded", Some (Cancel.describe r))
+        | None -> ("ok", None)
+      in
+      journal_append st
+        (Journal.Done { id = jr.job.Job.id; attempt = jr.attempts; status; reason });
+      Breaker.success st.breaker (Job.class_of jr.job);
+      (match status with
+      | "degraded" ->
+        st.s_degraded <- st.s_degraded + 1;
+        Telemetry.incr "service.jobs_degraded";
+        log st "[%s] degraded in %.1f ms (%s)" jr.job.Job.id ms
+          (Option.value reason ~default:"?")
+      | _ ->
+        st.s_completed <- st.s_completed + 1;
+        Telemetry.incr "service.jobs_completed";
+        log st "[%s] done in %.1f ms" jr.job.Job.id ms);
+      true
+    | exception Sys_error msg ->
+      handle_failure st jr ~error:("result write failed: " ^ msg);
+      true)
+  | Error error ->
+    handle_failure st jr ~error;
+    true
+
+(* Pick the first queued job that is past its backoff gate and admitted
+   by its class breaker; rotate everything else. Returns the wait (in
+   seconds) until something could become runnable when nothing is. *)
+let pick_runnable st =
+  let n = Queue.length st.queue in
+  let now = now_ns () in
+  let min_wait = ref infinity in
+  let found = ref None in
+  (try
+     for _ = 1 to n do
+       let jr = Queue.pop st.queue in
+       if !found <> None then Queue.add jr st.queue
+       else begin
+         let backoff_wait =
+           if jr.next_ready_ns = 0L || jr.next_ready_ns <= now then 0.0
+           else Int64.to_float (Int64.sub jr.next_ready_ns now) /. 1e9
+         in
+         if backoff_wait > 0.0 then begin
+           min_wait := Float.min !min_wait backoff_wait;
+           Queue.add jr st.queue
+         end
+         else
+           match Breaker.check st.breaker (Job.class_of jr.job) with
+           | Breaker.Allow | Breaker.Probe -> found := Some jr
+           | Breaker.Reject wait ->
+             min_wait := Float.min !min_wait wait;
+             Queue.add jr st.queue
+       end
+     done
+   with Queue.Empty -> ());
+  match !found with
+  | Some jr ->
+    publish_queue_depth st;
+    `Run jr
+  | None -> if Queue.length st.queue = 0 then `Empty else `Wait !min_wait
+
+let accept st (job : Job.t) ~attempts ~journal_it =
+  if journal_it then journal_append st (Journal.Accept job);
+  Hashtbl.replace st.known job.Job.id ();
+  st.s_accepted <- st.s_accepted + 1;
+  Telemetry.incr "service.jobs_accepted";
+  enqueue st
+    { job; prng = job_prng ~seed:st.cfg.seed job.Job.id; attempts; next_ready_ns = 0L }
+
+let reject_spec st ~default_id ~error =
+  st.s_rejected <- st.s_rejected + 1;
+  st.s_failed <- st.s_failed + 1;
+  Telemetry.incr "service.jobs_failed";
+  journal_append st (Journal.Give_up { id = default_id; error });
+  Printf.eprintf "serve: rejected spec %s: %s\n%!" default_id error
+
+let run cfg =
+  if cfg.max_attempts < 1 then invalid_arg "Service.run: max_attempts must be >= 1";
+  if cfg.queue_cap < 1 then invalid_arg "Service.run: queue_cap must be >= 1";
+  (* validate the spool before mkdir_p below can create any of its tree *)
+  (match cfg.source with
+  | Spool_dir dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
+    raise (Sys_error (dir ^ ": no such spool directory"))
+  | Spool_dir _ | Stdin -> ());
+  if (not cfg.resume) && Sys.file_exists cfg.journal_path then begin
+    let st = Unix.stat cfg.journal_path in
+    if st.Unix.st_size > 0 then
+      raise
+        (Sys_error
+           (cfg.journal_path
+          ^ ": journal already exists; pass --resume to continue it or remove it \
+             to start fresh"))
+  end;
+  mkdir_p cfg.out_dir;
+  mkdir_p (Filename.dirname cfg.journal_path);
+  let replayed = if cfg.resume then Journal.fold_state (Journal.replay cfg.journal_path) else [] in
+  Atomic.set drain_flag false;
+  current_cancel := None;
+  let journal = Journal.open_ cfg.journal_path in
+  let st =
+    {
+      cfg;
+      journal;
+      breaker =
+        Breaker.create ~threshold:cfg.breaker_threshold
+          ~cooldown_s:cfg.breaker_cooldown_s ();
+      queue = Queue.create ();
+      known = Hashtbl.create 64;
+      s_accepted = 0;
+      s_completed = 0;
+      s_degraded = 0;
+      s_failed = 0;
+      s_rejected = 0;
+      s_retries = 0;
+      s_breaker_trips = 0;
+      s_journal_errors = 0;
+    }
+  in
+  (* Replay: every journaled job is known (so spool re-reads do not
+     double-accept); the non-terminal ones re-enter the queue with
+     their attempt count carried over. *)
+  List.iter
+    (fun (js : Journal.job_state) ->
+      Hashtbl.replace st.known js.Journal.job.Job.id ();
+      if not js.Journal.terminal then begin
+        if js.Journal.attempts >= cfg.max_attempts then begin
+          (* it crashed (or was killed) after its last allowed attempt *)
+          let jr =
+            { job = js.Journal.job; prng = job_prng ~seed:cfg.seed js.Journal.job.Job.id;
+              attempts = js.Journal.attempts; next_ready_ns = 0L }
+          in
+          give_up st jr ~error:"retry budget exhausted before the previous shutdown"
+        end
+        else
+          accept st js.Journal.job ~attempts:js.Journal.attempts ~journal_it:false
+      end)
+    replayed;
+  if cfg.resume then
+    log st "resume: %d journaled job(s), %d re-queued" (List.length replayed)
+      (Queue.length st.queue);
+  let next_spec = make_source cfg in
+  let exhausted = ref false in
+  let ingest () =
+    while (not !exhausted) && (not (draining ())) && Queue.length st.queue < cfg.queue_cap do
+      match next_spec () with
+      | None -> exhausted := true
+      | Some (default_id, line) -> (
+        match Job.parse_line ~default_id line with
+        | Error e -> reject_spec st ~default_id ~error:("invalid job spec: " ^ e)
+        | Ok job ->
+          if Hashtbl.mem st.known job.Job.id then begin
+            if not cfg.resume then
+              reject_spec st ~default_id:job.Job.id
+                ~error:(Printf.sprintf "duplicate job id %S" job.Job.id)
+            (* on resume a known id is simply already journaled: skip *)
+          end
+          else accept st job ~attempts:0 ~journal_it:true)
+    done
+  in
+  let previous_handlers =
+    List.map
+      (fun signum ->
+        (signum, Sys.signal signum (Sys.Signal_handle (fun _ -> request_drain ()))))
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  let restore () =
+    List.iter (fun (signum, h) -> Sys.set_signal signum h) previous_handlers
+  in
+  Fun.protect ~finally:(fun () -> restore (); Journal.close journal) @@ fun () ->
+  let rec loop () =
+    if draining () then ()
+    else begin
+      ingest ();
+      match pick_runnable st with
+      | `Run jr -> if run_job st jr then loop () (* else: drained mid-job *)
+      | `Empty -> if not !exhausted then loop () (* ingest had no room? retry *)
+      | `Wait w ->
+        (* sleep in short slices so a drain signal is honoured promptly *)
+        Unix.sleepf (Float.max 0.001 (Float.min w 0.05));
+        loop ()
+    end
+  in
+  loop ();
+  let pending = Queue.length st.queue in
+  let drained = draining () in
+  if drained then journal_append st Journal.Drain;
+  publish_queue_depth st;
+  log st "finished: %d ok, %d degraded, %d failed, %d retries%s" st.s_completed
+    st.s_degraded st.s_failed st.s_retries
+    (if drained then Printf.sprintf "; drained with %d pending" pending else "");
+  {
+    accepted = st.s_accepted;
+    completed = st.s_completed;
+    degraded = st.s_degraded;
+    failed = st.s_failed;
+    rejected_specs = st.s_rejected;
+    retries = st.s_retries;
+    breaker_trips = st.s_breaker_trips;
+    journal_errors = st.s_journal_errors;
+    pending;
+    drained;
+  }

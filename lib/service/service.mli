@@ -1,0 +1,101 @@
+(** Supervised batch service: a crash-isolated job runner.
+
+    [run config] ingests NDJSON job specs (one per line) from a spool
+    directory (every [.ndjson]/[.jsonl]/[.json] file, in sorted order)
+    or stdin into a bounded in-memory queue — ingestion stops while
+    the queue is at [queue_cap] and resumes as jobs drain
+    (backpressure) — and executes jobs one at a time on the
+    supervising domain; each job's parallel stages fan out on the
+    shared {!Bistpath_parallel.Pool}, and each job runs under its own
+    {!Bistpath_resilience.Budget} watchdog (deadline / leaf quota from
+    the spec or the configured defaults, plus a cancellation token the
+    drain signal pulls).
+
+    {b Crash isolation.} Any exception a job raises — bad input,
+    injected fault, allocator bug — becomes a typed per-job record in
+    the journal, never a daemon crash. Failed attempts retry with
+    exponential backoff and deterministic jitter (a
+    {!Bistpath_util.Prng} stream derived from the seed and the job
+    id), capped at [max_attempts]; invalid specs and invalid input
+    designs are deterministic failures and give up immediately. A
+    per-class circuit {!Breaker} (class = pipeline name) fails a
+    poisoned job class fast instead of letting it monopolize the
+    queue.
+
+    {b Crash safety.} Every transition is journaled ({!Journal}) with
+    an fsync before the next step; result files are committed with
+    tmp+rename+fsync {e before} their [done] record. Re-running after
+    a hard kill with [resume = true] replays the journal, skips
+    terminal jobs and re-executes the rest; because pipelines are
+    deterministic, the final result set is byte-identical to an
+    uninterrupted run, with each result appearing exactly once.
+
+    {b Graceful drain.} SIGINT/SIGTERM (or {!request_drain}) stops
+    ingestion, cancels the in-flight job's token so it unwinds
+    cooperatively (its partial work is discarded and the job stays
+    pending for [resume]), journals a [drain] checkpoint and returns
+    with [stats.drained = true]; the CLI then exits 3 if work was left
+    pending, per the degraded-exit protocol.
+
+    Telemetry: the [service.*] counters and gauges documented in
+    {!Bistpath_telemetry.Telemetry}. Fault-injection sites:
+    [service.worker], [service.result_io], [service.journal]. *)
+
+type source =
+  | Spool_dir of string
+  | Stdin  (** read NDJSON job specs from standard input until EOF *)
+
+type config = {
+  source : source;
+  out_dir : string;  (** per-job [<id>.out] / [<id>.err] artifacts *)
+  journal_path : string;
+  resume : bool;
+      (** replay the journal and skip terminal jobs. When [false], a
+          non-empty journal is refused ([Sys_error]) so two runs
+          cannot interleave one history. *)
+  max_attempts : int;  (** >= 1; retry budget per job *)
+  retry_base_ms : float;  (** backoff base; attempt [n] waits
+          [base * 2^(n-1)] scaled by jitter in [0.5, 1.5) *)
+  breaker_threshold : int;  (** consecutive failures to trip a class *)
+  breaker_cooldown_s : float;  (** open time before a half-open probe *)
+  queue_cap : int;  (** >= 1; ingestion backpressure bound *)
+  job_delay_ms : int;
+      (** artificial pause before each attempt — a determinism aid for
+          crash/drain tests and demos; 0 in production *)
+  default_timeout_s : float option;  (** per-job deadline default *)
+  default_leaf_budget : int option;
+  seed : int;  (** root of the per-job jitter streams *)
+  verbose : bool;  (** per-job progress lines on stderr *)
+}
+
+val default_config : source -> config
+(** [out_dir]/[journal_path] beside the spool (or under the current
+    directory for [Stdin]); [max_attempts = 3]; [retry_base_ms = 100];
+    [breaker_threshold = 3]; [breaker_cooldown_s = 1.0];
+    [queue_cap = 64]; no default budgets; [seed = 0x5E41CE];
+    [verbose = true]. *)
+
+type stats = {
+  accepted : int;  (** specs admitted to the queue this run *)
+  completed : int;  (** jobs that committed a complete result *)
+  degraded : int;  (** jobs that committed a best-so-far result *)
+  failed : int;  (** typed terminal failures (incl. invalid specs) *)
+  rejected_specs : int;  (** unparsable/invalid NDJSON lines *)
+  retries : int;  (** attempts re-queued with backoff *)
+  breaker_trips : int;
+  journal_errors : int;  (** appends lost after bounded retries *)
+  pending : int;  (** jobs left unfinished (only after a drain) *)
+  drained : bool;
+}
+
+val run : config -> stats
+(** Returns when the spool is exhausted and every accepted job is
+    terminal, or when a drain was requested. Signal handlers for
+    SIGINT/SIGTERM are installed for the duration and restored on
+    exit. Raises [Sys_error] only for setup errors (unreadable spool
+    directory, refused journal) — never for job failures. *)
+
+val request_drain : unit -> unit
+(** What the signal handlers call: stop ingesting, cancel the
+    in-flight job cooperatively, checkpoint and return. Exposed for
+    embedding and tests. *)

@@ -319,5 +319,4 @@ let chrome_trace_json r =
   "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n" ^ Buffer.contents events
   ^ "\n]}\n"
 
-let write_file path contents =
-  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc contents)
+let write_file path contents = Bistpath_util.Atomic_io.write_file path contents

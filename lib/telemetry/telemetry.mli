@@ -61,12 +61,29 @@
       ([Par.map_array_budget] / [Par.map_list_budget]).
     - [resilience.injected] — fault-injection shots that fired
       ([Bistpath_resilience.Inject]).
+    - [service.jobs_accepted] — job specs admitted to the serve queue
+      ([Bistpath_service.Service]).
+    - [service.jobs_completed] — jobs that produced a complete result.
+    - [service.jobs_degraded] — jobs whose own budget tripped; their
+      best-so-far result was still written.
+    - [service.jobs_failed] — jobs that exhausted their retry budget
+      (or had invalid specs/inputs) and ended in a typed failure
+      record.
+    - [service.retries] — failed attempts re-queued with backoff.
+    - [service.breaker_trips] — circuit breakers that transitioned
+      from closed (or half-open) to open.
+    - [service.journal_errors] — write-ahead journal appends that
+      failed even after bounded retries (the daemon degrades to
+      in-memory state rather than crashing).
 
     Gauges set by [Flow.run]: [regs.allocated], [muxes.allocated],
     [bist.delta_gates], [sessions.count]. Gauges set by the parallel
     engine: [parallel.jobs] (pool width) and [parallel.max_active]
     (peak concurrently busy workers — pool occupancy). The CLI sets
     [resilience.degraded] to 1 when a run ends degraded (exit code 3).
+    Gauges set by the service layer: [service.queue_depth] (jobs
+    waiting or retrying) and [service.breaker_open] (job classes
+    currently failing fast).
 
     Span names emitted by [Flow.run]: a root [flow] span containing
     [regalloc], [interconnect], [bist_alloc] and [sessions], one each.
@@ -167,7 +184,10 @@ val chrome_trace_json : t -> string
     counter. Load in [chrome://tracing] or Perfetto. *)
 
 val write_file : string -> string -> unit
-(** [write_file path contents] — tiny helper used by the CLI/bench sinks. *)
+(** [write_file path contents] — helper used by the CLI/bench sinks.
+    Writes atomically via {!Bistpath_util.Atomic_io.write_file}
+    (tmp + rename + fsync), so a crash mid-write can never leave a
+    truncated artifact on disk. Raises [Sys_error] on failure. *)
 
 val json_escape : string -> string
 (** Escape a string for inclusion inside JSON double quotes (exposed for

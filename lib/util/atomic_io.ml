@@ -1,0 +1,56 @@
+let sys_error path e =
+  raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let write_all fd path s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write_substring fd s !off (len - !off) with
+    | 0 -> raise (Sys_error (path ^ ": write returned 0"))
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) -> sys_error path e
+  done
+
+(* Directory fsync is what makes the rename durable, but some
+   filesystems refuse to fsync a directory fd; treat that as advisory. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write_file path contents =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.%d.tmp" (Filename.basename path) (Unix.getpid ()))
+  in
+  let fd =
+    match
+      Unix.openfile tmp
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+        0o644
+    with
+    | fd -> fd
+    | exception Unix.Unix_error (e, _, _) -> sys_error tmp e
+  in
+  (try
+     write_all fd tmp contents;
+     (try Unix.fsync fd with Unix.Unix_error (e, _, _) -> sys_error tmp e);
+     (try Unix.close fd with Unix.Unix_error (e, _, _) -> sys_error tmp e)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (match Unix.rename tmp path with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    sys_error path e);
+  fsync_dir dir
+
+let fsync_append fd line =
+  write_all fd "journal" line;
+  try Unix.fsync fd with Unix.Unix_error (e, _, _) -> sys_error "journal" e

@@ -1,0 +1,26 @@
+(** Crash-safe file writes.
+
+    [write_file path contents] makes the artifact at [path] appear
+    atomically: the bytes are written to a temporary file in the same
+    directory, flushed to stable storage ([fsync]), and renamed over
+    [path] (a POSIX-atomic replacement), after which the containing
+    directory is fsynced best-effort so the rename itself survives a
+    power cut. A reader therefore sees either the old file or the
+    complete new one — never a truncated hybrid — even if the writer is
+    SIGKILLed mid-write.
+
+    Every artifact writer in the repo (the Chrome-trace sink, the
+    benchmark harness's [BENCH_*.json] dumps, the service layer's
+    per-job result files) goes through this.
+
+    Failures raise [Sys_error] (with the target path and the OS
+    message), matching what [Out_channel] would raise, so existing
+    error handling keeps working; the temporary file is removed on the
+    error path. *)
+
+val write_file : string -> string -> unit
+
+val fsync_append : Unix.file_descr -> string -> unit
+(** [fsync_append fd line] writes all of [line] to [fd] and fsyncs —
+    the journal primitive: used with an [O_APPEND] descriptor, the
+    record is durable when the call returns. Raises [Sys_error]. *)

@@ -1,0 +1,50 @@
+(** Minimal JSON values, parser and printer.
+
+    The service layer exchanges NDJSON job specs and journal records;
+    this module is the self-contained subset of JSON it needs — no
+    external dependency, deterministic compact printing (object fields
+    in the order given, no whitespace) so journal records and job specs
+    round-trip byte-for-byte.
+
+    The parser accepts standard JSON: numbers (integer, fractional,
+    exponent), strings with the usual escapes (including [\uXXXX],
+    decoded to UTF-8), [true]/[false]/[null], arrays and objects, with
+    arbitrary whitespace. It rejects trailing garbage. Numbers are kept
+    as [float]; {!to_int} checks integrality. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document. The error string carries a 0-based byte
+    offset, e.g. ["offset 12: expected ':'"]. *)
+
+val to_string : t -> string
+(** Compact rendering. Integral [Num] values print without a decimal
+    point ([Num 3.] prints ["3"]); non-finite floats print as [null]
+    (JSON has no representation for them). *)
+
+val escape : string -> string
+(** Escape for inclusion inside JSON double quotes. *)
+
+(** {1 Accessors}
+
+    All return [None] on a shape mismatch instead of raising, so spec
+    parsing can accumulate readable errors. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] (first occurrence). [None] on non-objects. *)
+
+val to_str : t -> string option
+val to_num : t -> float option
+
+val to_int : t -> int option
+(** [Num] that is integral and in [int] range. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -29,4 +29,5 @@ let () =
       ("rtl-sim", Test_rtl_sim.suite);
       ("atpg", Test_atpg.suite);
       ("report", Test_report.suite);
+      ("service", Test_service.suite);
     ]

@@ -1,0 +1,567 @@
+(* Supervised service mode: spec parsing, the write-ahead journal, the
+   circuit breaker, crash-isolated execution with retries, and the
+   crash-safety story itself — a SIGKILLed server resumed from its
+   journal must produce byte-identical results, exactly once. *)
+
+module Json = Bistpath_util.Json
+module Atomic_io = Bistpath_util.Atomic_io
+module Job = Bistpath_service.Job
+module Journal = Bistpath_service.Journal
+module Breaker = Bistpath_service.Breaker
+module Service = Bistpath_service.Service
+module Inject = Bistpath_resilience.Inject
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+(* --- scratch-dir helpers ------------------------------------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let tmpdir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "bistpath-test-serve-%d-%d" (Unix.getpid ()) !n)
+    in
+    rm_rf d;
+    Unix.mkdir d 0o755;
+    d
+
+let write_lines path lines =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let make_spool lines =
+  let d = tmpdir () in
+  write_lines (Filename.concat d "jobs.ndjson") lines;
+  d
+
+let quiet_config ?(resume = false) dir =
+  {
+    (Service.default_config (Service.Spool_dir dir)) with
+    Service.resume;
+    retry_base_ms = 1.0;
+    breaker_cooldown_s = 0.01;
+    verbose = false;
+  }
+
+let raises_sys_error f =
+  match f () with () -> false | exception Sys_error _ -> true
+
+(* --- Json ----------------------------------------------------------- *)
+
+let json_roundtrip () =
+  let src = {|{"a":1,"b":[true,null,"x\ny"],"c":{"d":-2.5,"e":1e3}}|} in
+  match Json.parse src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok v -> (
+    check Alcotest.string "compact print"
+      {|{"a":1,"b":[true,null,"x\ny"],"c":{"d":-2.5,"e":1000}}|}
+      (Json.to_string v);
+    match Json.parse (Json.to_string v) with
+    | Error e -> Alcotest.failf "reparse: %s" e
+    | Ok v' -> check Alcotest.bool "fixpoint" true (v = v'))
+
+let json_unicode () =
+  match Json.parse {|"Aé 😀"|} with
+  | Ok (Json.Str s) -> check Alcotest.string "utf8 decode" "A\xc3\xa9 \xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "expected a string"
+
+let json_errors () =
+  let bad s = match Json.parse s with Error _ -> true | Ok _ -> false in
+  check Alcotest.bool "trailing garbage" true (bad "1 x");
+  check Alcotest.bool "unterminated string" true (bad {|"abc|});
+  check Alcotest.bool "bare word" true (bad "flase");
+  check Alcotest.bool "unclosed object" true (bad {|{"a":1|})
+
+let json_accessors () =
+  let v = Json.Obj [ ("n", Json.Num 3.0); ("h", Json.Num 3.5) ] in
+  check Alcotest.(option int) "integral" (Some 3)
+    (Option.bind (Json.member "n" v) Json.to_int);
+  check Alcotest.(option int) "non-integral" None
+    (Option.bind (Json.member "h" v) Json.to_int);
+  check Alcotest.(option int) "missing member" None
+    (Option.bind (Json.member "zz" v) Json.to_int);
+  check Alcotest.string "integral prints bare" "3" (Json.to_string (Json.Num 3.0))
+
+(* --- Atomic_io ------------------------------------------------------ *)
+
+let atomic_write_roundtrip () =
+  let d = tmpdir () in
+  let f = Filename.concat d "a.txt" in
+  Atomic_io.write_file f "one\n";
+  check Alcotest.string "first write" "one\n" (read_file f);
+  Atomic_io.write_file f "two\n";
+  check Alcotest.string "overwrite" "two\n" (read_file f);
+  check Alcotest.int "no stray tmp files" 1 (Array.length (Sys.readdir d));
+  rm_rf d
+
+let atomic_write_failure () =
+  let missing = Filename.concat (tmpdir ()) "no-such-subdir" in
+  check Alcotest.bool "missing dir raises Sys_error" true
+    (raises_sys_error (fun () ->
+         Atomic_io.write_file (Filename.concat missing "f") "x"))
+
+(* --- Job specs ------------------------------------------------------ *)
+
+let job_defaults () =
+  match Job.parse_line ~default_id:"d1" {|{"spec":"ex1"}|} with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok j ->
+    check Alcotest.string "default id" "d1" j.Job.id;
+    check Alcotest.string "class" "run" (Job.class_of j);
+    check Alcotest.int "default width" 8 j.Job.width;
+    check Alcotest.string "default flow" "testable" j.Job.flow;
+    check Alcotest.int "default patterns" 255 j.Job.patterns
+
+let job_rejections () =
+  let bad line =
+    match Job.parse_line ~default_id:"d" line with Error _ -> true | Ok _ -> false
+  in
+  check Alcotest.bool "unknown field" true (bad {|{"spec":"ex1","ev":"x"}|});
+  check Alcotest.bool "missing spec" true (bad {|{"id":"a"}|});
+  check Alcotest.bool "id with slash" true (bad {|{"id":"a/b","spec":"ex1"}|});
+  check Alcotest.bool "bad pipeline" true (bad {|{"spec":"ex1","pipeline":"zap"}|});
+  check Alcotest.bool "zero width" true (bad {|{"spec":"ex1","width":0}|});
+  check Alcotest.bool "negative timeout" true (bad {|{"spec":"ex1","timeout":-1}|});
+  check Alcotest.bool "not an object" true (bad {|[1,2]|})
+
+let job_json_roundtrip () =
+  let line =
+    {|{"id":"j1","spec":"Paulin","pipeline":"coverage","width":4,|}
+    ^ {|"flow":"traditional","transparency":true,"patterns":63,|}
+    ^ {|"timeout":2.5,"leaf_budget":100}|}
+  in
+  match Job.parse_line ~default_id:"d" line with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok j -> (
+    match Job.of_json ~default_id:"d" (Job.to_json j) with
+    | Error e -> Alcotest.failf "reparse: %s" e
+    | Ok j' -> check Alcotest.bool "of_json (to_json j) = j" true (j = j'))
+
+(* --- Journal -------------------------------------------------------- *)
+
+let sample_job () =
+  match Job.parse_line ~default_id:"j1" {|{"id":"j1","spec":"ex1"}|} with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "sample job: %s" e
+
+let ev_str e = Json.to_string (Journal.event_to_json e)
+
+let journal_roundtrip () =
+  let d = tmpdir () in
+  let path = Filename.concat d "j.ndjson" in
+  let events =
+    [
+      Journal.Accept (sample_job ());
+      Journal.Start { id = "j1"; attempt = 1 };
+      Journal.Fail { id = "j1"; attempt = 1; error = "boom \"quoted\"" };
+      Journal.Start { id = "j1"; attempt = 2 };
+      Journal.Done { id = "j1"; attempt = 2; status = "degraded"; reason = Some "deadline" };
+      Journal.Give_up { id = "j2"; error = "bad spec" };
+      Journal.Drain;
+    ]
+  in
+  let j = Journal.open_ path in
+  List.iter (Journal.append j) events;
+  Journal.close j;
+  check
+    Alcotest.(list string)
+    "replay" (List.map ev_str events)
+    (List.map ev_str (Journal.replay path));
+  rm_rf d
+
+let journal_torn_tail () =
+  let d = tmpdir () in
+  let path = Filename.concat d "j.ndjson" in
+  let j = Journal.open_ path in
+  Journal.append j (Journal.Accept (sample_job ()));
+  Journal.append j (Journal.Start { id = "j1"; attempt = 1 });
+  Journal.close j;
+  (* simulate a crash mid-append: a torn, unterminated final record *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc {|{"ev":"done","id":"j1","att|};
+  close_out oc;
+  check Alcotest.int "torn final line ignored" 2 (List.length (Journal.replay path));
+  rm_rf d
+
+let journal_corruption_raises () =
+  let d = tmpdir () in
+  let path = Filename.concat d "j.ndjson" in
+  write_lines path
+    [ ev_str (Journal.Accept (sample_job ())); "GARBAGE";
+      ev_str (Journal.Start { id = "j1"; attempt = 1 }) ];
+  check Alcotest.bool "mid-file corruption raises" true
+    (raises_sys_error (fun () -> ignore (Journal.replay path)));
+  rm_rf d
+
+let journal_fold_state () =
+  let events =
+    [
+      Journal.Accept (sample_job ());
+      Journal.Start { id = "j1"; attempt = 1 };
+      Journal.Fail { id = "j1"; attempt = 1; error = "x" };
+      Journal.Start { id = "j1"; attempt = 2 };
+    ]
+  in
+  (match Journal.fold_state events with
+  | [ st ] ->
+    check Alcotest.string "job id" "j1" st.Journal.job.Job.id;
+    check Alcotest.int "attempts" 2 st.Journal.attempts;
+    check Alcotest.bool "non-terminal" false st.Journal.terminal
+  | l -> Alcotest.failf "expected one job state, got %d" (List.length l));
+  match
+    Journal.fold_state
+      (events @ [ Journal.Done { id = "j1"; attempt = 2; status = "ok"; reason = None } ])
+  with
+  | [ st ] -> check Alcotest.bool "terminal after done" true st.Journal.terminal
+  | l -> Alcotest.failf "expected one job state, got %d" (List.length l)
+
+(* --- Breaker -------------------------------------------------------- *)
+
+let breaker_machine () =
+  let t = ref 0L in
+  let b = Breaker.create ~clock:(fun () -> !t) ~threshold:2 ~cooldown_s:1.0 () in
+  let is_allow = function Breaker.Allow -> true | _ -> false in
+  let is_probe = function Breaker.Probe -> true | _ -> false in
+  let is_reject = function Breaker.Reject _ -> true | _ -> false in
+  check Alcotest.bool "starts closed" true (is_allow (Breaker.check b "c"));
+  check Alcotest.bool "first failure does not trip" false (Breaker.failure b "c");
+  check Alcotest.bool "second failure trips" true (Breaker.failure b "c");
+  check Alcotest.string "open" "open" (Breaker.state_name b "c");
+  check Alcotest.bool "rejects while open" true (is_reject (Breaker.check b "c"));
+  check Alcotest.int "one class open" 1 (Breaker.open_count b);
+  t := 1_000_000_000L;
+  check Alcotest.bool "probe after cooldown" true (is_probe (Breaker.check b "c"));
+  check Alcotest.bool "failed probe re-trips" true (Breaker.failure b "c");
+  check Alcotest.bool "re-opened rejects" true (is_reject (Breaker.check b "c"));
+  t := 2_000_000_000L;
+  check Alcotest.bool "second probe" true (is_probe (Breaker.check b "c"));
+  Breaker.success b "c";
+  check Alcotest.bool "success closes" true (is_allow (Breaker.check b "c"));
+  check Alcotest.int "nothing open" 0 (Breaker.open_count b);
+  (* an unrelated class is unaffected throughout *)
+  check Alcotest.bool "other class closed" true (is_allow (Breaker.check b "d"))
+
+(* --- Service: in-process end-to-end -------------------------------- *)
+
+let three_jobs =
+  [
+    {|{"id":"j1","spec":"ex1","pipeline":"run"}|};
+    {|{"id":"j2","spec":"Paulin","pipeline":"rtl"}|};
+    {|{"id":"j3","spec":"ex1","pipeline":"export"}|};
+  ]
+
+let out_file dir id = Filename.concat (Filename.concat dir "results") (id ^ ".out")
+
+let service_end_to_end () =
+  let d = make_spool three_jobs in
+  let stats = Service.run (quiet_config d) in
+  check Alcotest.int "accepted" 3 stats.Service.accepted;
+  check Alcotest.int "completed" 3 stats.Service.completed;
+  check Alcotest.int "failed" 0 stats.Service.failed;
+  check Alcotest.bool "not drained" false stats.Service.drained;
+  List.iter
+    (fun id ->
+      check Alcotest.bool (id ^ " result exists") true (Sys.file_exists (out_file d id)))
+    [ "j1"; "j2"; "j3" ];
+  (* results are deterministic: a second fresh run produces the same bytes *)
+  let d2 = make_spool three_jobs in
+  ignore (Service.run (quiet_config d2));
+  List.iter
+    (fun id ->
+      check Alcotest.string (id ^ " deterministic") (read_file (out_file d id))
+        (read_file (out_file d2 id)))
+    [ "j1"; "j2"; "j3" ];
+  (* a non-empty journal is refused without --resume... *)
+  check Alcotest.bool "journal refused without resume" true
+    (match Service.run (quiet_config d) with
+    | exception Sys_error _ -> true
+    | _ -> false);
+  (* ...and with resume everything is already terminal: nothing re-runs *)
+  let stats' = Service.run (quiet_config ~resume:true d) in
+  check Alcotest.int "resume re-accepts nothing" 0 stats'.Service.accepted;
+  check Alcotest.int "resume re-runs nothing" 0 stats'.Service.completed;
+  rm_rf d;
+  rm_rf d2
+
+let service_bad_specs () =
+  let d =
+    make_spool
+      [
+        {|{"id":"ok1","spec":"ex1"}|};
+        {|{"id":"ok1","spec":"ex1"}|};
+        (* duplicate id *)
+        {|not json at all|};
+        {|{"id":"nosuch","spec":"zzz-not-a-benchmark"}|};
+      ]
+  in
+  let stats = Service.run (quiet_config d) in
+  check Alcotest.int "one job accepted+completed" 1 stats.Service.completed;
+  check Alcotest.int "duplicate + garbage rejected" 2 stats.Service.rejected_specs;
+  (* the unknown benchmark is a deterministic failure: no retries *)
+  check Alcotest.int "no retries for invalid input" 0 stats.Service.retries;
+  check Alcotest.int "failed = rejects + invalid input" 3 stats.Service.failed;
+  check Alcotest.bool "error artifact written" true
+    (Sys.file_exists (Filename.concat (Filename.concat d "results") "nosuch.err"));
+  rm_rf d
+
+let service_drain_and_resume () =
+  let d = make_spool three_jobs in
+  let ref_dir = make_spool three_jobs in
+  ignore (Service.run (quiet_config ref_dir));
+  let cfg = { (quiet_config d) with Service.job_delay_ms = 200 } in
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.3;
+        Service.request_drain ())
+  in
+  let stats = Service.run cfg in
+  Domain.join killer;
+  check Alcotest.bool "drained" true stats.Service.drained;
+  check Alcotest.bool "work left pending" true (stats.Service.pending > 0);
+  check Alcotest.bool "some work done before drain" true (stats.Service.completed >= 1);
+  (* drain checkpoint is journaled *)
+  let has_drain =
+    List.exists
+      (function Journal.Drain -> true | _ -> false)
+      (Journal.replay (Filename.concat d "journal.ndjson"))
+  in
+  check Alcotest.bool "drain record journaled" true has_drain;
+  let stats' = Service.run (quiet_config ~resume:true d) in
+  check Alcotest.int "resume finishes the rest" stats.Service.pending
+    stats'.Service.completed;
+  List.iter
+    (fun id ->
+      check Alcotest.string
+        (id ^ " byte-identical to uninterrupted run")
+        (read_file (out_file ref_dir id))
+        (read_file (out_file d id)))
+    [ "j1"; "j2"; "j3" ];
+  rm_rf d;
+  rm_rf ref_dir
+
+(* --- Service under injected faults ---------------------------------- *)
+
+let with_injection faults f =
+  Inject.configure faults;
+  Fun.protect ~finally:(fun () -> Inject.configure []) f
+
+let injected_worker_crashes_are_contained () =
+  with_injection [ ("service.worker", 1.0) ] @@ fun () ->
+  let d = make_spool [ {|{"id":"a","spec":"ex1"}|}; {|{"id":"b","spec":"ex1"}|} ] in
+  let stats = Service.run { (quiet_config d) with Service.max_attempts = 2 } in
+  check Alcotest.int "every job fails permanently" 2 stats.Service.failed;
+  check Alcotest.int "each job retried once" 2 stats.Service.retries;
+  check Alcotest.bool "breaker tripped" true (stats.Service.breaker_trips >= 1);
+  check Alcotest.bool "error artifacts written" true
+    (Sys.file_exists (Filename.concat (Filename.concat d "results") "a.err"));
+  rm_rf d
+
+let injected_result_io_is_retried () =
+  with_injection [ ("service.result_io", 1.0) ] @@ fun () ->
+  let d = make_spool [ {|{"id":"a","spec":"ex1"}|} ] in
+  let stats = Service.run { (quiet_config d) with Service.max_attempts = 2 } in
+  check Alcotest.int "result write failures are job failures" 1 stats.Service.failed;
+  check Alcotest.int "retried before giving up" 1 stats.Service.retries;
+  check Alcotest.bool "no committed result" false (Sys.file_exists (out_file d "a"));
+  rm_rf d
+
+let injected_journal_faults_degrade_gracefully () =
+  with_injection [ ("service.journal", 1.0) ] @@ fun () ->
+  let d = make_spool [ {|{"id":"a","spec":"ex1"}|} ] in
+  let stats = Service.run (quiet_config d) in
+  check Alcotest.int "job still completes" 1 stats.Service.completed;
+  check Alcotest.bool "lost appends counted" true (stats.Service.journal_errors > 0);
+  check Alcotest.bool "result still committed" true (Sys.file_exists (out_file d "a"));
+  rm_rf d
+
+let injection_is_deterministic () =
+  let run_once () =
+    Inject.configure ~seed:42 [ ("service.worker", 0.5) ];
+    let d = make_spool three_jobs in
+    let s = Service.run (quiet_config d) in
+    rm_rf d;
+    (s.Service.completed, s.Service.failed, s.Service.retries)
+  in
+  let a = run_once () in
+  let b = run_once () in
+  Inject.configure [];
+  check
+    Alcotest.(triple int int int)
+    "same seed, same fault schedule, same stats" a b
+
+(* --- the real binary: SIGKILL, SIGTERM, stdin, flag validation ------ *)
+
+let synth_exe = Filename.concat Filename.parent_dir_name (Filename.concat "bin" "synth.exe")
+
+let devnull () = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0
+
+let spawn_synth args =
+  let out = devnull () in
+  let pid =
+    Unix.create_process synth_exe
+      (Array.of_list (synth_exe :: args))
+      Unix.stdin out out
+  in
+  Unix.close out;
+  pid
+
+let wait_exit pid =
+  match snd (Unix.waitpid [] pid) with
+  | Unix.WEXITED c -> `Exited c
+  | Unix.WSIGNALED s -> `Signaled s
+  | Unix.WSTOPPED _ -> `Stopped
+
+let run_synth args =
+  match wait_exit (spawn_synth args) with
+  | `Exited c -> c
+  | `Signaled _ | `Stopped -> -1
+
+(* Poll the journal until job [id]'s first [start] record lands, i.e.
+   the server is inside that job's --job-delay-ms window. *)
+let wait_for_start ~journal id =
+  let needle = Printf.sprintf {|"ev":"start","id":"%s"|} id in
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec go () =
+    let seen =
+      Sys.file_exists journal
+      &&
+      let s = read_file journal in
+      let nl = String.length needle and sl = String.length s in
+      let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+      scan 0
+    in
+    if seen then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let sigkill_resume_exactly_once () =
+  let d = make_spool three_jobs in
+  let ref_dir = make_spool three_jobs in
+  check Alcotest.int "reference run exits 0" 0 (run_synth [ "serve"; ref_dir; "--quiet" ]);
+  let journal = Filename.concat d "journal.ndjson" in
+  let pid = spawn_synth [ "serve"; d; "--job-delay-ms"; "400"; "--quiet" ] in
+  let started = wait_for_start ~journal "j2" in
+  if not started then Unix.kill pid Sys.sigkill;
+  check Alcotest.bool "second job started" true started;
+  Unix.kill pid Sys.sigkill;
+  check Alcotest.bool "killed hard" true (wait_exit pid = `Signaled Sys.sigkill);
+  check Alcotest.int "resume exits 0" 0 (run_synth [ "serve"; d; "--resume"; "--quiet" ]);
+  List.iter
+    (fun id ->
+      check Alcotest.string
+        (id ^ " byte-identical after crash+resume")
+        (read_file (out_file ref_dir id))
+        (read_file (out_file d id)))
+    [ "j1"; "j2"; "j3" ];
+  (* exactly once: one [done] record per job across both runs *)
+  List.iter
+    (fun id ->
+      let dones =
+        List.length
+          (List.filter
+             (function Journal.Done { id = i; _ } -> String.equal i id | _ -> false)
+             (Journal.replay journal))
+      in
+      check Alcotest.int (id ^ " committed exactly once") 1 dones)
+    [ "j1"; "j2"; "j3" ];
+  rm_rf d;
+  rm_rf ref_dir
+
+let sigterm_drains_gracefully () =
+  let d = make_spool three_jobs in
+  let journal = Filename.concat d "journal.ndjson" in
+  let pid = spawn_synth [ "serve"; d; "--job-delay-ms"; "400"; "--quiet" ] in
+  let started = wait_for_start ~journal "j2" in
+  if not started then Unix.kill pid Sys.sigkill;
+  check Alcotest.bool "second job started" true started;
+  Unix.kill pid Sys.sigterm;
+  check Alcotest.bool "degraded exit after drain" true (wait_exit pid = `Exited 3);
+  check Alcotest.int "resume exits 0" 0 (run_synth [ "serve"; d; "--resume"; "--quiet" ]);
+  List.iter
+    (fun id ->
+      check Alcotest.bool (id ^ " present after resume") true
+        (Sys.file_exists (out_file d id)))
+    [ "j1"; "j2"; "j3" ];
+  rm_rf d
+
+let serve_from_stdin () =
+  let d = tmpdir () in
+  let specs = Filename.concat d "specs.ndjson" in
+  write_lines specs [ {|{"id":"s1","spec":"ex1"}|} ];
+  let input = Unix.openfile specs [ Unix.O_RDONLY ] 0 in
+  let out = devnull () in
+  let pid =
+    Unix.create_process synth_exe
+      [| synth_exe; "serve"; "-";
+         "--out"; Filename.concat d "results";
+         "--journal"; Filename.concat d "journal.ndjson";
+         "--quiet" |]
+      input out out
+  in
+  Unix.close input;
+  Unix.close out;
+  check Alcotest.bool "stdin mode exits 0" true (wait_exit pid = `Exited 0);
+  check Alcotest.bool "result written" true (Sys.file_exists (out_file d "s1"));
+  rm_rf d
+
+let flags_reject_garbage () =
+  let expect_4 args = check Alcotest.int (String.concat " " args) 4 (run_synth args) in
+  expect_4 [ "run"; "ex1"; "--timeout=-1" ];
+  expect_4 [ "run"; "ex1"; "--timeout=soon" ];
+  expect_4 [ "run"; "ex1"; "--jobs=0" ];
+  expect_4 [ "run"; "ex1"; "--leaf-budget=-5" ];
+  expect_4 [ "run"; "ex1"; "--max-errors=many" ];
+  expect_4 [ "serve"; "/no/such/spool-dir" ];
+  expect_4 [ "serve"; "--max-attempts=0" ]
+
+let suite =
+  [
+    case "json: parse/print roundtrip" json_roundtrip;
+    case "json: unicode escapes decode to UTF-8" json_unicode;
+    case "json: malformed documents rejected" json_errors;
+    case "json: accessors" json_accessors;
+    case "atomic_io: write/overwrite, no temp droppings" atomic_write_roundtrip;
+    case "atomic_io: failure raises Sys_error" atomic_write_failure;
+    case "job: defaults" job_defaults;
+    case "job: invalid specs rejected" job_rejections;
+    case "job: json roundtrip" job_json_roundtrip;
+    case "journal: append/replay roundtrip" journal_roundtrip;
+    case "journal: torn final line tolerated" journal_torn_tail;
+    case "journal: mid-file corruption raises" journal_corruption_raises;
+    case "journal: fold_state" journal_fold_state;
+    case "breaker: closed/open/half-open machine" breaker_machine;
+    case "service: end-to-end, deterministic, resume is idempotent" service_end_to_end;
+    case "service: bad specs become typed failures" service_bad_specs;
+    case "service: drain leaves pending work, resume matches clean run"
+      service_drain_and_resume;
+    case "inject service.worker: crashes contained, retries, breaker"
+      injected_worker_crashes_are_contained;
+    case "inject service.result_io: write failures retried" injected_result_io_is_retried;
+    case "inject service.journal: daemon survives, work completes"
+      injected_journal_faults_degrade_gracefully;
+    case "inject: deterministic under a fixed seed" injection_is_deterministic;
+    case "binary: SIGKILL mid-job, resume is exactly-once and byte-identical"
+      sigkill_resume_exactly_once;
+    case "binary: SIGTERM drains, exit 3, resume completes" sigterm_drains_gracefully;
+    case "binary: stdin job source" serve_from_stdin;
+    case "binary: garbage numeric flags exit 4" flags_reject_garbage;
+  ]
