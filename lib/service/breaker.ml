@@ -38,9 +38,14 @@ let check t cls =
   match state t cls with
   | Closed _ -> Allow
   | Half_open ->
-    (* a probe is already in flight; single-owner loops only reach
-       this if the probe was parked on backoff — keep rejecting *)
-    Reject 0.0
+    (* The supervisor runs one job at a time and reports its verdict
+       before checking again, so observing half-open here means the
+       previous probe resolved without feeding the breaker (e.g. an
+       invalid-input give-up, which says nothing about the pipeline's
+       health). Admit a fresh probe rather than reject: a zero-wait
+       reject would make the caller busy-poll — or starve the class
+       outright if no verdict is ever coming. *)
+    Probe
   | Open since ->
     let elapsed = Int64.sub (t.clock ()) since in
     if elapsed >= t.cooldown_ns then begin

@@ -9,9 +9,13 @@
       poisoned pipeline degrades its own class instead of burning the
       queue's time; after [cooldown_s] the next check admits a single
       probe (half-open).
-    - {b half-open} — exactly one probe is in flight; its success
-      closes the breaker, its failure re-opens it for another
-      cooldown.
+    - {b half-open} — a probe has been admitted; its success closes
+      the breaker, its failure re-opens it for another cooldown. If
+      the probe resolves without a verdict (its job was retired
+      without reporting {!success} or {!failure} — an invalid-input
+      give-up, say), the next {!check} admits a fresh probe instead of
+      rejecting, so the class can never starve behind a verdict that
+      will never arrive.
 
     The registry is single-owner (the supervisor loop); it is not
     domain-safe. Time comes from an injectable monotonic nanosecond
@@ -29,7 +33,9 @@ val create : ?clock:(unit -> int64) -> threshold:int -> cooldown_s:float -> unit
 
 type decision =
   | Allow  (** closed: run the job *)
-  | Probe  (** open past cooldown: run it as the half-open probe *)
+  | Probe
+      (** open past cooldown (or half-open with the previous probe's
+          verdict never reported): run it as the half-open probe *)
   | Reject of float
       (** open: fail fast; the payload is seconds until the next
           probe would be admitted *)

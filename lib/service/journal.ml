@@ -8,6 +8,7 @@ type event =
   | Done of { id : string; attempt : int; status : string; reason : string option }
   | Fail of { id : string; attempt : int; error : string }
   | Give_up of { id : string; error : string }
+  | Interrupted of { id : string; attempt : int }
   | Drain
 
 type t = { fd : Unix.file_descr; path : string }
@@ -30,6 +31,10 @@ let event_to_json = function
   | Give_up { id; error } ->
     Json.Obj
       [ ("ev", Json.Str "give_up"); ("id", Json.Str id); ("error", Json.Str error) ]
+  | Interrupted { id; attempt } ->
+    Json.Obj
+      [ ("ev", Json.Str "interrupted"); ("id", Json.Str id);
+        ("attempt", Json.Num (float_of_int attempt)) ]
   | Drain -> Json.Obj [ ("ev", Json.Str "drain") ]
 
 let event_of_json json =
@@ -74,18 +79,69 @@ let event_of_json json =
     let* id = str "id" in
     let* error = str "error" in
     Ok (Give_up { id; error })
+  | "interrupted" ->
+    let* id = str "id" in
+    let* attempt = int "attempt" in
+    Ok (Interrupted { id; attempt })
   | "drain" -> Ok Drain
   | s -> Error (Printf.sprintf "unknown journal event %S" s)
 
+let unix_sys_error path e =
+  raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+(* A crash mid-append (SIGKILL between the [write] and the next one)
+   can leave a final record with no trailing newline. replay tolerates
+   that torn tail — but only while it stays final: appending onto it
+   would weld the new record to the partial line, and the merged
+   garbage then sits mid-file where every later replay raises "corrupt
+   journal record". Repair before the first append: a parsable
+   unterminated final line just gets its missing newline; unparsable
+   torn bytes are truncated away (replay already ignores them, so no
+   replayed state changes). *)
+let repair_tail path =
+  if Sys.file_exists path then begin
+    let text = In_channel.with_open_bin path In_channel.input_all in
+    let n = String.length text in
+    if n > 0 && text.[n - 1] <> '\n' then begin
+      let cut =
+        match String.rindex_opt text '\n' with Some i -> i + 1 | None -> 0
+      in
+      let tail = String.sub text cut (n - cut) in
+      let parsable =
+        match Result.bind (Json.parse tail) event_of_json with
+        | Ok _ -> true
+        | Error _ -> false
+      in
+      match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CLOEXEC ] 0o644 with
+      | exception Unix.Unix_error (e, _, _) -> unix_sys_error path e
+      | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            match
+              if parsable then begin
+                ignore (Unix.lseek fd 0 Unix.SEEK_END);
+                Atomic_io.fsync_append fd "\n"
+              end
+              else begin
+                Unix.ftruncate fd cut;
+                try Unix.fsync fd with Unix.Unix_error _ -> ()
+              end
+            with
+            | () -> ()
+            | exception Unix.Unix_error (e, _, _) -> unix_sys_error path e)
+    end
+  end
+
 let open_ path =
+  repair_tail path;
   match
     Unix.openfile path
       [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT; Unix.O_CLOEXEC ]
       0o644
   with
   | fd -> { fd; path }
-  | exception Unix.Unix_error (e, _, _) ->
-    raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+  | exception Unix.Unix_error (e, _, _) -> unix_sys_error path e
 
 let append t ev =
   Inject.fire_sys_error "service.journal";
@@ -141,6 +197,10 @@ let fold_state events =
       | Start { id; _ } -> update id (fun st -> { st with attempts = st.attempts + 1 })
       | Done { id; _ } | Give_up { id; _ } ->
         update id (fun st -> { st with terminal = true })
+      | Interrupted { id; _ } ->
+        (* a drain cut this attempt short before it could fail: it must
+           not count against the retry budget on resume *)
+        update id (fun st -> { st with attempts = max 0 (st.attempts - 1) })
       | Fail _ | Drain -> ())
     events;
   List.rev_map (fun id -> Hashtbl.find tbl id) !order

@@ -8,6 +8,7 @@
     {"ev":"fail","id":"j1","attempt":1,"error":"..."}
     {"ev":"done","id":"j1","attempt":2,"status":"ok"}
     {"ev":"give_up","id":"j2","error":"..."}
+    {"ev":"interrupted","id":"j3","attempt":1}
     {"ev":"drain"}
     v}
 
@@ -16,7 +17,9 @@
     (result files are written {e before} their [done] record, making
     [done] the commit point of exactly-once semantics). {!replay}
     tolerates a truncated final line — the signature of a crash
-    mid-append — by ignoring it.
+    mid-append — by ignoring it, and {!open_} repairs such a torn tail
+    before the journal is appended to again, so a second crash cannot
+    turn it into mid-file corruption.
 
     Fault injection: {!append} probes the [service.journal] site and
     raises [Sys_error] on a hit, exactly like a real disk error. *)
@@ -29,13 +32,20 @@ type event =
           stop reason for degraded results. *)
   | Fail of { id : string; attempt : int; error : string }
   | Give_up of { id : string; error : string }
+  | Interrupted of { id : string; attempt : int }
+      (** a drain cancelled this attempt mid-flight; it is not charged
+          against the retry budget (fold_state un-counts its [start]) *)
   | Drain  (** graceful-shutdown checkpoint: in-flight work was abandoned *)
 
 type t
 (** An open journal (descriptor kept across appends). *)
 
 val open_ : string -> t
-(** Open for append, creating the file if needed. Raises [Sys_error]. *)
+(** Open for append, creating the file if needed. If a previous crash
+    left a torn final record (no trailing newline), the tail is
+    repaired first — terminated if it parses, truncated away otherwise
+    — so new appends can never merge with it into an unreadable
+    mid-file line. Raises [Sys_error]. *)
 
 val append : t -> event -> unit
 (** Serialize, append, fsync. Raises [Sys_error] on I/O failure or an
@@ -53,7 +63,9 @@ val replay : string -> event list
 
 type job_state = {
   job : Job.t;
-  attempts : int;  (** [start] records seen *)
+  attempts : int;
+      (** [start] records seen, minus drain-[interrupted] ones — the
+          attempts actually charged against the retry budget *)
   terminal : bool;  (** a [done] or [give_up] record exists *)
 }
 

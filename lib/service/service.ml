@@ -293,7 +293,13 @@ let run_job st (jr : job_rec) =
     true
   | _ when drain_cancelled ->
     (* partial work from a drained job is discarded; the job stays
-       pending and re-runs (from scratch, deterministically) on resume *)
+       pending and re-runs (from scratch, deterministically) on resume.
+       The interrupted record un-counts the journaled start so resume
+       does not charge this never-failed attempt against the retry
+       budget — a job drained on its last allowed attempt must re-run,
+       not be declared exhausted. *)
+    journal_append st
+      (Journal.Interrupted { id = jr.job.Job.id; attempt = jr.attempts });
     jr.attempts <- jr.attempts - 1;
     enqueue st jr;
     log st "[%s] interrupted by drain; left pending" jr.job.Job.id;
@@ -378,7 +384,12 @@ let reject_spec st ~default_id ~error =
   st.s_rejected <- st.s_rejected + 1;
   st.s_failed <- st.s_failed + 1;
   Telemetry.incr "service.jobs_failed";
-  journal_append st (Journal.Give_up { id = default_id; error });
+  (* A duplicate-id rejection carries the id of an already-accepted
+     job; journaling give_up under that id would mark the legitimate,
+     still-pending job terminal and --resume would silently drop it.
+     Known ids keep their journal history untouched. *)
+  if not (Hashtbl.mem st.known default_id) then
+    journal_append st (Journal.Give_up { id = default_id; error });
   Printf.eprintf "serve: rejected spec %s: %s\n%!" default_id error
 
 let run cfg =

@@ -171,6 +171,7 @@ let journal_roundtrip () =
       Journal.Start { id = "j1"; attempt = 2 };
       Journal.Done { id = "j1"; attempt = 2; status = "degraded"; reason = Some "deadline" };
       Journal.Give_up { id = "j2"; error = "bad spec" };
+      Journal.Interrupted { id = "j3"; attempt = 1 };
       Journal.Drain;
     ]
   in
@@ -195,6 +196,41 @@ let journal_torn_tail () =
   output_string oc {|{"ev":"done","id":"j1","att|};
   close_out oc;
   check Alcotest.int "torn final line ignored" 2 (List.length (Journal.replay path));
+  rm_rf d
+
+let journal_torn_tail_repaired_on_reopen () =
+  let d = tmpdir () in
+  let path = Filename.concat d "j.ndjson" in
+  let j = Journal.open_ path in
+  Journal.append j (Journal.Accept (sample_job ()));
+  Journal.close j;
+  (* crash mid-append: torn, unterminated, unparsable final record *)
+  let append_raw s =
+    let oc = open_out_gen [ Open_append ] 0o644 path in
+    output_string oc s;
+    close_out oc
+  in
+  append_raw {|{"ev":"done","id":"j1","att|};
+  (* reopening repairs the tail, so the next append cannot weld onto
+     the torn line and poison every later replay *)
+  let j = Journal.open_ path in
+  Journal.append j (Journal.Start { id = "j1"; attempt = 1 });
+  Journal.append j
+    (Journal.Done { id = "j1"; attempt = 1; status = "ok"; reason = None });
+  Journal.close j;
+  let events = Journal.replay path in
+  check Alcotest.int "torn bytes dropped, new records readable" 3
+    (List.length events);
+  (match Journal.fold_state events with
+  | [ st ] -> check Alcotest.bool "terminal after repair" true st.Journal.terminal
+  | l -> Alcotest.failf "expected one job state, got %d" (List.length l));
+  (* a parsable-but-unterminated final record is kept, not truncated *)
+  append_raw (ev_str Journal.Drain);
+  let j = Journal.open_ path in
+  Journal.append j (Journal.Give_up { id = "j2"; error = "x" });
+  Journal.close j;
+  check Alcotest.int "parsable tail terminated and kept" 5
+    (List.length (Journal.replay path));
   rm_rf d
 
 let journal_corruption_raises () =
@@ -222,11 +258,19 @@ let journal_fold_state () =
     check Alcotest.int "attempts" 2 st.Journal.attempts;
     check Alcotest.bool "non-terminal" false st.Journal.terminal
   | l -> Alcotest.failf "expected one job state, got %d" (List.length l));
+  (match
+     Journal.fold_state
+       (events @ [ Journal.Done { id = "j1"; attempt = 2; status = "ok"; reason = None } ])
+   with
+  | [ st ] -> check Alcotest.bool "terminal after done" true st.Journal.terminal
+  | l -> Alcotest.failf "expected one job state, got %d" (List.length l));
+  (* a drain-interrupted attempt never failed: it is un-counted *)
   match
     Journal.fold_state
-      (events @ [ Journal.Done { id = "j1"; attempt = 2; status = "ok"; reason = None } ])
+      (events
+      @ [ Journal.Interrupted { id = "j1"; attempt = 2 }; Journal.Drain ])
   with
-  | [ st ] -> check Alcotest.bool "terminal after done" true st.Journal.terminal
+  | [ st ] -> check Alcotest.int "interrupted attempt un-counted" 1 st.Journal.attempts
   | l -> Alcotest.failf "expected one job state, got %d" (List.length l)
 
 (* --- Breaker -------------------------------------------------------- *)
@@ -254,6 +298,23 @@ let breaker_machine () =
   check Alcotest.int "nothing open" 0 (Breaker.open_count b);
   (* an unrelated class is unaffected throughout *)
   check Alcotest.bool "other class closed" true (is_allow (Breaker.check b "d"))
+
+let breaker_reprobe_without_verdict () =
+  let t = ref 0L in
+  let b = Breaker.create ~clock:(fun () -> !t) ~threshold:1 ~cooldown_s:1.0 () in
+  let is_probe = function Breaker.Probe -> true | _ -> false in
+  check Alcotest.bool "trips" true (Breaker.failure b "c");
+  t := 1_000_000_000L;
+  check Alcotest.bool "probe after cooldown" true (is_probe (Breaker.check b "c"));
+  (* the probe's job was retired without reporting success or failure
+     (e.g. an invalid-input give-up): the next check must admit a fresh
+     probe, not hand back a zero-wait reject that busy-polls — or
+     starves the class forever *)
+  check Alcotest.bool "fresh probe, not a zero-wait reject" true
+    (is_probe (Breaker.check b "c"));
+  check Alcotest.string "still half_open" "half_open" (Breaker.state_name b "c");
+  Breaker.success b "c";
+  check Alcotest.string "verdict closes it" "closed" (Breaker.state_name b "c")
 
 (* --- Service: in-process end-to-end -------------------------------- *)
 
@@ -316,6 +377,17 @@ let service_bad_specs () =
   check Alcotest.int "failed = rejects + invalid input" 3 stats.Service.failed;
   check Alcotest.bool "error artifact written" true
     (Sys.file_exists (Filename.concat (Filename.concat d "results") "nosuch.err"));
+  (* the duplicate rejection must not journal give_up under the
+     accepted job's id — that record would mark the legitimate job
+     terminal, and a crash before its completion would silently drop
+     it on --resume *)
+  let give_up_under_accepted_id =
+    List.exists
+      (function Journal.Give_up { id; _ } -> String.equal id "ok1" | _ -> false)
+      (Journal.replay (Filename.concat d "journal.ndjson"))
+  in
+  check Alcotest.bool "duplicate not journaled under accepted id" false
+    give_up_under_accepted_id;
   rm_rf d
 
 let service_drain_and_resume () =
@@ -352,6 +424,35 @@ let service_drain_and_resume () =
     [ "j1"; "j2"; "j3" ];
   rm_rf d;
   rm_rf ref_dir
+
+let drain_does_not_consume_last_attempt () =
+  let d = make_spool three_jobs in
+  let cfg = { (quiet_config d) with Service.max_attempts = 1; job_delay_ms = 200 } in
+  let killer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.3;
+        Service.request_drain ())
+  in
+  let stats = Service.run cfg in
+  Domain.join killer;
+  check Alcotest.bool "drained with pending work" true
+    (stats.Service.drained && stats.Service.pending > 0);
+  let has_interrupted =
+    List.exists
+      (function Journal.Interrupted _ -> true | _ -> false)
+      (Journal.replay (Filename.concat d "journal.ndjson"))
+  in
+  check Alcotest.bool "interrupted attempt journaled" true has_interrupted;
+  (* resume under the same 1-attempt budget: the drained attempt never
+     failed, so it must not count — every pending job completes instead
+     of being declared "retry budget exhausted" *)
+  let stats' =
+    Service.run { (quiet_config ~resume:true d) with Service.max_attempts = 1 }
+  in
+  check Alcotest.int "no job falsely exhausted" 0 stats'.Service.failed;
+  check Alcotest.int "resume finishes the rest" stats.Service.pending
+    stats'.Service.completed;
+  rm_rf d
 
 (* --- Service under injected faults ---------------------------------- *)
 
@@ -546,13 +647,18 @@ let suite =
     case "job: json roundtrip" job_json_roundtrip;
     case "journal: append/replay roundtrip" journal_roundtrip;
     case "journal: torn final line tolerated" journal_torn_tail;
+    case "journal: torn tail repaired on reopen" journal_torn_tail_repaired_on_reopen;
     case "journal: mid-file corruption raises" journal_corruption_raises;
     case "journal: fold_state" journal_fold_state;
     case "breaker: closed/open/half-open machine" breaker_machine;
+    case "breaker: verdict-less probe re-probes, no starvation"
+      breaker_reprobe_without_verdict;
     case "service: end-to-end, deterministic, resume is idempotent" service_end_to_end;
     case "service: bad specs become typed failures" service_bad_specs;
     case "service: drain leaves pending work, resume matches clean run"
       service_drain_and_resume;
+    case "service: drain does not charge the interrupted attempt"
+      drain_does_not_consume_last_attempt;
     case "inject service.worker: crashes contained, retries, breaker"
       injected_worker_crashes_are_contained;
     case "inject service.result_io: write failures retried" injected_result_io_is_retried;
