@@ -20,12 +20,15 @@ module Cancel = Bistpath_resilience.Cancel
 module Diagnostic = Bistpath_resilience.Diagnostic
 module Inject = Bistpath_resilience.Inject
 module Service = Bistpath_service.Service
+module Check = Bistpath_check.Check
 
 open Cmdliner
 
-(* Exit-code protocol: 0 success, 1 internal/CLI error, 3 degraded (a
-   budget tripped and best-so-far results were printed), 4 invalid
+(* Exit-code protocol: 0 success, 1 internal/CLI error, 2 static-check
+   findings (the verifier found error-severity violations), 3 degraded
+   (a budget tripped and best-so-far results were printed), 4 invalid
    input (the DFG/behavioural text failed validation). *)
+let exit_findings = 2
 let exit_degraded = 3
 let exit_invalid_input = 4
 
@@ -280,8 +283,31 @@ let with_common c f =
     Printf.eprintf "synth: injected fault at site %s\n" site;
     exit 1
 
+(* Opt-in static-verification gate for artifact-emitting commands: the
+   artifact goes to stdout untouched, findings go to stderr, and
+   error-severity findings exit 2. Off by default, so unchecked
+   pipelines stay byte-identical. *)
+let check_gate_arg =
+  let doc =
+    "After the flow completes, run the static verifier ($(b,synth check)) \
+     over the synthesized artifacts: findings print to stderr and \
+     error-severity findings exit 2. The stdout artifact is unaffected."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let run_check_gate ~budget ~width ~transparency (inst : B.instance) label r =
+  let ctx =
+    Check.ctx_of_flow ~vectors:10 ~transparency
+      ~design:(inst.B.tag ^ "/" ^ label)
+      ~width inst.B.dfg inst.B.massign ~policy:inst.B.policy r
+  in
+  let rep = Check.run ~budget ctx in
+  if rep.Check.findings <> [] || rep.Check.suppressed <> [] then
+    prerr_string (Check.to_text rep);
+  if Check.errors rep > 0 then exit exit_findings
+
 let run_term =
-  let run c spec width flow transparency =
+  let run c spec width flow transparency check =
     with_common c @@ fun budget ->
     let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
@@ -290,11 +316,12 @@ let run_term =
         ~policy:inst.B.policy
     in
     Format.printf "%a@.@.%a@." Bistpath_dfg.Dfg.pp inst.B.dfg Flow.pp_result r;
-    Format.printf "@.test sessions: %a@." Bistpath_bist.Session.pp r.Flow.sessions
+    Format.printf "@.test sessions: %a@." Bistpath_bist.Session.pp r.Flow.sessions;
+    if check then run_check_gate ~budget ~width ~transparency inst flow r
   in
   Term.(
     const run $ common_term $ instance_arg $ width_arg $ flow_arg
-    $ transparency_arg)
+    $ transparency_arg $ check_gate_arg)
 
 let run_cmd =
   let doc = "Synthesize a data path and report its minimal-area BIST solution." in
@@ -354,7 +381,7 @@ let rtl_cmd =
     let doc = "Also emit the self-test wrapper (implies $(b,--bist))." in
     Arg.(value & flag & info [ "wrapper" ] ~doc)
   in
-  let run c spec width flow bist wrapper =
+  let run c spec width flow bist wrapper check =
     with_common c @@ fun budget ->
     let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
@@ -374,13 +401,14 @@ let rtl_cmd =
       print_endline
         (Bistpath_rtl.Bist_wrapper.emit ~width ~golden r.Flow.datapath r.Flow.bist
            r.Flow.sessions)
-    end
+    end;
+    if check then run_check_gate ~budget ~width ~transparency:false inst flow r
   in
   let doc = "Emit structural Verilog for the synthesized data path." in
   Cmd.v (Cmd.info "rtl" ~doc)
     Term.(
       const run $ common_term $ instance_arg $ width_arg $ flow_arg $ bist_arg
-      $ wrapper_arg)
+      $ wrapper_arg $ check_gate_arg)
 
 let dot_cmd =
   let what_arg =
@@ -540,67 +568,85 @@ let pareto_cmd =
 
 let check_cmd =
   let vectors_arg =
-    let doc = "Number of random vectors for the equivalence check." in
-    Arg.(value & opt int 25 & info [ "vectors" ] ~docv:"N" ~doc)
+    let doc =
+      "Random vectors for the dynamic-equivalence rule EQ001 (0 disables \
+       it; the static rules always run)."
+    in
+    Arg.(value & opt int 10 & info [ "vectors" ] ~docv:"N" ~doc)
   in
-  let run c spec width vectors =
+  let format_arg =
+    let doc =
+      "Report format: $(b,text) (default) or $(b,json) (one NDJSON object \
+       per checked flow)."
+    in
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let suppress_arg =
+    let doc =
+      "Comma-separated rule ids to suppress (e.g. $(b,DP004,BIST005)); \
+       suppressed findings are still reported but never gate the exit \
+       code."
+    in
+    Arg.(value & opt string "" & info [ "suppress" ] ~docv:"IDS" ~doc)
+  in
+  let check_flow_arg =
+    let doc =
+      "Which flow(s) to verify: $(b,both) (default), $(b,testable) or \
+       $(b,traditional)."
+    in
+    Arg.(value & opt string "both" & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let run c spec width flow transparency vectors format suppress =
     with_common c @@ fun budget ->
     let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
-    let failures = ref 0 in
-    let ok name cond =
-      Printf.printf "  [%s] %s\n" (if cond then "ok" else "FAIL") name;
-      if not cond then incr failures
+    let suppress =
+      List.filter_map
+        (fun s ->
+          let s = String.trim s in
+          if s = "" then None
+          else if Check.known_rule s then Some s
+          else invalid_flag "--suppress" s "a known rule id (see check.mli)")
+        (String.split_on_char ',' suppress)
     in
+    (match format with
+    | "text" | "json" -> ()
+    | s -> or_die (Error (Printf.sprintf "unknown format %S (use text or json)" s)));
+    let styles =
+      match flow with
+      | "both" ->
+        [ ("traditional", Flow.Traditional);
+          ("testable", Flow.Testable Testable_alloc.default_options) ]
+      | s -> [ (s, or_die (style_of_flow s)) ]
+    in
+    let total_errors = ref 0 in
     List.iter
       (fun (label, style) ->
-        Printf.printf "%s flow:\n" label;
-        let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
-        let rng = Bistpath_util.Prng.create 42 in
-        let equivalent = ref true in
-        for _ = 1 to vectors do
-          let inputs =
-            List.map
-              (fun v -> (v, Bistpath_util.Prng.int rng (1 lsl width)))
-              inst.B.dfg.Bistpath_dfg.Dfg.inputs
-          in
-          if not (Bistpath_datapath.Interp.equivalent_to_dfg r.Flow.datapath ~width ~inputs)
-          then equivalent := false
-        done;
-        ok
-          (Printf.sprintf "datapath computes the DFG on %d random vectors" vectors)
-          !equivalent;
-        ok "register assignment valid"
-          (Bistpath_datapath.Regalloc.is_valid_for r.Flow.regalloc inst.B.dfg
-             ~policy:inst.B.policy);
-        ok "minimum register count"
-          (r.Flow.registers
-          = Bistpath_dfg.Lifetime.min_registers ~policy:inst.B.policy inst.B.dfg);
-        ok "BIST search completed exactly" r.Flow.bist.Bistpath_bist.Allocator.exact;
-        ok "every unit testable" (r.Flow.bist.Bistpath_bist.Allocator.untestable = []);
-        let goldens =
-          try
-            Some
-              (Bistpath_rtl.Rtl_sim.golden_signatures ~width r.Flow.datapath
-                 r.Flow.bist r.Flow.sessions)
-          with Invalid_argument _ -> None
+        let r =
+          Flow.run ~budget ~width ~transparency ~style inst.B.dfg inst.B.massign
+            ~policy:inst.B.policy
         in
-        match goldens with
-        | Some gs ->
-          ok "RTL golden signatures healthy"
-            (gs <> [] && List.for_all (fun (g : Bistpath_rtl.Rtl_sim.golden) ->
-                 g.Bistpath_rtl.Rtl_sim.signature >= 0) gs)
-        | None -> ())
-      [ ("traditional", Flow.Traditional);
-        ("testable", Flow.Testable Testable_alloc.default_options) ];
-    if !failures > 0 then begin
-      Printf.printf "%d check(s) failed\n" !failures;
-      exit 1
-    end
-    else print_endline "all checks passed"
+        let ctx =
+          Check.ctx_of_flow ~vectors ~transparency
+            ~design:(inst.B.tag ^ "/" ^ label)
+            ~width inst.B.dfg inst.B.massign ~policy:inst.B.policy r
+        in
+        let rep = Check.run ~suppress ~budget ctx in
+        (match format with
+        | "json" -> print_endline (Bistpath_util.Json.to_string (Check.to_json rep))
+        | _ -> print_string (Check.to_text rep));
+        total_errors := !total_errors + Check.errors rep)
+      styles;
+    if !total_errors > 0 then exit exit_findings
   in
-  let doc = "Self-verify a design: equivalence, allocation and BIST sanity." in
+  let doc =
+    "Statically verify a design's synthesized artifacts: allocation, data \
+     path and RTL structure are re-derived and cross-checked rule by rule \
+     (exit 2 on error findings; see check.mli for the rule table)."
+  in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ common_term $ instance_arg $ width_arg $ vectors_arg)
+    Term.(
+      const run $ common_term $ instance_arg $ width_arg $ check_flow_arg
+      $ transparency_arg $ vectors_arg $ format_arg $ suppress_arg)
 
 let atpg_cmd =
   let backtracks_arg =
@@ -783,6 +829,11 @@ let serve_cmd =
         stats.Service.failed stats.Service.rejected_specs stats.Service.retries
         stats.Service.breaker_trips stats.Service.journal_errors
         stats.Service.pending stats.Service.drained;
+      (* Exit-3 triage, most actionable cause first. "failed" now means
+         accepted jobs that exhausted their attempts — spec rejections
+         are counted (and reported) separately, and budget-truncated
+         jobs are "degraded", not failures: their best-so-far results
+         were committed. *)
       if stats.Service.drained && stats.Service.pending > 0 then begin
         Printf.eprintf
           "synth: degraded: drain requested with %d job(s) pending (rerun with \
@@ -790,9 +841,18 @@ let serve_cmd =
           stats.Service.pending;
         exit exit_degraded
       end
-      else if stats.Service.failed > 0 then begin
-        Printf.eprintf "synth: degraded: %d job(s) failed permanently\n"
-          stats.Service.failed;
+      else if stats.Service.failed > 0 || stats.Service.rejected_specs > 0 then begin
+        if stats.Service.failed > 0 then
+          Printf.eprintf "synth: %d job(s) failed permanently\n" stats.Service.failed;
+        if stats.Service.rejected_specs > 0 then
+          Printf.eprintf "synth: %d job spec(s) rejected\n" stats.Service.rejected_specs;
+        exit exit_degraded
+      end
+      else if stats.Service.degraded > 0 then begin
+        Printf.eprintf
+          "synth: degraded: %d job(s) budget-truncated (best-so-far results \
+           committed)\n"
+          stats.Service.degraded;
         exit exit_degraded
       end
   in

@@ -1,0 +1,4 @@
+(** Allocation pass: register-coloring and BIST-allocation rules
+    (ALC001–ALC005, BIST001–BIST006). See the table in {!Check}. *)
+
+val rules : Rule.t list

@@ -1,0 +1,190 @@
+module Dfg = Bistpath_dfg.Dfg
+module Massign = Bistpath_dfg.Massign
+module Policy = Bistpath_dfg.Policy
+module Regalloc = Bistpath_datapath.Regalloc
+module Datapath = Bistpath_datapath.Datapath
+module Control = Bistpath_datapath.Control
+module Flow = Bistpath_core.Flow
+module Testable_alloc = Bistpath_core.Testable_alloc
+module Budget = Bistpath_resilience.Budget
+module Diagnostic = Bistpath_resilience.Diagnostic
+module Inject = Bistpath_resilience.Inject
+module Par = Bistpath_parallel.Par
+module Telemetry = Bistpath_telemetry.Telemetry
+module Json = Bistpath_util.Json
+
+type severity = Diagnostic.severity
+
+type finding = Rule.finding = {
+  rule : string;
+  severity : severity;
+  subject : string;
+  detail : string;
+}
+
+type ctx = Rule.ctx = {
+  design : string;
+  width : int;
+  transparency : bool;
+  vectors : int;
+  dfg : Dfg.t;
+  massign : Massign.t;
+  policy : Policy.t;
+  regalloc : Regalloc.t;
+  datapath : Datapath.t;
+  bist : Bistpath_bist.Allocator.solution option;
+  sessions : Bistpath_bist.Session.t option;
+  order : string list option;
+  control : Control.t option;
+  model : Rtl_model.t;
+}
+
+let all_rules = Alloc_rules.rules @ Datapath_rules.rules @ Rtl_rules.rules
+
+let rule_table =
+  List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.title)) all_rules
+  @ [ ("CHK000", "rule crashed while evaluating") ]
+
+let known_rule id = List.mem_assoc id rule_table
+
+let make_ctx ?bist ?sessions ?order ?(transparency = false) ?(vectors = 0) ~design ~width dfg
+    massign ~policy regalloc datapath =
+  let control = try Some (Control.build datapath) with _ -> None in
+  let model = Rtl_model.of_datapath ~width datapath in
+  { design; width; transparency; vectors; dfg; massign; policy; regalloc; datapath;
+    bist; sessions; order; control; model }
+
+let ctx_of_flow ?(vectors = 0) ?(transparency = false) ~design ~width dfg massign ~policy
+    (r : Flow.result) =
+  let order =
+    match r.Flow.style with
+    | Flow.Traditional -> None
+    | Flow.Testable options -> (
+        try
+          Some
+            (List.map
+               (fun (s : Testable_alloc.trace_step) -> s.Testable_alloc.vertex)
+               (snd (Testable_alloc.allocate ~options dfg massign ~policy)))
+        with _ -> None)
+  in
+  make_ctx ~bist:r.Flow.bist ~sessions:r.Flow.sessions ?order ~transparency ~vectors ~design
+    ~width dfg massign ~policy r.Flow.regalloc r.Flow.datapath
+
+type report = {
+  design : string;
+  total_rules : int;
+  rules_run : int;
+  rules_crashed : int;
+  rules_skipped : int;
+  findings : finding list;
+  suppressed : finding list;
+  degraded : bool;
+}
+
+type outcome = Evaluated of finding list | Crashed of string
+
+let run ?(suppress = []) ?(budget = Budget.unlimited) ctx =
+  let eval (r : Rule.t) =
+    match
+      Inject.fire "check.rule";
+      r.Rule.run ctx
+    with
+    | fs -> Evaluated fs
+    | exception e -> Crashed (Printexc.to_string e)
+  in
+  let results = Par.map_list_budget ~budget eval all_rules in
+  let findings, run_count, crashed, skipped =
+    List.fold_left2
+      (fun (fs, run_count, crashed, skipped) (r : Rule.t) result ->
+        match result with
+        | None -> (fs, run_count, crashed, skipped + 1)
+        | Some (Evaluated found) -> (fs @ found, run_count + 1, crashed, skipped)
+        | Some (Crashed msg) ->
+            ( fs
+              @ [ Rule.v "CHK000" Diagnostic.Error r.Rule.id "rule crashed: %s" msg ],
+              run_count + 1,
+              crashed + 1,
+              skipped ))
+      ([], 0, 0, 0) all_rules results
+  in
+  let active, suppressed = List.partition (fun f -> not (List.mem f.rule suppress)) findings in
+  Telemetry.incr ~by:run_count "check.rules_run";
+  Telemetry.incr ~by:crashed "check.rules_crashed";
+  Telemetry.incr ~by:skipped "check.rules_skipped";
+  Telemetry.incr ~by:(List.length active) "check.findings";
+  Telemetry.incr ~by:(List.length suppressed) "check.suppressed";
+  { design = ctx.design;
+    total_rules = List.length all_rules;
+    rules_run = run_count;
+    rules_crashed = crashed;
+    rules_skipped = skipped;
+    findings = active;
+    suppressed;
+    degraded = skipped > 0;
+  }
+
+let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
+let errors r = count Diagnostic.Error r.findings
+let warnings r = count Diagnostic.Warning r.findings
+
+let severity_label = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Note -> "note"
+
+let finding_line f =
+  Printf.sprintf "  [%s] %s %s: %s" f.rule (severity_label f.severity) f.subject f.detail
+
+let to_text r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "check %s: %d/%d rules, %d finding(s) (%d error(s), %d warning(s))"
+       r.design r.rules_run r.total_rules (List.length r.findings) (errors r) (warnings r));
+  if r.suppressed <> [] then
+    Buffer.add_string buf (Printf.sprintf ", %d suppressed" (List.length r.suppressed));
+  if r.rules_crashed > 0 then
+    Buffer.add_string buf (Printf.sprintf ", %d rule(s) crashed" r.rules_crashed);
+  if r.rules_skipped > 0 then
+    Buffer.add_string buf (Printf.sprintf ", %d rule(s) budget-skipped" r.rules_skipped);
+  Buffer.add_char buf '\n';
+  List.iter (fun f -> Buffer.add_string buf (finding_line f ^ "\n")) r.findings;
+  if r.suppressed <> [] then begin
+    Buffer.add_string buf "suppressed:\n";
+    List.iter (fun f -> Buffer.add_string buf (finding_line f ^ "\n")) r.suppressed
+  end;
+  Buffer.contents buf
+
+let finding_json suppressed f =
+  Json.Obj
+    [ ("rule", Json.Str f.rule);
+      ("severity", Json.Str (severity_label f.severity));
+      ("subject", Json.Str f.subject);
+      ("detail", Json.Str f.detail);
+      ("suppressed", Json.Bool suppressed);
+    ]
+
+let to_json r =
+  Json.Obj
+    [ ("design", Json.Str r.design);
+      ("rules", Json.Num (float_of_int r.total_rules));
+      ("run", Json.Num (float_of_int r.rules_run));
+      ("crashed", Json.Num (float_of_int r.rules_crashed));
+      ("skipped", Json.Num (float_of_int r.rules_skipped));
+      ("degraded", Json.Bool r.degraded);
+      ("errors", Json.Num (float_of_int (errors r)));
+      ("warnings", Json.Num (float_of_int (warnings r)));
+      ( "findings",
+        Json.Arr
+          (List.map (finding_json false) r.findings
+          @ List.map (finding_json true) r.suppressed) );
+    ]
+
+let diagnostics r =
+  List.map
+    (fun f ->
+      let msg = Printf.sprintf "[%s] %s: %s" f.rule f.subject f.detail in
+      match f.severity with
+      | Diagnostic.Error -> Diagnostic.error msg
+      | Diagnostic.Warning -> Diagnostic.warning msg
+      | Diagnostic.Note -> Diagnostic.note msg)
+    r.findings

@@ -1,0 +1,158 @@
+(** Independent static verifier for synthesized artifacts.
+
+    Re-derives the paper's structural invariants from the artifacts
+    alone — scheduled DFG, register assignment, data path, BIST
+    allocation, control table, netlist structure — and reports every
+    violation as a typed finding. The checker shares no code with the
+    allocator paths it audits: lifetimes, conflicts, CBILBO conditions
+    and connectivity are all recomputed here, so an allocator bug cannot
+    vouch for itself.
+
+    {1 Rule table}
+
+    Severity [error] findings gate ([synth check] exits 2); [warning]
+    findings are reported but do not gate. Any rule can be suppressed by
+    id ([~suppress] / [--suppress]).
+
+    {v
+    Allocation pass
+      ALC001  error    conflicting variables share a register
+      ALC002  error    assignment is not a partition of the allocatable variables
+      ALC003  error    recomputed conflict graph is not chordal
+      ALC004  warning  register count exceeds the recomputed minimum
+      ALC005  error    coloring order is not a reverse PVES (needs a recorded order)
+      BIST001 error    embedding claims an I-path / variable-set sharing that does not exist
+      BIST002 error    register style differs from its accumulated test duties
+      BIST003 error    CBILBO condition triggered but register not flagged
+      BIST004 error    register flagged CBILBO without a generate-and-compact duty
+      BIST005 warning  Lemma 1/2 prediction disagrees with post-interconnect ground truth
+      BIST006 error    test session schedules conflicting duties together
+
+    Data-path pass
+      DP001   error    register must latch two values in one control step
+      DP002   error    port width mismatch
+      DP003   error    scheduled transfer has no physical path (interconnect completeness)
+      DP004   warning  dead register (never read)
+      DP005   error    route disagrees with the register assignment
+      DP006   error    operands of a non-commutative operation are swapped
+      EQ001   error    data path diverges from DFG semantics on random vectors
+
+    RTL pass
+      RTL001  error    combinational loop (SCC over the structural netlist)
+      RTL002  error    undriven net with readers
+      RTL003  warning  floating net (driven, never read)
+      RTL004  error    multi-driven net
+      CTL001  error    control FSM has missing or phantom states
+      CTL002  error    control select or enable index out of range
+
+    Framework
+      CHK000  error    a rule crashed (also raised by the check.rule injection site)
+    v} *)
+
+type severity = Bistpath_resilience.Diagnostic.severity
+
+type finding = Rule.finding = {
+  rule : string;
+  severity : severity;
+  subject : string;
+  detail : string;
+}
+
+type ctx = Rule.ctx = {
+  design : string;
+  width : int;
+  transparency : bool;
+  vectors : int;
+  dfg : Bistpath_dfg.Dfg.t;
+  massign : Bistpath_dfg.Massign.t;
+  policy : Bistpath_dfg.Policy.t;
+  regalloc : Bistpath_datapath.Regalloc.t;
+  datapath : Bistpath_datapath.Datapath.t;
+  bist : Bistpath_bist.Allocator.solution option;
+  sessions : Bistpath_bist.Session.t option;
+  order : string list option;
+  control : Bistpath_datapath.Control.t option;
+  model : Rtl_model.t;
+}
+
+val rule_table : (string * string) list
+(** Every rule id with its one-line title, registration order (the
+    order findings are reported in), CHK000 included. *)
+
+val known_rule : string -> bool
+(** Is this a valid id for [~suppress]? *)
+
+val make_ctx :
+  ?bist:Bistpath_bist.Allocator.solution ->
+  ?sessions:Bistpath_bist.Session.t ->
+  ?order:string list ->
+  ?transparency:bool ->
+  ?vectors:int ->
+  design:string ->
+  width:int ->
+  Bistpath_dfg.Dfg.t ->
+  Bistpath_dfg.Massign.t ->
+  policy:Bistpath_dfg.Policy.t ->
+  Bistpath_datapath.Regalloc.t ->
+  Bistpath_datapath.Datapath.t ->
+  ctx
+(** Bundle artifacts for checking. The control table and the structural
+    netlist model are derived here (a datapath [Control.build] rejects
+    yields [control = None]; the model builder is total); tests corrupt
+    individual fields afterwards with record update. [vectors] defaults
+    to 0 (EQ001 off); [transparency] must match the flow that produced
+    the BIST solution. *)
+
+val ctx_of_flow :
+  ?vectors:int ->
+  ?transparency:bool ->
+  design:string ->
+  width:int ->
+  Bistpath_dfg.Dfg.t ->
+  Bistpath_dfg.Massign.t ->
+  policy:Bistpath_dfg.Policy.t ->
+  Bistpath_core.Flow.result ->
+  ctx
+(** Bundle a {!Bistpath_core.Flow.run} result. For the testable style
+    the allocation trace is re-derived so ALC005 (reverse-PVES) can
+    run. *)
+
+type report = {
+  design : string;
+  total_rules : int;
+  rules_run : int;  (** evaluated (including crashed ones) *)
+  rules_crashed : int;
+  rules_skipped : int;  (** budget-skipped, never evaluated *)
+  findings : finding list;  (** active findings, CHK000 included *)
+  suppressed : finding list;
+  degraded : bool;  (** [rules_skipped > 0] *)
+}
+
+val run :
+  ?suppress:string list ->
+  ?budget:Bistpath_resilience.Budget.t ->
+  ctx ->
+  report
+(** Evaluate every rule, in parallel via {!Bistpath_parallel.Par} under
+    the budget (a tripped budget skips the remaining rules and marks the
+    report degraded). A rule that raises — including an injected
+    [check.rule] fault — degrades to a CHK000 finding naming the rule;
+    the other rules still run. Deterministic at any pool width.
+    Telemetry: [check.rules_run], [check.rules_crashed],
+    [check.rules_skipped], [check.findings], [check.suppressed]. *)
+
+val errors : report -> int
+(** Active findings with severity [Error]. *)
+
+val warnings : report -> int
+
+val to_text : report -> string
+(** Human-readable report: a summary line, one indented line per
+    finding, suppressed findings listed separately. *)
+
+val to_json : report -> Bistpath_util.Json.t
+(** Machine-readable report (suppressed findings carried inline with
+    ["suppressed": true]). *)
+
+val diagnostics : report -> Bistpath_resilience.Diagnostic.t list
+(** Active findings as diagnostics ("[ALC001] subject: detail"). *)

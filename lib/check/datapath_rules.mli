@@ -1,0 +1,5 @@
+(** Data-path pass: structural connectivity and interconnect-completeness
+    rules over [Datapath.t] (DP001–DP006, EQ001). See the table in
+    {!Check}. *)
+
+val rules : Rule.t list

@@ -1,0 +1,254 @@
+module Dfg = Bistpath_dfg.Dfg
+module Datapath = Bistpath_datapath.Datapath
+
+type kind = Seq | Comb | Source | Sink
+
+type pin = { net : string; width : int }
+
+type cell = { cid : string; kind : kind; ins : pin list; outs : pin list }
+
+type t = { cells : cell list }
+
+let sel_width n =
+  let rec bits acc v = if v <= 1 then acc else bits (acc + 1) ((v + 1) / 2) in
+  max 1 (bits 0 n)
+
+(* Net naming scheme. Every net is identified by what produces or
+   consumes it, mirroring the emitter's wire names closely enough that
+   findings are actionable. *)
+let reg_net rid = "reg:" ^ rid
+let pin_net v = "pin:" ^ v
+let unit_net mid = "unit:" ^ mid
+let regin_net rid = "regin:" ^ rid
+let port_net mid side = "port:" ^ mid ^ "." ^ side
+let sel_net what = "sel:" ^ what
+let en_net rid = "en:" ^ rid
+
+let of_datapath ~width (dp : Datapath.t) =
+  let writers rid =
+    match List.assoc_opt rid dp.Datapath.reg_writers with
+    | Some ws -> ws
+    | None -> []
+  in
+  (* Routes grouped per unit, resolved through the op->unit map without
+     raising on a dangling opid (the datapath rules report those). *)
+  let mid_of_op opid = Dfg.Smap.find_opt opid dp.Datapath.massign.Bistpath_dfg.Massign.of_op in
+  let unit_routes =
+    List.filter_map
+      (fun (u : Bistpath_dfg.Massign.hw) ->
+        let rs =
+          List.filter
+            (fun (r : Datapath.route) -> mid_of_op r.Datapath.opid = Some u.Bistpath_dfg.Massign.mid)
+            dp.Datapath.routes
+        in
+        if rs = [] then None else Some (u, rs))
+      dp.Datapath.massign.Bistpath_dfg.Massign.units
+  in
+  let port_sources rs side =
+    List.sort_uniq compare
+      (List.map
+         (fun (r : Datapath.route) ->
+           match side with `L -> r.Datapath.l_reg | `R -> r.Datapath.r_reg)
+         rs)
+  in
+  let wsrc_net = function
+    | Datapath.From_unit m -> unit_net m
+    | Datapath.From_port v -> pin_net v
+  in
+  (* Primary-input pins: every From_port mentioned anywhere. *)
+  let pins =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (_, ws) ->
+           List.filter_map
+             (function Datapath.From_port v -> Some v | Datapath.From_unit _ -> None)
+             ws)
+         dp.Datapath.reg_writers)
+  in
+  let pin_cells =
+    List.map
+      (fun v -> { cid = "pin:" ^ v; kind = Source; ins = []; outs = [ { net = pin_net v; width } ] })
+      pins
+  in
+  (* Controller: one Seq cell sourcing every select and enable word. *)
+  let ctrl_outs =
+    List.concat_map
+      (fun (reg : Datapath.reg) ->
+        let rid = reg.Datapath.rid in
+        let ws = writers rid in
+        let sel =
+          if List.length ws >= 2 then
+            [ { net = sel_net (rid ^ ".in"); width = sel_width (List.length ws) } ]
+          else []
+        in
+        { net = en_net rid; width = 1 } :: sel)
+      dp.Datapath.regs
+    @ List.concat_map
+        (fun ((u : Bistpath_dfg.Massign.hw), rs) ->
+          let mid = u.Bistpath_dfg.Massign.mid in
+          let per side tag =
+            let srcs = port_sources rs side in
+            if List.length srcs >= 2 then
+              [ { net = sel_net (mid ^ "." ^ tag); width = sel_width (List.length srcs) } ]
+            else []
+          in
+          let fsel =
+            if List.length u.Bistpath_dfg.Massign.kinds >= 2 then
+              [ { net = sel_net (mid ^ ".F");
+                  width = sel_width (List.length u.Bistpath_dfg.Massign.kinds) } ]
+            else []
+          in
+          per `L "L" @ per `R "R" @ fsel)
+        unit_routes
+  in
+  let ctrl = { cid = "ctrl"; kind = Seq; ins = []; outs = ctrl_outs } in
+  (* Register-input multiplexers and registers. *)
+  let reg_cells =
+    List.concat_map
+      (fun (reg : Datapath.reg) ->
+        let rid = reg.Datapath.rid in
+        let ws = writers rid in
+        let data_ins, mux =
+          match ws with
+          | [] -> ([], [])  (* never written: rules flag it, model stays total *)
+          | [ w ] -> ([ { net = wsrc_net w; width } ], [])
+          | _ ->
+              let mux =
+                { cid = "mux:" ^ rid ^ ".in";
+                  kind = Comb;
+                  ins =
+                    List.map (fun w -> { net = wsrc_net w; width }) ws
+                    @ [ { net = sel_net (rid ^ ".in"); width = sel_width (List.length ws) } ];
+                  outs = [ { net = regin_net rid; width } ];
+                }
+              in
+              ([ { net = regin_net rid; width } ], [ mux ])
+        in
+        mux
+        @ [ { cid = "reg:" ^ rid;
+              kind = Seq;
+              ins = data_ins @ [ { net = en_net rid; width = 1 } ];
+              outs = [ { net = reg_net rid; width } ];
+            } ])
+      dp.Datapath.regs
+  in
+  (* Unit-port multiplexers and functional units. *)
+  let unit_cells =
+    List.concat_map
+      (fun ((u : Bistpath_dfg.Massign.hw), rs) ->
+        let mid = u.Bistpath_dfg.Massign.mid in
+        let port side tag =
+          match port_sources rs side with
+          | [] -> ([ { net = port_net mid tag; width } ], [])  (* undriven *)
+          | [ r ] -> ([ { net = reg_net r; width } ], [])
+          | srcs ->
+              let mux =
+                { cid = "mux:" ^ mid ^ "." ^ tag;
+                  kind = Comb;
+                  ins =
+                    List.map (fun r -> { net = reg_net r; width }) srcs
+                    @ [ { net = sel_net (mid ^ "." ^ tag); width = sel_width (List.length srcs) } ];
+                  outs = [ { net = port_net mid tag; width } ];
+                }
+              in
+              ([ { net = port_net mid tag; width } ], [ mux ])
+        in
+        let l_in, l_mux = port `L "L" in
+        let r_in, r_mux = port `R "R" in
+        let fsel =
+          if List.length u.Bistpath_dfg.Massign.kinds >= 2 then
+            [ { net = sel_net (mid ^ ".F");
+                width = sel_width (List.length u.Bistpath_dfg.Massign.kinds) } ]
+          else []
+        in
+        l_mux @ r_mux
+        @ [ { cid = "unit:" ^ mid;
+              kind = Comb;
+              ins = l_in @ r_in @ fsel;
+              outs = [ { net = unit_net mid; width } ];
+            } ])
+      unit_routes
+  in
+  let out_cells =
+    List.map
+      (fun (v, rid) ->
+        { cid = "out:" ^ v; kind = Sink; ins = [ { net = reg_net rid; width } ]; outs = [] })
+      dp.Datapath.outputs
+  in
+  { cells = (ctrl :: pin_cells) @ reg_cells @ unit_cells @ out_cells }
+
+let net_map proj t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun p ->
+          let prev = try Hashtbl.find tbl p.net with Not_found -> [] in
+          Hashtbl.replace tbl p.net ((c.cid, p.width) :: prev))
+        (proj c))
+    t.cells;
+  Hashtbl.fold (fun net cs acc -> (net, List.rev cs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let drivers t = net_map (fun c -> c.outs) t
+let readers t = net_map (fun c -> c.ins) t
+
+let combinational_cycles t =
+  let comb = List.filter (fun c -> c.kind = Comb) t.cells in
+  let by_out = Hashtbl.create 64 in
+  List.iter (fun c -> List.iter (fun p -> Hashtbl.replace by_out p.net c.cid) c.outs) comb;
+  let succs =
+    List.map
+      (fun c ->
+        ( c.cid,
+          List.sort_uniq compare
+            (List.concat_map
+               (fun reader ->
+                 List.filter_map
+                   (fun p ->
+                     (* edge: driver of [p.net] -> [reader] *)
+                     if List.exists (fun q -> q.net = p.net) c.outs then Some reader.cid
+                     else None)
+                   reader.ins)
+               comb) ))
+      comb
+  in
+  let succ cid = try List.assoc cid succs with Not_found -> [] in
+  (* Tarjan's SCC, iterative enough for our sizes via recursion on
+     cells (model sizes are tiny). *)
+  let index = Hashtbl.create 16 and low = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] and counter = ref 0 and sccs = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (succ v);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      let comp = pop [] in
+      let cyclic =
+        match comp with [ x ] -> List.mem x (succ x) | _ :: _ :: _ -> true | [] -> false
+      in
+      if cyclic then sccs := List.sort compare comp :: !sccs
+    end
+  in
+  List.iter (fun (v, _) -> if not (Hashtbl.mem index v) then strong v) succs;
+  List.sort compare !sccs

@@ -1,0 +1,50 @@
+(** Structural netlist abstraction of the emitted RTL.
+
+    The RTL checker does not parse Verilog text back; it re-derives the
+    same structure the emitter ({!Bistpath_rtl}) produces — registers,
+    functional units, multiplexers, primary-input pins, output ports and
+    the controller — as a flat cell/net graph, then checks graph-level
+    properties (combinational loops, undriven/floating/multi-driven
+    nets, port-width consistency) on it.
+
+    The model is deliberately constructible by hand so tests can build
+    deliberately-broken netlists (e.g. a forced combinational loop)
+    without going through [Datapath.build]. *)
+
+type kind =
+  | Seq  (** clocked: registers and the controller *)
+  | Comb  (** combinational: functional units and multiplexers *)
+  | Source  (** primary-input pin *)
+  | Sink  (** primary-output port *)
+
+type pin = { net : string; width : int }
+
+type cell = { cid : string; kind : kind; ins : pin list; outs : pin list }
+
+type t = { cells : cell list }
+
+val of_datapath : width:int -> Bistpath_datapath.Datapath.t -> t
+(** Total and defensive: a structurally corrupted datapath (severed
+    writer lists, missing routes) yields a model with the corresponding
+    nets undriven or floating rather than an exception — the rules
+    report the damage. *)
+
+val drivers : t -> (string * (string * int) list) list
+(** Net name -> [(cell id, declared width)] of every cell output pin
+    driving it, sorted by net. *)
+
+val readers : t -> (string * (string * int) list) list
+(** Net name -> [(cell id, declared width)] of every cell input pin
+    reading it, sorted by net. *)
+
+val combinational_cycles : t -> string list list
+(** Strongly connected components (of size > 1, or self-loops) of the
+    cell graph restricted to [Comb] cells, where an edge [a -> b] means
+    some output net of [a] is an input net of [b]. Registers, pins and
+    ports break paths, so any component returned is a genuine
+    combinational loop. Each component is a sorted list of cell ids;
+    components are sorted by first element. *)
+
+val sel_width : int -> int
+(** Bits needed to address [n] mux inputs (min 1). Shared by the model
+    builder and the width rule so the two cannot drift apart. *)

@@ -1,0 +1,5 @@
+(** RTL/netlist pass: graph-level rules over the structural model and
+    the control FSM (RTL001–RTL004, CTL001–CTL002). See the table in
+    {!Check}. *)
+
+val rules : Rule.t list

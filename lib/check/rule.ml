@@ -1,0 +1,78 @@
+module Dfg = Bistpath_dfg.Dfg
+module Op = Bistpath_dfg.Op
+module Policy = Bistpath_dfg.Policy
+module Massign = Bistpath_dfg.Massign
+module Regalloc = Bistpath_datapath.Regalloc
+module Datapath = Bistpath_datapath.Datapath
+
+type severity = Bistpath_resilience.Diagnostic.severity
+
+type finding = { rule : string; severity : severity; subject : string; detail : string }
+
+type pass = Alloc | Datapath_pass | Rtl
+
+type ctx = {
+  design : string;
+  width : int;
+  transparency : bool;
+  vectors : int;
+  dfg : Dfg.t;
+  massign : Massign.t;
+  policy : Policy.t;
+  regalloc : Regalloc.t;
+  datapath : Datapath.t;
+  bist : Bistpath_bist.Allocator.solution option;
+  sessions : Bistpath_bist.Session.t option;
+  order : string list option;
+  control : Bistpath_datapath.Control.t option;
+  model : Rtl_model.t;
+}
+
+type t = { id : string; title : string; pass : pass; run : ctx -> finding list }
+
+let v rule severity subject fmt =
+  Printf.ksprintf (fun detail -> { rule; severity; subject; detail }) fmt
+
+let mid_of_op ctx opid = Dfg.Smap.find_opt opid ctx.massign.Massign.of_op
+
+let expected_reg ctx v =
+  match Regalloc.register_of ctx.regalloc v with
+  | Some r -> Some r
+  | None -> (
+      match Policy.carried_into ctx.policy v with
+      | Some target -> Some ("IN_" ^ target)
+      | None -> if List.mem v ctx.dfg.Dfg.inputs then Some ("IN_" ^ v) else None)
+
+let op_routes ctx (op : Op.t) =
+  List.filter (fun (r : Datapath.route) -> r.Datapath.opid = op.Op.id) ctx.datapath.Datapath.routes
+
+let unit_routes ctx =
+  List.filter_map
+    (fun (u : Massign.hw) ->
+      let rs =
+        List.filter
+          (fun (r : Datapath.route) -> mid_of_op ctx r.Datapath.opid = Some u.Massign.mid)
+          ctx.datapath.Datapath.routes
+      in
+      if rs = [] then None else Some (u, rs))
+    ctx.massign.Massign.units
+
+let port_sources rs side =
+  List.sort_uniq compare
+    (List.map
+       (fun (r : Datapath.route) ->
+         match side with `L -> r.Datapath.l_reg | `R -> r.Datapath.r_reg)
+       rs)
+
+let writers ctx rid =
+  match List.assoc_opt rid ctx.datapath.Datapath.reg_writers with Some ws -> ws | None -> []
+
+let stored_vars ctx rid =
+  List.find_map
+    (fun (r : Datapath.reg) -> if r.Datapath.rid = rid then Some r.Datapath.vars else None)
+    ctx.datapath.Datapath.regs
+
+let consumed_inputs ctx =
+  List.filter
+    (fun v -> List.exists (fun (op : Op.t) -> List.mem v (Op.operands op)) ctx.dfg.Dfg.ops)
+    (List.sort_uniq compare ctx.dfg.Dfg.inputs)

@@ -6,7 +6,7 @@ exception Injected of string
 let sites =
   [
     "pool.worker"; "telemetry.write"; "allocator.leaf"; "pareto.leaf";
-    "service.journal"; "service.result_io"; "service.worker";
+    "service.journal"; "service.result_io"; "service.worker"; "check.rule";
   ]
 
 type site_state = { prob : float; prng : Prng.t }

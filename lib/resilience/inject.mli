@@ -44,6 +44,9 @@
     - [service.worker] — job execution raises before running the
       pipeline ([Bistpath_service.Service]), modelling a crashed
       worker; the job becomes a typed failure record and is retried.
+    - [check.rule] — a static-analysis rule raises as it starts
+      ([Bistpath_check.Check.run]); the crash degrades to a per-rule
+      CHK000 finding instead of failing the whole check run.
 
     Telemetry: every shot that fires increments [resilience.injected]. *)
 

@@ -1,6 +1,6 @@
 module Json = Bistpath_util.Json
 
-type pipeline = Run | Pareto | Coverage | Rtl | Export
+type pipeline = Run | Pareto | Coverage | Rtl | Export | Check
 
 type t = {
   id : string;
@@ -20,6 +20,7 @@ let pipeline_name = function
   | Coverage -> "coverage"
   | Rtl -> "rtl"
   | Export -> "export"
+  | Check -> "check"
 
 let pipeline_of_name = function
   | "run" -> Some Run
@@ -27,6 +28,7 @@ let pipeline_of_name = function
   | "coverage" -> Some Coverage
   | "rtl" -> Some Rtl
   | "export" -> Some Export
+  | "check" -> Some Check
   | _ -> None
 
 let id_ok id =
@@ -84,7 +86,7 @@ let of_json ~default_id json =
         | Some p -> Ok p
         | None ->
           Error
-            (Printf.sprintf "unknown pipeline %S (want run|pareto|coverage|rtl|export)" s))
+            (Printf.sprintf "unknown pipeline %S (want run|pareto|coverage|rtl|export|check)" s))
     in
     let* width = field "width" Json.to_int "an integer" in
     let width = Option.value width ~default:8 in

@@ -14,11 +14,12 @@
     the spool file and line number; it keys the journal and names the
     result file, so it is restricted to
     [A-Za-z0-9._-] (no path separators). ["pipeline"] defaults to
-    ["run"]. ["timeout"] (seconds) and ["leaf_budget"] bound the job
+    ["run"]; ["check"] runs the static verifier over the flow's
+    artifacts ({!Bistpath_check.Check}). ["timeout"] (seconds) and ["leaf_budget"] bound the job
     like the [--timeout] / [--leaf-budget] CLI flags; a tripped budget
     yields a [degraded] (best-so-far) result rather than a failure. *)
 
-type pipeline = Run | Pareto | Coverage | Rtl | Export
+type pipeline = Run | Pareto | Coverage | Rtl | Export | Check
 
 type t = {
   id : string;

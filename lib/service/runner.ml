@@ -10,8 +10,9 @@ module Verilog = Bistpath_rtl.Verilog
 module Bist_sim = Bistpath_gatelevel.Bist_sim
 module Session = Bistpath_bist.Session
 module Pareto = Bistpath_bist.Pareto
+module Check = Bistpath_check.Check
 
-type error = Invalid_input of string list
+type error = Invalid_input of string list | Check_findings of string list
 
 (* Mirrors the CLI's load_instance: benchmark tag, .beh program or
    textual DFG file, with accumulated diagnostics. *)
@@ -61,6 +62,23 @@ let execute ~budget (job : Job.t) =
       Flow.run ~budget ~width ~transparency:job.Job.transparency ~style inst.B.dfg
         inst.B.massign ~policy:inst.B.policy
     in
+    let check () =
+      let r = flow () in
+      let ctx =
+        Check.ctx_of_flow ~vectors:10 ~transparency:job.Job.transparency
+          ~design:(inst.B.tag ^ "/" ^ job.Job.flow)
+          ~width inst.B.dfg inst.B.massign ~policy:inst.B.policy r
+      in
+      let rep = Check.run ~budget ctx in
+      if Check.errors rep > 0 then
+        Error
+          (Check_findings
+             (List.map Bistpath_resilience.Diagnostic.to_string (Check.diagnostics rep)))
+      else Ok (Bistpath_util.Json.to_string (Check.to_json rep) ^ "\n")
+    in
+    match job.Job.pipeline with
+    | Job.Check -> check ()
+    | _ ->
     let artifact =
       match job.Job.pipeline with
       | Job.Run ->
@@ -84,5 +102,6 @@ let execute ~budget (job : Job.t) =
         ^ Verilog.emit ~width ~bist:r.Flow.bist r.Flow.datapath
         ^ "\n"
       | Job.Export -> Parser.to_string inst.B.dfg
+      | Job.Check -> assert false (* handled above *)
     in
     Ok artifact

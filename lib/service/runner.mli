@@ -10,6 +10,11 @@
       benchmark, or the DFG/behavioural file fails validation. This is
       deterministic; the supervisor gives up immediately (no retries)
       and records the diagnostics.
+    - [Error (Check_findings lines)] — a [check] pipeline found
+      error-severity violations in the synthesized artifacts
+      ({!Bistpath_check.Check}). Equally deterministic: the supervisor
+      gives up immediately and records the findings, and the breaker is
+      not fed (a sick design says nothing about the pipeline's health).
     - An exception (including injected faults and [Out_of_memory]) —
       potentially transient; the supervisor catches it and applies
       retry/backoff/breaker policy.
@@ -19,7 +24,7 @@
     degraded via the budget's stop reason, exactly like the CLI's
     exit-3 protocol. *)
 
-type error = Invalid_input of string list
+type error = Invalid_input of string list | Check_findings of string list
 
 val execute : budget:Bistpath_resilience.Budget.t -> Job.t -> (string, error) result
 (** Deterministic for a fixed job and untripped budget: two runs

@@ -286,9 +286,10 @@ let run_job st (jr : job_rec) =
     | _ -> false
   in
   match outcome with
-  | Ok (Error (Runner.Invalid_input lines)) ->
-    (* deterministic: retrying cannot help, and a sick input says
-       nothing about the pipeline's health, so the breaker is not fed *)
+  | Ok (Error (Runner.Invalid_input lines | Runner.Check_findings lines)) ->
+    (* deterministic: retrying cannot help, and a sick input (or a
+       design the checker rejects) says nothing about the pipeline's
+       health, so the breaker is not fed *)
     give_up st jr ~error:(String.concat "; " lines);
     true
   | _ when drain_cancelled ->
@@ -381,9 +382,9 @@ let accept st (job : Job.t) ~attempts ~journal_it =
     { job; prng = job_prng ~seed:st.cfg.seed job.Job.id; attempts; next_ready_ns = 0L }
 
 let reject_spec st ~default_id ~error =
+  (* a rejected spec never became a job, so it is counted separately
+     from jobs that ran and failed permanently *)
   st.s_rejected <- st.s_rejected + 1;
-  st.s_failed <- st.s_failed + 1;
-  Telemetry.incr "service.jobs_failed";
   (* A duplicate-id rejection carries the id of an already-accepted
      job; journaling give_up under that id would mark the legitimate,
      still-pending job terminal and --resume would silently drop it.

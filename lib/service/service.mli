@@ -79,7 +79,10 @@ type stats = {
   accepted : int;  (** specs admitted to the queue this run *)
   completed : int;  (** jobs that committed a complete result *)
   degraded : int;  (** jobs that committed a best-so-far result *)
-  failed : int;  (** typed terminal failures (incl. invalid specs) *)
+  failed : int;
+      (** jobs that ran and failed permanently (retries exhausted,
+          invalid input design, or static-check findings) — rejected
+          specs are counted separately in [rejected_specs] *)
   rejected_specs : int;  (** unparsable/invalid NDJSON lines *)
   retries : int;  (** attempts re-queued with backoff *)
   breaker_trips : int;

@@ -66,15 +66,26 @@
     - [service.jobs_completed] — jobs that produced a complete result.
     - [service.jobs_degraded] — jobs whose own budget tripped; their
       best-so-far result was still written.
-    - [service.jobs_failed] — jobs that exhausted their retry budget
-      (or had invalid specs/inputs) and ended in a typed failure
-      record.
+    - [service.jobs_failed] — jobs that ran and ended in a typed
+      failure record (retries exhausted, invalid input design, or
+      static-check findings). Rejected specs that never became jobs
+      are not counted here.
     - [service.retries] — failed attempts re-queued with backoff.
     - [service.breaker_trips] — circuit breakers that transitioned
       from closed (or half-open) to open.
     - [service.journal_errors] — write-ahead journal appends that
       failed even after bounded retries (the daemon degrades to
       in-memory state rather than crashing).
+    - [check.rules_run] — static-analysis rules evaluated to
+      completion by [Bistpath_check.Check.run].
+    - [check.rules_crashed] — rules that raised; each is degraded to a
+      per-rule [CHK000] finding instead of failing the check run.
+    - [check.rules_skipped] — rules not evaluated because the budget
+      tripped before they were scheduled.
+    - [check.findings] — findings reported by rules (before
+      suppression).
+    - [check.suppressed] — findings hidden by per-rule suppression
+      ([--suppress]).
 
     Gauges set by [Flow.run]: [regs.allocated], [muxes.allocated],
     [bist.delta_gates], [sessions.count]. Gauges set by the parallel

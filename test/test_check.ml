@@ -1,0 +1,353 @@
+(* The static verifier: clean seed designs must check clean; each
+   hand-corrupted artifact must be caught by exactly the rule that owns
+   that class of damage; crashed rules degrade to CHK000 findings; a
+   tripped budget skips rules instead of blocking. *)
+
+module B = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Testable_alloc = Bistpath_core.Testable_alloc
+module Module_assign = Bistpath_core.Module_assign
+module Dfg = Bistpath_dfg.Dfg
+module Op = Bistpath_dfg.Op
+module Massign = Bistpath_dfg.Massign
+module Policy = Bistpath_dfg.Policy
+module Regalloc = Bistpath_datapath.Regalloc
+module Datapath = Bistpath_datapath.Datapath
+module Control = Bistpath_datapath.Control
+module Allocator = Bistpath_bist.Allocator
+module Resource = Bistpath_bist.Resource
+module Ipath = Bistpath_ipath.Ipath
+module Budget = Bistpath_resilience.Budget
+module Diagnostic = Bistpath_resilience.Diagnostic
+module Inject = Bistpath_resilience.Inject
+module Json = Bistpath_util.Json
+module Check = Bistpath_check.Check
+module Rtl_model = Bistpath_check.Rtl_model
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+
+let instance tag =
+  match B.by_tag tag with
+  | Some i -> i
+  | None -> Alcotest.fail ("unknown benchmark " ^ tag)
+
+let flow_ctx ?(vectors = 0) ~style tag =
+  let inst = instance tag in
+  let label = match style with Flow.Traditional -> "traditional" | _ -> "testable" in
+  let r =
+    Flow.run ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy
+  in
+  ( inst,
+    r,
+    Check.ctx_of_flow ~vectors ~design:(tag ^ "/" ^ label) ~width:8 inst.B.dfg
+      inst.B.massign ~policy:inst.B.policy r )
+
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let error_rules (rep : Check.report) =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (f : Check.finding) ->
+         if f.Check.severity = Diagnostic.Error then Some f.Check.rule else None)
+       rep.Check.findings)
+
+let rules_list = Alcotest.(list string)
+
+(* --- satellite 1: every seed benchmark checks clean ----------------- *)
+
+let clean_benchmarks () =
+  List.iter
+    (fun tag ->
+      List.iter
+        (fun style ->
+          let _, _, ctx = flow_ctx ~vectors:3 ~style tag in
+          let rep = Check.run ctx in
+          check Alcotest.int (ctx.Check.design ^ " errors") 0 (Check.errors rep);
+          check Alcotest.int (ctx.Check.design ^ " warnings") 0 (Check.warnings rep);
+          check Alcotest.int (ctx.Check.design ^ " crashed") 0 rep.Check.rules_crashed;
+          check Alcotest.bool (ctx.Check.design ^ " complete") false rep.Check.degraded)
+        [ Flow.Traditional; Flow.Testable Testable_alloc.default_options ])
+    B.all_tags
+
+(* --- corrupted artifact 1: conflicting variables share a register --- *)
+
+(* x lives (1,3], y lives (2,3]; both in R1. The data path is built by
+   hand to be consistent with that (broken) assignment, so the damage is
+   visible to ALC001 alone: statically everything routes, only the
+   allocation invariant is violated. *)
+let broken_coloring_ctx () =
+  let ops =
+    [ { Op.id = "+1"; kind = Op.Add; left = "a"; right = "b"; out = "x" };
+      { Op.id = "+2"; kind = Op.Add; left = "b"; right = "c"; out = "y" };
+      { Op.id = "+3"; kind = Op.Add; left = "x"; right = "y"; out = "o" };
+    ]
+  in
+  let dfg =
+    Dfg.make ~name:"broken" ~ops ~inputs:[ "a"; "b"; "c" ] ~outputs:[ "o" ]
+      ~schedule:[ ("+1", 1); ("+2", 2); ("+3", 3) ]
+  in
+  let massign = Module_assign.single_function dfg in
+  let policy = Policy.dedicated_io in
+  let mid opid = (Massign.unit_of_op massign opid).Massign.mid in
+  let regalloc = Regalloc.make [ ("R1", [ "x"; "y" ]); ("R2", [ "o" ]) ] in
+  let reg rid vars dedicated = { Datapath.rid; vars; dedicated } in
+  let regs =
+    [ reg "R1" [ "x"; "y" ] false;
+      reg "R2" [ "o" ] false;
+      reg "IN_a" [ "a" ] true;
+      reg "IN_b" [ "b" ] true;
+      reg "IN_c" [ "c" ] true;
+    ]
+  in
+  let route opid l_reg r_reg out_reg =
+    { Datapath.opid; l_reg; r_reg; swapped = false; out_reg }
+  in
+  let routes =
+    [ route "+1" "IN_a" "IN_b" "R1";
+      route "+2" "IN_b" "IN_c" "R1";
+      route "+3" "R1" "R1" "R2";
+    ]
+  in
+  let from_units opids =
+    List.sort_uniq compare (List.map (fun o -> Datapath.From_unit (mid o)) opids)
+  in
+  let reg_writers =
+    [ ("IN_a", [ Datapath.From_port "a" ]);
+      ("IN_b", [ Datapath.From_port "b" ]);
+      ("IN_c", [ Datapath.From_port "c" ]);
+      ("R1", from_units [ "+1"; "+2" ]);
+      ("R2", from_units [ "+3" ]);
+    ]
+  in
+  let datapath =
+    { Datapath.dfg; massign; regs; routes; reg_writers; outputs = [ ("o", "R2") ] }
+  in
+  Check.make_ctx ~design:"broken-coloring" ~width:4 dfg massign ~policy regalloc datapath
+
+let catches_broken_coloring () =
+  let ctx = broken_coloring_ctx () in
+  let rep = Check.run ctx in
+  check rules_list "only ALC001 fires" [ "ALC001" ] (error_rules rep);
+  check Alcotest.bool "gating" true (Check.errors rep > 0);
+  let f = List.find (fun (f : Check.finding) -> f.Check.rule = "ALC001") rep.Check.findings in
+  check Alcotest.string "names the register" "R1" f.Check.subject
+
+(* --- corrupted artifact 2: severed interconnect edge ---------------- *)
+
+let severed_ctx () =
+  let inst = instance "ex1" in
+  let r =
+    Flow.run ~style:Flow.Traditional inst.B.dfg inst.B.massign ~policy:inst.B.policy
+  in
+  let dp = r.Flow.datapath in
+  (* sever a unit->register edge on a multiplexed register input, so the
+     remaining writer keeps every net driven: the damage is purely a
+     scheduled transfer with no physical path *)
+  let rid, victim =
+    let pick (rid, ws) =
+      if List.length ws < 2 then None
+      else
+        Option.map
+          (fun w -> (rid, w))
+          (List.find_opt (function Datapath.From_unit _ -> true | _ -> false) ws)
+    in
+    match List.find_map pick dp.Datapath.reg_writers with
+    | Some x -> x
+    | None -> Alcotest.fail "ex1 has no multiplexed register input to sever"
+  in
+  let reg_writers =
+    List.map
+      (fun (r, ws) ->
+        if String.equal r rid then (r, List.filter (fun w -> w <> victim) ws) else (r, ws))
+      dp.Datapath.reg_writers
+  in
+  Check.make_ctx ~design:"severed" ~width:8 inst.B.dfg inst.B.massign
+    ~policy:inst.B.policy r.Flow.regalloc
+    { dp with Datapath.reg_writers }
+
+let catches_severed_interconnect () =
+  let rep = Check.run (severed_ctx ()) in
+  check rules_list "only DP003 fires" [ "DP003" ] (error_rules rep);
+  check Alcotest.bool "gating" true (Check.errors rep > 0)
+
+(* --- corrupted artifact 3: forced combinational loop ---------------- *)
+
+let catches_combinational_loop () =
+  let _, _, ctx = flow_ctx ~style:Flow.Traditional "ex1" in
+  let comb cid ins outs =
+    let pin net = { Rtl_model.net; width = 8 } in
+    { Rtl_model.cid; kind = Rtl_model.Comb; ins = List.map pin ins; outs = List.map pin outs }
+  in
+  let model =
+    { Rtl_model.cells =
+        ctx.Check.model.Rtl_model.cells
+        @ [ comb "LOOPA" [ "loop:x" ] [ "loop:y" ]; comb "LOOPB" [ "loop:y" ] [ "loop:x" ] ]
+    }
+  in
+  let rep = Check.run { ctx with Check.model = model } in
+  check rules_list "only RTL001 fires" [ "RTL001" ] (error_rules rep);
+  let f = List.find (fun (f : Check.finding) -> f.Check.rule = "RTL001") rep.Check.findings in
+  check Alcotest.bool "loop members named" true (contains f.Check.detail "LOOPA")
+
+(* --- controller corruptions ---------------------------------------- *)
+
+let catches_missing_control_step () =
+  let _, _, ctx = flow_ctx ~style:Flow.Traditional "ex1" in
+  let c =
+    match ctx.Check.control with
+    | Some c -> c
+    | None -> Alcotest.fail "ex1 control table should build"
+  in
+  let steps = List.filter (fun (s : Control.step) -> s.Control.index <> 1) c.Control.steps in
+  let rep = Check.run { ctx with Check.control = Some { Control.steps } } in
+  check rules_list "only CTL001 fires" [ "CTL001" ] (error_rules rep)
+
+let catches_bad_write_select () =
+  let _, _, ctx = flow_ctx ~style:Flow.Traditional "ex1" in
+  let c = Option.get ctx.Check.control in
+  let corrupted = ref false in
+  let steps =
+    List.map
+      (fun (s : Control.step) ->
+        match s.Control.writes with
+        | w :: rest when not !corrupted ->
+            corrupted := true;
+            { s with Control.writes = { w with Control.source_index = 99 } :: rest }
+        | _ -> s)
+      c.Control.steps
+  in
+  check Alcotest.bool "found a write to corrupt" true !corrupted;
+  let rep = Check.run { ctx with Check.control = Some { Control.steps } } in
+  check rules_list "only CTL002 fires" [ "CTL002" ] (error_rules rep)
+
+(* --- BIST style corruptions ---------------------------------------- *)
+
+let catches_spurious_cbilbo () =
+  let _, _, ctx = flow_ctx ~style:(Flow.Testable Testable_alloc.default_options) "ex1" in
+  let sol = Option.get ctx.Check.bist in
+  let justified rid =
+    List.exists
+      (fun (e : Ipath.embedding) -> Ipath.requires_cbilbo e && e.Ipath.sa = rid)
+      sol.Allocator.embeddings
+  in
+  let rid =
+    match List.find_opt (fun (rid, _) -> not (justified rid)) sol.Allocator.styles with
+    | Some (rid, _) -> rid
+    | None -> Alcotest.fail "every ex1 register justifies a CBILBO?"
+  in
+  let styles =
+    List.map
+      (fun (r, s) -> if String.equal r rid then (r, Resource.Cbilbo) else (r, s))
+      sol.Allocator.styles
+  in
+  let rep = Check.run { ctx with Check.bist = Some { sol with Allocator.styles } } in
+  check Alcotest.bool "BIST004 fires" true (List.mem "BIST004" (error_rules rep))
+
+let catches_unflagged_cbilbo () =
+  let _, _, ctx = flow_ctx ~style:(Flow.Testable Testable_alloc.default_options) "ex1" in
+  let sol = Option.get ctx.Check.bist in
+  let style_of rid = List.assoc_opt rid sol.Allocator.styles in
+  (* redirect an embedding's signature register onto one of its own TPGs:
+     the register now generates and compacts concurrently, but its
+     declared style still claims otherwise *)
+  let e =
+    match
+      List.find_opt
+        (fun (e : Ipath.embedding) -> style_of e.Ipath.l_tpg <> Some Resource.Cbilbo)
+        sol.Allocator.embeddings
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "no embedding with a non-CBILBO left TPG"
+  in
+  let embeddings =
+    List.map
+      (fun (e' : Ipath.embedding) ->
+        if e'.Ipath.mid = e.Ipath.mid then { e' with Ipath.sa = e'.Ipath.l_tpg } else e')
+      sol.Allocator.embeddings
+  in
+  let rep = Check.run { ctx with Check.bist = Some { sol with Allocator.embeddings } } in
+  check Alcotest.bool "BIST003 fires" true (List.mem "BIST003" (error_rules rep))
+
+(* --- satellite 2: check.rule fault injection degrades per rule ------ *)
+
+let injection_degrades_per_rule () =
+  let ctx = broken_coloring_ctx () in
+  Fun.protect
+    ~finally:(fun () -> Inject.configure [])
+    (fun () ->
+      Inject.configure ~seed:1 [ ("check.rule", 1.0) ];
+      let rep = Check.run ctx in
+      check Alcotest.int "every rule crashed" rep.Check.total_rules rep.Check.rules_crashed;
+      check Alcotest.int "still counted as run" rep.Check.total_rules rep.Check.rules_run;
+      check rules_list "all findings are CHK000" [ "CHK000" ] (error_rules rep);
+      check Alcotest.int "one finding per rule" rep.Check.total_rules
+        (List.length rep.Check.findings));
+  (* with injection off the same context checks normally again *)
+  let rep = Check.run ctx in
+  check Alcotest.int "no crashes without injection" 0 rep.Check.rules_crashed;
+  check rules_list "back to the real finding" [ "ALC001" ] (error_rules rep)
+
+(* --- suppression, budget, reporters -------------------------------- *)
+
+let suppression () =
+  let ctx = broken_coloring_ctx () in
+  let rep = Check.run ~suppress:[ "ALC001" ] ctx in
+  check Alcotest.int "no active errors" 0 (Check.errors rep);
+  check Alcotest.int "finding moved to suppressed" 1 (List.length rep.Check.suppressed);
+  let j = Check.to_json rep in
+  let suppressed_flags =
+    match Json.member "findings" j with
+    | Some (Json.Arr fs) -> List.filter_map (Json.member "suppressed") fs
+    | _ -> []
+  in
+  check
+    Alcotest.(list bool)
+    "json carries the suppressed flag" [ true ]
+    (List.filter_map Json.to_bool suppressed_flags)
+
+let budget_skips_rules () =
+  let ctx = broken_coloring_ctx () in
+  let b = Budget.create ~leaf_budget:1 () in
+  Budget.leaf b;
+  let rep = Check.run ~budget:b ctx in
+  check Alcotest.int "nothing ran" 0 rep.Check.rules_run;
+  check Alcotest.int "everything skipped" rep.Check.total_rules rep.Check.rules_skipped;
+  check Alcotest.bool "report degraded" true rep.Check.degraded;
+  check Alcotest.int "no findings invented" 0 (List.length rep.Check.findings)
+
+let reporters () =
+  let ctx = broken_coloring_ctx () in
+  let rep = Check.run ctx in
+  let text = Check.to_text rep in
+  check Alcotest.bool "text names the rule" true (contains text "[ALC001]");
+  (match Json.parse (Json.to_string (Check.to_json rep)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("report JSON does not round-trip: " ^ e));
+  check Alcotest.int "one error diagnostic" 1 (List.length (Check.diagnostics rep))
+
+let rule_table_sane () =
+  check Alcotest.bool "ALC001 known" true (Check.known_rule "ALC001");
+  check Alcotest.bool "CHK000 known" true (Check.known_rule "CHK000");
+  check Alcotest.bool "garbage unknown" false (Check.known_rule "NOPE42");
+  let ids = List.map fst Check.rule_table in
+  check Alcotest.int "ids unique" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let suite =
+  [ case "clean benchmarks check clean (both flows)" clean_benchmarks;
+    case "broken coloring caught by ALC001 alone" catches_broken_coloring;
+    case "severed interconnect caught by DP003 alone" catches_severed_interconnect;
+    case "forced combinational loop caught by RTL001 alone" catches_combinational_loop;
+    case "missing control step caught by CTL001 alone" catches_missing_control_step;
+    case "bad write select caught by CTL002 alone" catches_bad_write_select;
+    case "spurious CBILBO flag caught by BIST004" catches_spurious_cbilbo;
+    case "unflagged CBILBO duty caught by BIST003" catches_unflagged_cbilbo;
+    case "check.rule injection degrades to CHK000 per rule" injection_degrades_per_rule;
+    case "suppression moves findings out of the gate" suppression;
+    case "tripped budget skips rules, marks degraded" budget_skips_rules;
+    case "text and json reporters" reporters;
+    case "rule table is consistent" rule_table_sane;
+  ]

@@ -30,4 +30,5 @@ let () =
       ("atpg", Test_atpg.suite);
       ("report", Test_report.suite);
       ("service", Test_service.suite);
+      ("check", Test_check.suite);
     ]

@@ -374,7 +374,8 @@ let service_bad_specs () =
   check Alcotest.int "duplicate + garbage rejected" 2 stats.Service.rejected_specs;
   (* the unknown benchmark is a deterministic failure: no retries *)
   check Alcotest.int "no retries for invalid input" 0 stats.Service.retries;
-  check Alcotest.int "failed = rejects + invalid input" 3 stats.Service.failed;
+  (* rejected specs never became jobs, so they do not count as failed *)
+  check Alcotest.int "failed counts only the invalid-input job" 1 stats.Service.failed;
   check Alcotest.bool "error artifact written" true
     (Sys.file_exists (Filename.concat (Filename.concat d "results") "nosuch.err"));
   (* the duplicate rejection must not journal give_up under the
