@@ -161,6 +161,15 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let trace_dir_arg =
+  let doc =
+    "Write Chrome trace-event files into $(docv) (created if missing): \
+     $(docv)/synth.trace.json for this run, plus — under $(b,serve) — \
+     one <id>.trace.json per job. Traces include per-worker pool lanes \
+     and counter tracks (queue depth, busy workers) for Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the parallel stages (fault simulation, PODEM, \
@@ -197,6 +206,7 @@ let max_errors_arg =
 type common = {
   stats : bool;
   trace : string option;
+  trace_dir : string option;
   jobs : int option;
   timeout : float option;
   leaf_budget : int option;
@@ -205,17 +215,18 @@ type common = {
 
 let common_term =
   Term.(
-    const (fun stats trace jobs timeout leaf_budget max_errors ->
+    const (fun stats trace trace_dir jobs timeout leaf_budget max_errors ->
         {
           stats;
           trace;
+          trace_dir;
           jobs = pos_int_of ~flag:"--jobs" jobs;
           timeout = pos_float_of ~flag:"--timeout" timeout;
           leaf_budget = pos_int_of ~flag:"--leaf-budget" leaf_budget;
           max_errors = pos_int_of ~flag:"--max-errors" max_errors;
         })
-    $ stats_arg $ trace_arg $ jobs_arg $ timeout_arg $ leaf_budget_arg
-    $ max_errors_arg)
+    $ stats_arg $ trace_arg $ trace_dir_arg $ jobs_arg $ timeout_arg
+    $ leaf_budget_arg $ max_errors_arg)
 
 (* Telemetry goes to stderr or the named trace file, never stdout: for
    rtl/dot/vcd/tb/export the primary artifact is the stdout stream and
@@ -249,23 +260,39 @@ let with_common c f =
     | None -> x
   in
   try
-    if (not c.stats) && c.trace = None then finish (body ())
+    if (not c.stats) && c.trace = None && c.trace_dir = None then finish (body ())
     else begin
       let r = Telemetry.create () in
       let flushed = ref false in
+      (* bin links no unix; Sys.mkdir is enough for the shallow trees
+         --trace-dir asks for *)
+      let rec mkdir_p dir =
+        if not (Sys.file_exists dir) then begin
+          mkdir_p (Filename.dirname dir);
+          try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+        end
+      in
       let flush ~exit_on_error =
         if not !flushed then begin
           flushed := true;
           if c.stats then prerr_string (Telemetry.summary_table r);
+          let write_trace file =
+            try
+              Inject.fire_sys_error "telemetry.write";
+              Telemetry.write_file file (Telemetry.chrome_trace_json r)
+            with Sys_error msg ->
+              Printf.eprintf "synth: cannot write trace file: %s\n" msg;
+              if exit_on_error then exit 1
+          in
+          Option.iter write_trace c.trace;
           Option.iter
-            (fun file ->
-              try
-                Inject.fire_sys_error "telemetry.write";
-                Telemetry.write_file file (Telemetry.chrome_trace_json r)
-              with Sys_error msg ->
-                Printf.eprintf "synth: cannot write trace file: %s\n" msg;
-                if exit_on_error then exit 1)
-            c.trace
+            (fun dir ->
+              (try mkdir_p dir
+               with Sys_error msg ->
+                 Printf.eprintf "synth: cannot create trace directory: %s\n" msg;
+                 if exit_on_error then exit 1);
+              write_trace (Filename.concat dir "synth.trace.json"))
+            c.trace_dir
         end
       in
       (* Crash-safe sinks: flush from [at_exit] too, so a fatal error
@@ -771,8 +798,29 @@ let serve_cmd =
     let doc = "Suppress per-job progress lines on stderr." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
   in
+  let metrics_arg =
+    let doc =
+      "Write a Prometheus text-exposition snapshot to $(docv) — queue \
+       depth, per-class breaker states, retry counts and job-latency \
+       p50/p90/p99 — refreshed atomically (tmp+rename) while the \
+       daemon runs, so external scrapers always read a complete file."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_interval_arg =
+    let doc = "Milliseconds between $(b,--metrics) snapshot refreshes." in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let trace_keep_arg =
+    let doc =
+      "With $(b,--trace-dir), keep at most $(docv) per-job trace files \
+       on disk (oldest are removed first)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-keep" ] ~docv:"N" ~doc)
+  in
   let run c spool out journal resume max_attempts retry_base breaker_k breaker_cd
-      queue_cap job_delay seed quiet =
+      queue_cap job_delay seed quiet metrics metrics_interval trace_keep =
     with_common c @@ fun _budget ->
     let source =
       match spool with
@@ -810,6 +858,16 @@ let serve_cmd =
         seed =
           Option.value (pos_int_of ~flag:"--seed" seed) ~default:dc.Service.seed;
         verbose = not quiet;
+        metrics_path = metrics;
+        metrics_interval_ms =
+          Option.value
+            (pos_int_of ~flag:"--metrics-interval-ms" metrics_interval)
+            ~default:dc.Service.metrics_interval_ms;
+        trace_dir = c.trace_dir;
+        trace_keep =
+          Option.value
+            (pos_int_of ~flag:"--trace-keep" trace_keep)
+            ~default:dc.Service.trace_keep;
       }
     in
     match Service.run cfg with
@@ -866,7 +924,7 @@ let serve_cmd =
       const run $ common_term $ spool_arg $ out_arg $ journal_arg $ resume_arg
       $ max_attempts_arg $ retry_base_arg $ breaker_threshold_arg
       $ breaker_cooldown_arg $ queue_cap_arg $ job_delay_arg $ seed_arg
-      $ quiet_arg)
+      $ quiet_arg $ metrics_arg $ metrics_interval_arg $ trace_keep_arg)
 
 let list_cmd =
   let run () =

@@ -85,12 +85,20 @@ type outcome = Evaluated of finding list | Crashed of string
 
 let run ?(suppress = []) ?(budget = Budget.unlimited) ctx =
   let eval (r : Rule.t) =
-    match
-      Inject.fire "check.rule";
-      r.Rule.run ctx
-    with
-    | fs -> Evaluated fs
-    | exception e -> Crashed (Printexc.to_string e)
+    (* Per-rule latency distribution (crashed rules included: the time
+       until the raise is still time the checker spent in the rule). *)
+    let t0 = if Telemetry.enabled () then Telemetry.now () else 0L in
+    let result =
+      match
+        Inject.fire "check.rule";
+        r.Rule.run ctx
+      with
+      | fs -> Evaluated fs
+      | exception e -> Crashed (Printexc.to_string e)
+    in
+    if Telemetry.enabled () then
+      Telemetry.observe "check.rule_ns" (Int64.to_int (Int64.sub (Telemetry.now ()) t0));
+    result
   in
   let results = Par.map_list_budget ~budget eval all_rules in
   let findings, run_count, crashed, skipped =

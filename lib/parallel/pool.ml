@@ -10,14 +10,37 @@ type t = {
   mutable domains : unit Domain.t list;
   mutable active : int;
   mutable max_active : int;
+  mutable inflight : int;  (* batch tasks queued or running, across all batches *)
 }
 
 let jobs t = t.jobs
 
+(* Runs one queued task with the pool mutex released. When a recorder is
+   installed, the task's wall time feeds the parallel.chunk_ns histogram
+   and parallel.busy_ns counter, and an explicit-track event pins it to
+   this worker's Perfetto lane (track 1 = submitting domain, 2..jobs =
+   spawned workers) so chunk-size skew is visible per worker. *)
+let exec_task ~track task =
+  if Telemetry.enabled () then begin
+    let t0 = Telemetry.now () in
+    task ();
+    let dur = Int64.sub (Telemetry.now ()) t0 in
+    let d = Int64.to_int dur in
+    Telemetry.incr "parallel.busy_ns" ~by:d;
+    Telemetry.observe "parallel.chunk_ns" d;
+    Telemetry.add_timed ~track "chunk" ~start_ns:t0 ~dur_ns:dur
+  end
+  else task ()
+
+(* The telemetry mutex is a leaf lock, so sampling parallel.active while
+   holding the pool mutex cannot deadlock (no telemetry code ever takes
+   a pool lock). Must be called with t.mutex held. *)
+let sample_active t = Telemetry.set "parallel.active" t.active
+
 (* Workers and the submitting domain both pull from the same queue; a
    task is an already-wrapped closure that never raises (Run wraps user
    thunks and parks their exceptions for the submitter to re-raise). *)
-let worker_loop t =
+let worker_loop t ~track =
   Mutex.lock t.mutex;
   let rec next () =
     if t.stop then Mutex.unlock t.mutex
@@ -26,13 +49,25 @@ let worker_loop t =
       | Some task ->
         t.active <- t.active + 1;
         if t.active > t.max_active then t.max_active <- t.active;
+        sample_active t;
         Mutex.unlock t.mutex;
-        task ();
+        exec_task ~track task;
         Mutex.lock t.mutex;
         t.active <- t.active - 1;
+        sample_active t;
         next ()
       | None ->
-        Condition.wait t.work t.mutex;
+        (* Parked while a batch still has tasks running elsewhere:
+           starvation (too few chunks, or skewed ones). Parked with no
+           batch in flight is the pool's natural resting state and is
+           not counted. *)
+        if t.inflight > 0 && Telemetry.enabled () then begin
+          let t0 = Telemetry.now () in
+          Condition.wait t.work t.mutex;
+          Telemetry.incr "parallel.idle_ns"
+            ~by:(Int64.to_int (Int64.sub (Telemetry.now ()) t0))
+        end
+        else Condition.wait t.work t.mutex;
         next ()
   in
   next ()
@@ -81,11 +116,14 @@ let create ?jobs () =
       domains = [];
       active = 0;
       max_active = 0;
+      inflight = 0;
     }
   in
   (* The submitting domain participates in [run], so a [jobs]-wide pool
-     only spawns [jobs - 1] workers; [jobs = 1] spawns none at all. *)
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+     only spawns [jobs - 1] workers; [jobs = 1] spawns none at all. The
+     submitter profiles as track 1, so spawned workers take 2..jobs. *)
+  t.domains <-
+    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t ~track:(i + 2)));
   t
 
 let shutdown t =
@@ -124,35 +162,54 @@ let run t thunks =
          Mutex.unlock t.mutex);
       Mutex.lock t.mutex;
       decr remaining;
+      t.inflight <- t.inflight - 1;
       if !remaining = 0 then Condition.broadcast batch_done;
       Mutex.unlock t.mutex
     in
     Mutex.lock t.mutex;
+    t.inflight <- t.inflight + n;
     List.iteri (fun i f -> Queue.add (task i f) t.queue) thunks;
     Condition.broadcast t.work;
     (* Help-first waiting: the caller drains the queue alongside the
        workers — running any batch's tasks, which is what makes nested
        batches deadlock-free — then sleeps only on tasks already in
        flight on other threads. *)
+    let steals = ref 0 in
     let rec drain () =
       match Queue.take_opt t.queue with
       | Some task ->
+        incr steals;
         t.active <- t.active + 1;
         if t.active > t.max_active then t.max_active <- t.active;
+        sample_active t;
         Mutex.unlock t.mutex;
-        task ();
+        exec_task ~track:1 task;
         Mutex.lock t.mutex;
         t.active <- t.active - 1;
+        sample_active t;
         drain ()
       | None -> ()
     in
     drain ();
-    while !remaining > 0 do
-      Condition.wait batch_done t.mutex
-    done;
+    (* The tail wait is the load-imbalance signal: the queue is empty
+       but workers still hold chunks, so the submitter can only stall. *)
+    if !remaining > 0 && Telemetry.enabled () then begin
+      let t0 = Telemetry.now () in
+      while !remaining > 0 do
+        Condition.wait batch_done t.mutex
+      done;
+      let d = Int64.to_int (Int64.sub (Telemetry.now ()) t0) in
+      Telemetry.incr "parallel.stall_ns" ~by:d;
+      Telemetry.observe "parallel.stall_ns" d
+    end
+    else
+      while !remaining > 0 do
+        Condition.wait batch_done t.mutex
+      done;
     let max_active = t.max_active in
     Mutex.unlock t.mutex;
     Telemetry.incr "parallel.tasks" ~by:n;
+    if !steals > 0 then Telemetry.incr "parallel.steals" ~by:!steals;
     Telemetry.set "parallel.jobs" t.jobs;
     Telemetry.set "parallel.max_active" max_active;
     (match !failure with

@@ -58,10 +58,12 @@ let nodes t = t.nodes
 let leaves t = t.leaves
 
 let trip t reason =
-  if Cancel.cancel t.token reason then
+  if Cancel.cancel t.token reason then begin
+    Telemetry.instant "budget.trip" ~attrs:[ ("reason", Cancel.describe reason) ];
     match reason with
     | Cancel.Deadline _ -> Telemetry.incr "resilience.deadline_hits"
     | _ -> ()
+  end
 
 let check_deadline t =
   if t.deadline_ns <> no_deadline && Monotonic_clock.now () >= t.deadline_ns then

@@ -87,3 +87,7 @@ let state_name t cls =
   | Closed _ -> "closed"
   | Open _ -> "open"
   | Half_open -> "half_open"
+
+let states t =
+  Hashtbl.fold (fun cls _ acc -> (cls, state_name t cls) :: acc) t.tbl []
+  |> List.sort compare

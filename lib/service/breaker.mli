@@ -56,3 +56,8 @@ val open_count : t -> int
 
 val state_name : t -> string -> string
 (** ["closed"], ["open"] or ["half_open"] — for logs and stats. *)
+
+val states : t -> (string * string) list
+(** Every class the breaker has ever seen with its current state name,
+    sorted by class — the [--metrics] snapshot exports these as
+    [service.breaker.<class>] gauges. *)

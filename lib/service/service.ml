@@ -22,6 +22,10 @@ type config = {
   default_leaf_budget : int option;
   seed : int;
   verbose : bool;
+  metrics_path : string option;
+  metrics_interval_ms : int;
+  trace_dir : string option;
+  trace_keep : int;
 }
 
 let default_config source =
@@ -41,6 +45,10 @@ let default_config source =
     default_leaf_budget = None;
     seed = 0x5E41CE;
     verbose = true;
+    metrics_path = None;
+    metrics_interval_ms = 1000;
+    trace_dir = None;
+    trace_keep = 32;
   }
 
 type stats = {
@@ -169,6 +177,7 @@ type job_rec = {
   prng : Prng.t;
   mutable attempts : int;
   mutable next_ready_ns : int64;  (* backoff gate; 0 = ready now *)
+  mutable enqueued_ns : int64;  (* last (re-)enqueue, for queue-wait latency *)
 }
 
 type state = {
@@ -185,6 +194,8 @@ type state = {
   mutable s_retries : int;
   mutable s_breaker_trips : int;
   mutable s_journal_errors : int;
+  mutable last_metrics_ns : int64;  (* 0 = never written *)
+  trace_ring : string Queue.t;  (* per-job trace paths, oldest first *)
 }
 
 let log st fmt =
@@ -196,6 +207,7 @@ let log st fmt =
    never correctness: results are committed atomically and re-runs are
    byte-identical. So: bounded retries, then warn and move on. *)
 let journal_append st ev =
+  Telemetry.with_span "journal.append" @@ fun () ->
   let rec go n =
     match Journal.append st.journal ev with
     | () -> ()
@@ -213,10 +225,61 @@ let publish_queue_depth st =
   Telemetry.set "service.queue_depth" (Queue.length st.queue)
 
 let enqueue st jr =
+  jr.enqueued_ns <- now_ns ();
   Queue.add jr st.queue;
   publish_queue_depth st
 
 let out_path st (job : Job.t) ext = Filename.concat st.cfg.out_dir (job.Job.id ^ ext)
+
+(* --- metrics snapshot and per-job traces --------------------------- *)
+
+(* Job ids come from spec files and may contain path separators; traces
+   are flat files keyed by id, so squash anything path-hostile. *)
+let safe_filename id =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-') as c -> c | _ -> '_')
+    id
+
+(* Unconditional snapshot: refresh the operational gauges, then commit
+   the Prometheus exposition atomically so an external scraper reading
+   the file mid-write still sees a complete previous snapshot. *)
+let write_metrics st =
+  match (st.cfg.metrics_path, Telemetry.installed ()) with
+  | None, _ | _, None -> ()
+  | Some path, Some r ->
+    publish_queue_depth st;
+    List.iter
+      (fun (cls, name) ->
+        let v = match name with "closed" -> 0 | "half_open" -> 1 | _ -> 2 in
+        Telemetry.set ("service.breaker." ^ cls) v)
+      (Breaker.states st.breaker);
+    (try Atomic_io.write_file path (Telemetry.prometheus_text r)
+     with Sys_error msg ->
+       Printf.eprintf "serve: warning: metrics write failed: %s\n%!" msg)
+
+let maybe_write_metrics st =
+  if st.cfg.metrics_path <> None then begin
+    let interval_ns = Int64.of_int (st.cfg.metrics_interval_ms * 1_000_000) in
+    let now = now_ns () in
+    if st.last_metrics_ns = 0L || Int64.sub now st.last_metrics_ns >= interval_ns
+    then begin
+      st.last_metrics_ns <- now;
+      write_metrics st
+    end
+  end
+
+(* Bounded trace ring: remember each written path once (a retried job
+   overwrites its own file in place) and evict oldest-first beyond
+   [trace_keep] so long daemon runs cannot grow the disk unboundedly. *)
+let record_trace st path =
+  if not (Queue.fold (fun seen p -> seen || String.equal p path) false st.trace_ring)
+  then begin
+    Queue.add path st.trace_ring;
+    while Queue.length st.trace_ring > st.cfg.trace_keep do
+      let victim = Queue.pop st.trace_ring in
+      try Sys.remove victim with Sys_error _ -> ()
+    done
+  end
 
 let backoff_ns st (jr : job_rec) =
   let attempt = jr.attempts in
@@ -249,10 +312,16 @@ let handle_failure st (jr : job_rec) ~error =
       jr.attempts error
   end
 
-(* Returns [false] when the job was interrupted by a drain and should
+(* One attempt, recorded into whatever telemetry sink is active.
+   Returns [false] when the job was interrupted by a drain and should
    stay pending. *)
-let run_job st (jr : job_rec) =
+let run_attempt st (jr : job_rec) =
   jr.attempts <- jr.attempts + 1;
+  if Telemetry.enabled () && jr.enqueued_ns <> 0L then
+    Telemetry.observe "service.queue_wait_ns"
+      (Int64.to_int (Int64.sub (now_ns ()) jr.enqueued_ns));
+  Telemetry.with_span "attempt" ~attrs:[ ("n", string_of_int jr.attempts) ]
+  @@ fun () ->
   journal_append st (Journal.Start { id = jr.job.Job.id; attempt = jr.attempts });
   if st.cfg.job_delay_ms > 0 then
     Unix.sleepf (Float.of_int st.cfg.job_delay_ms /. 1000.0);
@@ -273,13 +342,16 @@ let run_job st (jr : job_rec) =
   let outcome =
     match
       Inject.fire "service.worker";
-      Runner.execute ~budget jr.job
+      Telemetry.with_span "pipeline" ~attrs:[ ("class", Job.class_of jr.job) ]
+        (fun () -> Runner.execute ~budget jr.job)
     with
     | r -> Ok r
     | exception e -> Error (Printexc.to_string e)
   in
   current_cancel := None;
-  let ms = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6 in
+  let dur_ns = Int64.sub (now_ns ()) t0 in
+  if Telemetry.enabled () then Telemetry.observe "service.job_ns" (Int64.to_int dur_ns);
+  let ms = Int64.to_float dur_ns /. 1e6 in
   let drain_cancelled =
     match Budget.stop_reason budget with
     | Some (Cancel.Cancelled c) -> String.equal c drain_cause
@@ -337,6 +409,34 @@ let run_job st (jr : job_rec) =
     handle_failure st jr ~error;
     true
 
+(* Returns [false] when the job was interrupted by a drain and should
+   stay pending. With [trace_dir] set, the attempt records into its own
+   fresh recorder so long-lived daemons yield one readable Chrome-trace
+   file per job instead of a single flat lifetime trace; the scalar
+   aggregates (counters, gauges, histograms — O(metric names), never
+   O(jobs)) are folded back into the long-lived recorder so a
+   [--metrics] snapshot still reflects all job activity. *)
+let run_job st (jr : job_rec) =
+  match st.cfg.trace_dir with
+  | None -> run_attempt st jr
+  | Some dir ->
+    let keep_going, recording =
+      Telemetry.collect @@ fun () ->
+      Telemetry.with_span "job"
+        ~attrs:[ ("id", jr.job.Job.id); ("class", Job.class_of jr.job) ]
+        (fun () -> run_attempt st jr)
+    in
+    (match Telemetry.installed () with
+    | Some outer -> Telemetry.merge_into ~into:outer recording
+    | None -> ());
+    let path = Filename.concat dir (safe_filename jr.job.Job.id ^ ".trace.json") in
+    (try
+       Atomic_io.write_file path (Telemetry.chrome_trace_json recording);
+       record_trace st path
+     with Sys_error msg ->
+       Printf.eprintf "serve: warning: trace write failed: %s\n%!" msg);
+    keep_going
+
 (* Pick the first queued job that is past its backoff gate and admitted
    by its class breaker; rotate everything else. Returns the wait (in
    seconds) until something could become runnable when nothing is. *)
@@ -379,7 +479,8 @@ let accept st (job : Job.t) ~attempts ~journal_it =
   st.s_accepted <- st.s_accepted + 1;
   Telemetry.incr "service.jobs_accepted";
   enqueue st
-    { job; prng = job_prng ~seed:st.cfg.seed job.Job.id; attempts; next_ready_ns = 0L }
+    { job; prng = job_prng ~seed:st.cfg.seed job.Job.id; attempts; next_ready_ns = 0L;
+      enqueued_ns = 0L }
 
 let reject_spec st ~default_id ~error =
   (* a rejected spec never became a job, so it is counted separately
@@ -396,6 +497,9 @@ let reject_spec st ~default_id ~error =
 let run cfg =
   if cfg.max_attempts < 1 then invalid_arg "Service.run: max_attempts must be >= 1";
   if cfg.queue_cap < 1 then invalid_arg "Service.run: queue_cap must be >= 1";
+  if cfg.metrics_interval_ms < 1 then
+    invalid_arg "Service.run: metrics_interval_ms must be >= 1";
+  if cfg.trace_keep < 1 then invalid_arg "Service.run: trace_keep must be >= 1";
   (* validate the spool before mkdir_p below can create any of its tree *)
   (match cfg.source with
   | Spool_dir dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
@@ -412,6 +516,19 @@ let run cfg =
   end;
   mkdir_p cfg.out_dir;
   mkdir_p (Filename.dirname cfg.journal_path);
+  (match cfg.trace_dir with Some d -> mkdir_p d | None -> ());
+  (match cfg.metrics_path with
+  | Some p -> mkdir_p (Filename.dirname p)
+  | None -> ());
+  (* --metrics needs a live recorder for the whole daemon lifetime; if
+     the caller did not install one (no --stats/--trace), own one. *)
+  let own_recorder =
+    if cfg.metrics_path <> None && not (Telemetry.enabled ()) then begin
+      Telemetry.install (Telemetry.create ());
+      true
+    end
+    else false
+  in
   let replayed = if cfg.resume then Journal.fold_state (Journal.replay cfg.journal_path) else [] in
   Atomic.set drain_flag false;
   current_cancel := None;
@@ -433,6 +550,8 @@ let run cfg =
       s_retries = 0;
       s_breaker_trips = 0;
       s_journal_errors = 0;
+      last_metrics_ns = 0L;
+      trace_ring = Queue.create ();
     }
   in
   (* Replay: every journaled job is known (so spool re-reads do not
@@ -446,7 +565,7 @@ let run cfg =
           (* it crashed (or was killed) after its last allowed attempt *)
           let jr =
             { job = js.Journal.job; prng = job_prng ~seed:cfg.seed js.Journal.job.Job.id;
-              attempts = js.Journal.attempts; next_ready_ns = 0L }
+              attempts = js.Journal.attempts; next_ready_ns = 0L; enqueued_ns = 0L }
           in
           give_up st jr ~error:"retry budget exhausted before the previous shutdown"
         end
@@ -485,11 +604,20 @@ let run cfg =
   let restore () =
     List.iter (fun (signum, h) -> Sys.set_signal signum h) previous_handlers
   in
-  Fun.protect ~finally:(fun () -> restore (); Journal.close journal) @@ fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      restore ();
+      Journal.close journal;
+      if own_recorder then Telemetry.uninstall ())
+  @@ fun () ->
+  (* an early first snapshot so scrapers find the file as soon as the
+     daemon is up, not only after the first interval elapses *)
+  maybe_write_metrics st;
   let rec loop () =
     if draining () then ()
     else begin
       ingest ();
+      maybe_write_metrics st;
       match pick_runnable st with
       | `Run jr -> if run_job st jr then loop () (* else: drained mid-job *)
       | `Empty -> if not !exhausted then loop () (* ingest had no room? retry *)
@@ -504,6 +632,7 @@ let run cfg =
   let drained = draining () in
   if drained then journal_append st Journal.Drain;
   publish_queue_depth st;
+  write_metrics st;
   log st "finished: %d ok, %d degraded, %d failed, %d retries%s" st.s_completed
     st.s_degraded st.s_failed st.s_retries
     (if drained then Printf.sprintf "; drained with %d pending" pending else "");

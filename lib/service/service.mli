@@ -66,6 +66,23 @@ type config = {
   default_leaf_budget : int option;
   seed : int;  (** root of the per-job jitter streams *)
   verbose : bool;  (** per-job progress lines on stderr *)
+  metrics_path : string option;
+      (** write a Prometheus text-exposition snapshot
+          ({!Bistpath_telemetry.Telemetry.prometheus_text}) here,
+          atomically (tmp+rename), refreshed at most every
+          [metrics_interval_ms] plus once on shutdown — queue depth,
+          per-class breaker states, retry counts, job-latency
+          quantiles. If no telemetry recorder is installed the
+          supervisor owns one for the daemon's lifetime. *)
+  metrics_interval_ms : int;  (** >= 1; snapshot refresh period *)
+  trace_dir : string option;
+      (** write one Chrome-trace file per job ([<id>.trace.json],
+          atomic rename) instead of relying on a single flat
+          daemon-lifetime trace; per-job scalar aggregates still fold
+          into the installed recorder *)
+  trace_keep : int;
+      (** >= 1; per-job trace files kept on disk — oldest are removed
+          beyond this ring bound *)
 }
 
 val default_config : source -> config
@@ -73,7 +90,8 @@ val default_config : source -> config
     directory for [Stdin]); [max_attempts = 3]; [retry_base_ms = 100];
     [breaker_threshold = 3]; [breaker_cooldown_s = 1.0];
     [queue_cap = 64]; no default budgets; [seed = 0x5E41CE];
-    [verbose = true]. *)
+    [verbose = true]; no metrics snapshot ([metrics_interval_ms =
+    1000]); no per-job traces ([trace_keep = 32]). *)
 
 type stats = {
   accepted : int;  (** specs admitted to the queue this run *)

@@ -86,15 +86,47 @@
       suppression).
     - [check.suppressed] — findings hidden by per-rule suppression
       ([--suppress]).
+    - [parallel.busy_ns] — summed wall time workers spent executing
+      pool tasks (all lanes).
+    - [parallel.idle_ns] — summed wall time workers spent parked while
+      a batch still had tasks in flight (starvation/skew signal).
+    - [parallel.stall_ns] — wall time the submitting domain waited on
+      the tail of a batch after the queue drained (load-imbalance
+      tail).
+    - [parallel.steals] — queued tasks the submitting domain stole
+      back and ran itself during its help-first wait.
+    - [telemetry.dropped_samples] — gauge samples / instants / track
+      events discarded because a bounded sample stream hit its cap
+      (the scalar aggregates keep absorbing).
+
+    {1 Histogram registry}
+
+    Latency distributions recorded via {!observe} (log-bucket
+    {!Histogram}s; read back with {!histograms} / {!histogram}, export
+    via {!prometheus_text} quantiles):
+
+    - [parallel.chunk_ns] — per-chunk (pool task) execution time.
+    - [parallel.stall_ns] — per-batch submitter tail-wait time.
+    - [check.rule_ns] — per-rule static-analysis evaluation time.
+    - [service.job_ns] — per-attempt job execution wall time.
+    - [service.queue_wait_ns] — time a job waited in the serve queue
+      (or backoff) before its attempt started.
 
     Gauges set by [Flow.run]: [regs.allocated], [muxes.allocated],
     [bist.delta_gates], [sessions.count]. Gauges set by the parallel
-    engine: [parallel.jobs] (pool width) and [parallel.max_active]
-    (peak concurrently busy workers — pool occupancy). The CLI sets
-    [resilience.degraded] to 1 when a run ends degraded (exit code 3).
-    Gauges set by the service layer: [service.queue_depth] (jobs
-    waiting or retrying) and [service.breaker_open] (job classes
-    currently failing fast).
+    engine: [parallel.jobs] (pool width), [parallel.max_active] (peak
+    concurrently busy workers — pool occupancy) and [parallel.active]
+    (current busy workers; sampled on every task start/finish, so the
+    Chrome-trace sink shows pool occupancy as a counter track). The
+    CLI sets [resilience.degraded] to 1 when a run ends degraded (exit
+    code 3). Gauges set by the service layer: [service.queue_depth]
+    (jobs waiting or retrying), [service.breaker_open] (job classes
+    currently failing fast) and — in the [--metrics] snapshot —
+    [service.breaker.<class>] (0 closed, 1 half-open, 2 open).
+
+    Instant events ({!instant}; ["i"]-phase marks in the Chrome
+    trace): [budget.trip] with a [reason] attribute, emitted the
+    moment a {!Bistpath_resilience.Budget} trips.
 
     Span names emitted by [Flow.run]: a root [flow] span containing
     [regalloc], [interconnect], [bist_alloc] and [sessions], one each.
@@ -112,6 +144,58 @@
 
 type attr = string * string
 
+(** Fixed log-bucket latency histograms.
+
+    Power-of-two buckets: bucket 0 holds the value 0 (negative
+    observations clamp to 0); bucket [k >= 1] holds the closed range
+    [[2^(k-1), 2^k - 1]]. The layout is data-independent, so any two
+    histograms merge bucket-for-bucket, and an observation is O(1)
+    with no allocation. Quantiles are estimated as the upper bound of
+    the bucket holding the rank-[ceil (q * count)] smallest sample,
+    clamped to the observed [[min, max]] — a single-sample histogram
+    therefore answers every quantile exactly, and estimates never
+    leave the observed range. A standalone value type: also usable
+    outside a recorder. Not domain-safe on its own (the recorder's
+    mutex serializes the {!observe}-by-name instrumentation path). *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val observe : t -> int -> unit
+  val count : t -> int
+  val sum : t -> int
+
+  val min_value : t -> int
+  (** Smallest observation (after clamping); 0 when empty. *)
+
+  val max_value : t -> int
+  (** Largest observation; 0 when empty. *)
+
+  val mean : t -> float
+  (** Arithmetic mean; 0.0 when empty. *)
+
+  val quantile : t -> float -> int
+  (** [quantile t q] for [q] in [[0, 1]] (clamped). 0 when empty. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Add [src]'s counts/sum/extrema into [into]; [src] unchanged. *)
+
+  val copy : t -> t
+
+  val bucket_of : int -> int
+  (** Index of the bucket a value lands in. *)
+
+  val bucket_lower : int -> int
+  (** Inclusive lower bound of bucket [k]. *)
+
+  val bucket_upper : int -> int
+  (** Inclusive upper bound of bucket [k] ([max_int] for the last). *)
+
+  val nonzero_buckets : t -> (int * int) list
+  (** [(bucket lower bound, count)] for every non-empty bucket,
+      ascending. *)
+end
+
 type span = private {
   name : string;
   attrs : attr list;
@@ -124,8 +208,22 @@ type span = private {
           sorted by name *)
 }
 
+type track_event = {
+  ev_name : string;
+  track : int;
+      (** explicit Chrome-trace lane ([tid]): 1 = submitting domain,
+          2..jobs = spawned pool workers *)
+  ev_start_ns : int64;
+  ev_dur_ns : int64;
+  ev_attrs : attr list;
+}
+(** A completed timed event pinned to an explicit track, recorded
+    after the fact with {!add_timed}. Unlike spans these need no
+    nesting discipline, so worker domains record them freely. *)
+
 type t
-(** A recorder: an in-memory sink accumulating spans and counters. *)
+(** A recorder: an in-memory sink accumulating spans, counters,
+    histograms and bounded sample streams. *)
 
 (** {1 Recording} *)
 
@@ -138,6 +236,14 @@ val uninstall : unit -> unit
 (** Remove the current sink; instrumentation reverts to no-ops. *)
 
 val enabled : unit -> bool
+
+val installed : unit -> t option
+(** The currently installed recorder, if any (the service supervisor
+    uses this to fold per-job recordings into a long-lived one). *)
+
+val now : unit -> int64
+(** Read the recorder clock (the one set by {!set_clock}), whether or
+    not a recorder is installed. *)
 
 val collect : (unit -> 'a) -> 'a * t
 (** [collect f] runs [f] under a fresh recorder (restoring the previous
@@ -160,7 +266,23 @@ val incr : ?by:int -> string -> unit
 (** Add [by] (default 1) to a named counter. *)
 
 val set : string -> int -> unit
-(** Write a gauge: the counter takes exactly this value. *)
+(** Write a gauge: the counter takes exactly this value. Each write
+    also appends a timestamped sample to a bounded stream so the
+    Chrome-trace sink can render the gauge as a counter track. *)
+
+val observe : string -> int -> unit
+(** Record one sample into the named {!Histogram} (created on first
+    use). No-op when disabled. *)
+
+val instant : ?attrs:attr list -> string -> unit
+(** Record a point-in-time mark (an ["i"]-phase event in the Chrome
+    trace), e.g. a budget trip. No-op when disabled. *)
+
+val add_timed :
+  ?attrs:attr list -> track:int -> string -> start_ns:int64 -> dur_ns:int64 -> unit
+(** Record an already-measured interval on an explicit track (see
+    {!type:track_event}). Pool workers use this for per-chunk
+    profiling events; safe from any domain. No-op when disabled. *)
 
 (** {1 Reading a recording} *)
 
@@ -172,6 +294,35 @@ val counters : t -> (string * int) list
 
 val counter : t -> string -> int
 (** Final value of one counter; 0 if never touched. *)
+
+val histograms : t -> (string * Histogram.t) list
+(** Snapshot copies of all histograms, sorted by name. *)
+
+val histogram : t -> string -> Histogram.t option
+(** Snapshot copy of one histogram, if it has ever been observed. *)
+
+val is_gauge : t -> string -> bool
+(** Whether the named counter was ever written with {!set} (the
+    Prometheus sink uses this to pick [gauge] vs [counter] types). *)
+
+val gauge_samples : t -> (string * int64 * int) list
+(** Timestamped gauge writes [(name, ts_ns, value)] in chronological
+    order (bounded stream; overflow counts into
+    [telemetry.dropped_samples]). *)
+
+val instants : t -> (string * attr list * int64) list
+(** Recorded instant marks in chronological order (bounded). *)
+
+val track_events : t -> track_event list
+(** Recorded explicit-track events in chronological order (bounded). *)
+
+val merge_into : into:t -> t -> unit
+(** Fold [src]'s scalar aggregates into [into]: counters add, gauges
+    take [src]'s last value, histograms merge bucket-for-bucket.
+    Spans and bounded sample streams are deliberately not merged, so
+    folding many short-lived recordings (one per service job) into a
+    long-lived one stays O(metric names), not O(jobs). Raises
+    [Invalid_argument] on self-merge. *)
 
 val span_count : t -> string -> int
 (** Number of spans with the given name. *)
@@ -191,8 +342,20 @@ val stats_json : t -> string
 
 val chrome_trace_json : t -> string
 (** Chrome trace-event JSON ([{"traceEvents":[...]}]): one [B]/[E] event
-    pair per span (properly nested) plus one [C] (counter) event per
-    counter. Load in [chrome://tracing] or Perfetto. *)
+    pair per span (properly nested), one [X] (complete) event per
+    explicit-track event (per-worker pool lanes), one [i] (instant)
+    event per recorded mark, one [C] (counter) event per gauge sample
+    (Perfetto renders these as counter tracks) and one final [C] event
+    per counter. Load in [chrome://tracing] or Perfetto. *)
+
+val prometheus_text : t -> string
+(** Prometheus text exposition (version 0.0.4): every metric name is
+    sanitized to [[a-zA-Z0-9_:]] and prefixed [bistpath_]; counters
+    get a [_total] suffix and [# TYPE ... counter], gauges
+    [# TYPE ... gauge], histograms become [summary] families with
+    [{quantile="0.5"|"0.9"|"0.99"}] sample lines plus [_sum] and
+    [_count]. Suitable for a node-exporter-style textfile collector
+    or an HTTP scrape endpoint fronting the file. *)
 
 val write_file : string -> string -> unit
 (** [write_file path contents] — helper used by the CLI/bench sinks.

@@ -30,5 +30,6 @@ let () =
       ("atpg", Test_atpg.suite);
       ("report", Test_report.suite);
       ("service", Test_service.suite);
+      ("compare", Test_compare.suite);
       ("check", Test_check.suite);
     ]

@@ -95,6 +95,42 @@ let counters_not_lost () =
   check Alcotest.int "every increment counted" n
     (Telemetry.counter r "test.parallel_incr")
 
+let pool_profiling () =
+  (* 513 elements, element 0 inlined, chunk 8 -> exactly 64 pool tasks;
+     every one must land in the chunk histogram and on a worker lane *)
+  let p = Lazy.force par_pool in
+  let busy x =
+    let acc = ref x in
+    for _ = 1 to 2000 do
+      acc := (!acc * 2654435761) land 0xFFFFFF
+    done;
+    !acc
+  in
+  let (), r =
+    Telemetry.collect (fun () ->
+        ignore (Par.map_array ~pool:p ~chunk:8 busy (Array.init 513 (fun i -> i))))
+  in
+  (match Telemetry.histogram r "parallel.chunk_ns" with
+  | Some h ->
+    check Alcotest.int "one chunk_ns sample per task" 64 (Telemetry.Histogram.count h);
+    check Alcotest.bool "chunk quantile positive" true
+      (Telemetry.Histogram.quantile h 0.5 > 0)
+  | None -> Alcotest.fail "parallel.chunk_ns histogram missing");
+  check Alcotest.int "tasks counter" 64 (Telemetry.counter r "parallel.tasks");
+  check Alcotest.bool "busy_ns accumulated" true (Telemetry.counter r "parallel.busy_ns" > 0);
+  check Alcotest.bool "parallel.active is a gauge" true (Telemetry.is_gauge r "parallel.active");
+  (* every executed chunk is pinned to a lane: track 1 is the submitting
+     domain, 2..jobs the spawned workers *)
+  let evs = Telemetry.track_events r in
+  check Alcotest.int "one track event per task" 64 (List.length evs);
+  List.iter
+    (fun (ev : Telemetry.track_event) ->
+      check Alcotest.string "event name" "chunk" ev.Telemetry.ev_name;
+      check Alcotest.bool "track within pool lanes" true
+        (ev.Telemetry.track >= 1 && ev.Telemetry.track <= 4);
+      check Alcotest.bool "duration non-negative" true (ev.Telemetry.ev_dur_ns >= 0L))
+    evs
+
 (* --- hot-path parity: jobs=1 vs jobs=4 ---------------------------- *)
 
 let fault_sim_parity () =
@@ -158,6 +194,7 @@ let suite =
     case "ordered reduce" ordered_reduce;
     case "map parity across pool widths" map_parity;
     case "telemetry counters survive workers" counters_not_lost;
+    case "pool profiling: chunk histogram, lanes, busy accounting" pool_profiling;
     case "fault_sim parity jobs=1 vs 4" fault_sim_parity;
     case "podem parity jobs=1 vs 4" podem_parity;
     case "pareto parity jobs=1 vs 4" pareto_parity;

@@ -625,6 +625,113 @@ let serve_from_stdin () =
   check Alcotest.bool "result written" true (Sys.file_exists (out_file d "s1"));
   rm_rf d
 
+(* --- observability: --metrics snapshots and per-job traces --------- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* First "name <int>" sample after the metric's TYPE line. *)
+let metric_value text name =
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         if
+           String.length line > String.length name + 1
+           && String.sub line 0 (String.length name) = name
+           && line.[String.length name] = ' '
+         then
+           int_of_string_opt
+             (String.sub line
+                (String.length name + 1)
+                (String.length line - String.length name - 1))
+         else None)
+
+let metrics_snapshot () =
+  let d = make_spool three_jobs in
+  let metrics = Filename.concat d "metrics.prom" in
+  let cfg = { (quiet_config d) with Service.metrics_path = Some metrics } in
+  let stats, r = Bistpath_telemetry.Telemetry.collect (fun () -> Service.run cfg) in
+  check Alcotest.int "all jobs completed" 3 stats.Service.completed;
+  let text = read_file metrics in
+  List.iter
+    (fun needle -> check Alcotest.bool ("snapshot has " ^ needle) true (contains text needle))
+    [ "# TYPE bistpath_service_queue_depth gauge";
+      "# TYPE bistpath_service_jobs_completed_total counter";
+      "# TYPE bistpath_service_job_ns summary";
+      "bistpath_service_job_ns{quantile=\"0.5\"} ";
+      "bistpath_service_job_ns{quantile=\"0.99\"} ";
+      "bistpath_service_job_ns_count 3";
+      "# TYPE bistpath_service_breaker_run gauge";
+    ];
+  (match metric_value text "bistpath_service_queue_depth" with
+  | Some v -> check Alcotest.bool "queue depth >= 0" true (v >= 0)
+  | None -> Alcotest.fail "queue depth sample missing");
+  (* the caller's recorder was used (not replaced) and holds the
+     latency distribution *)
+  (match Bistpath_telemetry.Telemetry.histogram r "service.job_ns" with
+  | Some h -> check Alcotest.int "job_ns count" 3 (Bistpath_telemetry.Telemetry.Histogram.count h)
+  | None -> Alcotest.fail "service.job_ns histogram missing");
+  rm_rf d
+
+let trace_dir_ring () =
+  let d = make_spool three_jobs in
+  let tdir = Filename.concat d "traces" in
+  let cfg =
+    { (quiet_config d) with Service.trace_dir = Some tdir; trace_keep = 2 }
+  in
+  let stats, r = Bistpath_telemetry.Telemetry.collect (fun () -> Service.run cfg) in
+  check Alcotest.int "all jobs completed" 3 stats.Service.completed;
+  let traces =
+    Sys.readdir tdir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace.json")
+    |> List.sort compare
+  in
+  (* ring bound: 3 jobs, keep 2 -> oldest evicted *)
+  check (Alcotest.list Alcotest.string) "ring keeps newest two"
+    [ "j2.trace.json"; "j3.trace.json" ] traces;
+  List.iter
+    (fun f ->
+      let text = read_file (Filename.concat tdir f) in
+      match Json.parse text with
+      | Error e -> Alcotest.failf "%s: invalid trace JSON: %s" f e
+      | Ok v ->
+        check Alcotest.bool (f ^ " has traceEvents") true (Json.member "traceEvents" v <> None);
+        check Alcotest.bool (f ^ " has job span") true (contains text {|"name":"job"|});
+        check Alcotest.bool (f ^ " has attempt span") true
+          (contains text {|"name":"attempt"|}))
+    traces;
+  (* per-job scalar aggregates folded back into the caller's recorder *)
+  (match Bistpath_telemetry.Telemetry.histogram r "service.job_ns" with
+  | Some h -> check Alcotest.int "job_ns merged" 3 (Bistpath_telemetry.Telemetry.Histogram.count h)
+  | None -> Alcotest.fail "merged service.job_ns missing");
+  rm_rf d
+
+(* Scrape --metrics while the daemon is mid-job: the atomic snapshot
+   must always read back as a complete, parseable exposition. *)
+let metrics_scrape_mid_run () =
+  let d = make_spool three_jobs in
+  let journal = Filename.concat d "journal.ndjson" in
+  let metrics = Filename.concat d "metrics.prom" in
+  let pid =
+    spawn_synth
+      [ "serve"; d; "--job-delay-ms"; "400"; "--quiet";
+        "--metrics"; metrics; "--metrics-interval-ms"; "10" ]
+  in
+  let started = wait_for_start ~journal "j2" in
+  if not started then Unix.kill pid Sys.sigkill;
+  check Alcotest.bool "second job started" true started;
+  let text = if Sys.file_exists metrics then read_file metrics else "" in
+  Unix.kill pid Sys.sigterm;
+  ignore (wait_exit pid);
+  check Alcotest.bool "mid-run snapshot exists" true (String.length text > 0);
+  check Alcotest.bool "queue-depth gauge present" true
+    (contains text "# TYPE bistpath_service_queue_depth gauge");
+  (match metric_value text "bistpath_service_queue_depth" with
+  | Some v -> check Alcotest.bool "queue depth >= 0" true (v >= 0)
+  | None -> Alcotest.fail "queue depth sample missing");
+  rm_rf d
+
 let flags_reject_garbage () =
   let expect_4 args = check Alcotest.int (String.concat " " args) 4 (run_synth args) in
   expect_4 [ "run"; "ex1"; "--timeout=-1" ];
@@ -671,4 +778,8 @@ let suite =
     case "binary: SIGTERM drains, exit 3, resume completes" sigterm_drains_gracefully;
     case "binary: stdin job source" serve_from_stdin;
     case "binary: garbage numeric flags exit 4" flags_reject_garbage;
+    case "observability: --metrics snapshot is a valid exposition" metrics_snapshot;
+    case "observability: per-job traces honour the --trace-keep ring" trace_dir_ring;
+    case "binary: --metrics scraped mid-run parses and is complete"
+      metrics_scrape_mid_run;
   ]

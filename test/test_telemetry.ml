@@ -246,7 +246,7 @@ let check_b_e_balanced events =
             check Alcotest.string "E matches innermost B" top n;
             rest
           | [] -> Alcotest.fail "E without open B")
-        | Some (Jstr "C"), _ -> stack
+        | Some (Jstr ("C" | "X" | "i")), _ -> stack
         | _ -> Alcotest.fail "event missing ph/name")
       [] events
   in
@@ -273,6 +273,193 @@ let chrome_trace_well_formed () =
     check Alcotest.int "3 E events" 3 (List.length (List.filter (( = ) "E") phs));
     check Alcotest.int "1 C event" 1 (List.length (List.filter (( = ) "C") phs))
   | _ -> Alcotest.fail "no traceEvents array"
+
+(* --- histograms ---------------------------------------------------- *)
+
+module H = Telemetry.Histogram
+
+let histogram_bucket_boundaries () =
+  (* bucket 0 holds 0 (and clamped negatives); bucket k holds
+     [2^(k-1), 2^k - 1] *)
+  List.iter
+    (fun (v, b) ->
+      check Alcotest.int (Printf.sprintf "bucket_of %d" v) b (H.bucket_of v))
+    [ (-5, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4);
+      (1023, 10); (1024, 11); (max_int, 62) ];
+  check Alcotest.int "lower 0" 0 (H.bucket_lower 0);
+  check Alcotest.int "lower 3" 4 (H.bucket_lower 3);
+  check Alcotest.int "upper 0" 0 (H.bucket_upper 0);
+  check Alcotest.int "upper 3" 7 (H.bucket_upper 3);
+  check Alcotest.int "last bucket absorbs everything" max_int (H.bucket_upper 62)
+
+let histogram_empty_and_single () =
+  let h = H.create () in
+  check Alcotest.int "empty count" 0 (H.count h);
+  check Alcotest.int "empty quantile" 0 (H.quantile h 0.5);
+  check Alcotest.int "empty min" 0 (H.min_value h);
+  check (Alcotest.float 0.0) "empty mean" 0.0 (H.mean h);
+  H.observe h 777;
+  (* one sample: min = max = 777, so every quantile is exact *)
+  List.iter
+    (fun q ->
+      check Alcotest.int (Printf.sprintf "single sample q=%g" q) 777 (H.quantile h q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  check Alcotest.int "single count" 1 (H.count h);
+  check Alcotest.int "single sum" 777 (H.sum h);
+  H.observe h (-3);
+  check Alcotest.int "negatives clamp to 0" 0 (H.min_value h);
+  check Alcotest.int "clamped sum unchanged" 777 (H.sum h)
+
+let histogram_quantiles () =
+  let h = H.create () in
+  List.iter (H.observe h) [ 1; 2; 3; 4 ];
+  (* buckets: 1 -> b1 (ub 1), {2,3} -> b2 (ub 3), 4 -> b3 (ub 7 clamped
+     to max=4). Ranks: q=.25 -> 1st, q=.5 -> 2nd, q=1 -> 4th. *)
+  check Alcotest.int "q=0.25" 1 (H.quantile h 0.25);
+  check Alcotest.int "q=0.5" 3 (H.quantile h 0.5);
+  check Alcotest.int "q=1.0 clamps to max" 4 (H.quantile h 1.0);
+  check Alcotest.int "min" 1 (H.min_value h);
+  check Alcotest.int "max" 4 (H.max_value h);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "nonzero buckets (lower bound, count)"
+    [ (1, 1); (2, 2); (4, 1) ]
+    (H.nonzero_buckets h)
+
+let histogram_merge () =
+  let a = H.create () and b = H.create () in
+  H.observe a 1;
+  H.observe a 2;
+  H.observe b 100;
+  H.merge_into ~into:a b;
+  check Alcotest.int "merged count" 3 (H.count a);
+  check Alcotest.int "merged sum" 103 (H.sum a);
+  check Alcotest.int "merged min" 1 (H.min_value a);
+  check Alcotest.int "merged max" 100 (H.max_value a);
+  check Alcotest.int "merged q=1" 100 (H.quantile a 1.0);
+  (* src unchanged *)
+  check Alcotest.int "src count" 1 (H.count b);
+  (* merging an empty histogram is the identity *)
+  H.merge_into ~into:a (H.create ());
+  check Alcotest.int "empty merge identity" 3 (H.count a)
+
+let recorder_observe () =
+  let (), r =
+    Telemetry.collect (fun () ->
+        Telemetry.observe "lat" 5;
+        Telemetry.observe "lat" 9)
+  in
+  (match Telemetry.histogram r "lat" with
+  | Some h ->
+    check Alcotest.int "count" 2 (H.count h);
+    check Alcotest.int "sum" 14 (H.sum h)
+  | None -> Alcotest.fail "histogram missing");
+  check (Alcotest.option Alcotest.unit) "absent name" None
+    (Option.map ignore (Telemetry.histogram r "nope"));
+  check Alcotest.int "histograms list" 1 (List.length (Telemetry.histograms r));
+  (* disabled observe records nothing *)
+  Telemetry.observe "leak" 1;
+  let (), r2 = Telemetry.collect (fun () -> ()) in
+  check Alcotest.int "no leak" 0 (List.length (Telemetry.histograms r2))
+
+let recorder_merge_into () =
+  let (), inner =
+    Telemetry.collect (fun () ->
+        Telemetry.incr "c" ~by:3;
+        Telemetry.set "g" 7;
+        Telemetry.observe "h" 50)
+  in
+  let (), outer =
+    Telemetry.collect (fun () ->
+        Telemetry.incr "c" ~by:2;
+        Telemetry.observe "h" 5)
+  in
+  Telemetry.merge_into ~into:outer inner;
+  check Alcotest.int "counters add" 5 (Telemetry.counter outer "c");
+  check Alcotest.int "gauge takes src value" 7 (Telemetry.counter outer "g");
+  check Alcotest.bool "gauge marked" true (Telemetry.is_gauge outer "g");
+  (match Telemetry.histogram outer "h" with
+  | Some h ->
+    check Alcotest.int "hists merge" 2 (H.count h);
+    check Alcotest.int "hist sum" 55 (H.sum h)
+  | None -> Alcotest.fail "merged histogram missing");
+  (* spans and sample streams deliberately do not merge *)
+  check Alcotest.int "no spans copied" 0 (List.length (Telemetry.spans outer));
+  Alcotest.check_raises "self-merge rejected"
+    (Invalid_argument "Telemetry.merge_into: cannot merge a recorder into itself")
+    (fun () -> Telemetry.merge_into ~into:outer outer)
+
+let prometheus_exposition () =
+  let (), r =
+    Telemetry.collect (fun () ->
+        Telemetry.incr "service.jobs_completed" ~by:2;
+        Telemetry.incr "9weird-name";
+        Telemetry.set "service.queue_depth" 5;
+        List.iter (Telemetry.observe "service.job_ns") [ 100; 200; 400 ])
+  in
+  let text = Telemetry.prometheus_text r in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    check Alcotest.bool (Printf.sprintf "contains %S" needle) true (go 0)
+  in
+  has "# HELP bistpath_service_jobs_completed_total bistpath metric service.jobs_completed\n";
+  has "# TYPE bistpath_service_jobs_completed_total counter\n";
+  has "bistpath_service_jobs_completed_total 2\n";
+  (* leading digit guarded, punctuation squashed *)
+  has "# TYPE bistpath__9weird_name_total counter\n";
+  has "# TYPE bistpath_service_queue_depth gauge\n";
+  has "bistpath_service_queue_depth 5\n";
+  has "# TYPE bistpath_service_job_ns summary\n";
+  has "bistpath_service_job_ns{quantile=\"0.5\"} ";
+  has "bistpath_service_job_ns{quantile=\"0.9\"} ";
+  has "bistpath_service_job_ns{quantile=\"0.99\"} ";
+  has "bistpath_service_job_ns_sum 700\n";
+  has "bistpath_service_job_ns_count 3\n"
+
+let chrome_trace_gauge_instant_track () =
+  with_fake_clock @@ fun () ->
+  let (), r =
+    Telemetry.collect (fun () ->
+        Telemetry.with_span "work" (fun () ->
+            Telemetry.set "depth" 1;
+            Telemetry.set "depth" 2;
+            Telemetry.instant "trip" ~attrs:[ ("reason", "deadline") ];
+            Telemetry.add_timed ~track:3 "chunk" ~start_ns:5L ~dur_ns:10L))
+  in
+  let json = parse_json (Telemetry.chrome_trace_json r) in
+  match field "traceEvents" json with
+  | Some (Jarr events) ->
+    check_b_e_balanced events;
+    let with_ph p =
+      List.filter (fun e -> field "ph" e = Some (Jstr p)) events
+    in
+    (* one C per gauge write plus the final-value C at trace end *)
+    check Alcotest.int "C events" 3 (List.length (with_ph "C"));
+    (match with_ph "X" with
+    | [ x ] ->
+      check (Alcotest.option Alcotest.bool) "X on its track" (Some true)
+        (match field "tid" x with Some (Jnum t) -> Some (t = 3.0) | _ -> None)
+    | xs -> Alcotest.failf "expected 1 X event, got %d" (List.length xs));
+    (match with_ph "i" with
+    | [ i ] ->
+      check (Alcotest.option Alcotest.string) "instant name" (Some "trip")
+        (match field "name" i with Some (Jstr n) -> Some n | _ -> None);
+      check (Alcotest.option Alcotest.string) "global scope" (Some "g")
+        (match field "s" i with Some (Jstr s) -> Some s | _ -> None)
+    | is -> Alcotest.failf "expected 1 i event, got %d" (List.length is))
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let bounded_sample_streams () =
+  let (), r =
+    Telemetry.collect (fun () ->
+        for _ = 1 to 4097 do
+          Telemetry.instant "m"
+        done)
+  in
+  check Alcotest.int "instants capped" 4096 (List.length (Telemetry.instants r));
+  check Alcotest.int "overflow counted" 1
+    (Telemetry.counter r "telemetry.dropped_samples")
 
 let stats_json_well_formed () =
   let (), r =
@@ -328,6 +515,15 @@ let suite =
     case "per-span counter deltas" span_counter_deltas;
     case "disabled sink is a no-op" disabled_is_noop;
     case "chrome trace well-formed, B/E paired" chrome_trace_well_formed;
+    case "histogram bucket boundaries" histogram_bucket_boundaries;
+    case "histogram empty and single sample" histogram_empty_and_single;
+    case "histogram quantile estimation" histogram_quantiles;
+    case "histogram merge" histogram_merge;
+    case "recorder observe into histograms" recorder_observe;
+    case "merge_into folds scalar aggregates" recorder_merge_into;
+    case "prometheus exposition format" prometheus_exposition;
+    case "chrome trace gauge/instant/track events" chrome_trace_gauge_instant_track;
+    case "bounded sample streams drop and count" bounded_sample_streams;
     case "stats json well-formed and escaped" stats_json_well_formed;
     case "clique partition counters" greedy_clique_counters;
     case "flow emits each stage span once" flow_stage_spans;
