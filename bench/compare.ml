@@ -18,14 +18,15 @@ module Json = Bistpath_util.Json
 let telemetry_file = "BENCH_telemetry.json"
 let parallel_file = "BENCH_parallel.json"
 let service_file = "BENCH_service.json"
+let cache_file = "BENCH_cache.json"
 
 let usage () =
   prerr_endline
     "usage: compare [--baseline FILE] [--update] [--tolerance PCT] [--min-ns NS]\n\
     \               [--jobs N] [--absolute] [--dir DIR]\n\n\
-     Compares BENCH_telemetry.json, BENCH_parallel.json and\n\
-     BENCH_service.json (in DIR, default .) against the baseline\n\
-     (default BENCH_baseline.json).\n\n\
+     Compares BENCH_telemetry.json, BENCH_parallel.json,\n\
+     BENCH_service.json and BENCH_cache.json (in DIR, default .)\n\
+     against the baseline (default BENCH_baseline.json).\n\n\
     \  --update      write the baseline from the current BENCH files and exit\n\
     \  --tolerance   allowed slowdown per entry, percent (default 25)\n\
     \  --min-ns      ignore entries whose baseline is below this floor\n\
@@ -99,12 +100,35 @@ let service_entries json =
         | _ -> None)
       records
 
+(* Cold captures the full-pipeline cost, warm the cache-served path;
+   gating both keeps an eye on store overhead as well as flow speed.
+   (Warm entries are usually under --min-ns and drop out of the diff —
+   by design: microsecond-scale cache reads are scheduler noise.) *)
+let cache_entries json =
+  match Json.to_list json with
+  | None -> fail "%s: expected a top-level array" cache_file
+  | Some records ->
+    List.concat_map
+      (fun r ->
+        match mem_str "bench" r with
+        | Some bench ->
+          let entry side name =
+            match mem_num name r with
+            | Some ns when ns >= 0.0 ->
+              [ (Printf.sprintf "cache/%s/%s" bench side, ns) ]
+            | _ -> []
+          in
+          entry "cold" "cold_ns" @ entry "warm" "warm_ns"
+        | None -> [])
+      records
+
 let collect_entries ~dir ~jobs =
   let in_dir f = Filename.concat dir f in
   let all =
     telemetry_entries ~jobs (read_json (in_dir telemetry_file))
     @ parallel_entries (read_json (in_dir parallel_file))
     @ service_entries (read_json (in_dir service_file))
+    @ cache_entries (read_json (in_dir cache_file))
   in
   let tbl = Hashtbl.create 64 in
   let order = ref [] in

@@ -267,6 +267,71 @@ let service_section () =
     ("[\n" ^ String.concat ",\n" records ^ "\n]\n");
   print_endline "\n(wrote BENCH_service.json)"
 
+(* --- result cache: cold vs warm flow ------------------------------ *)
+
+(* One cold then one warm full flow per benchmark through a fresh
+   content-addressed store: the records pin the cold/warm flow-span
+   wall times (the warm run should be several times faster — every
+   stage is a hit) plus the hit/miss counters proving the reuse. *)
+let cache_section () =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "Result cache: cold vs warm flow wall time per benchmark\n";
+  Printf.printf "================================================================\n\n";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bistpath-bench-cache-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let store = Bistpath_cache.Store.open_ ~dir () in
+  let flow_ns inst =
+    let _, r =
+      Telemetry.collect (fun () ->
+          Flow.run ~cache:store
+            ~style:(Flow.Testable Testable_alloc.default_options)
+            inst.B.dfg inst.B.massign ~policy:inst.B.policy)
+    in
+    let ns =
+      match
+        List.find_opt
+          (fun (s : Telemetry.span) -> String.equal s.Telemetry.name "flow")
+          (Telemetry.spans r)
+      with
+      | Some s -> s.Telemetry.dur_ns
+      | None -> 0L
+    in
+    (ns, r)
+  in
+  let records =
+    List.filter_map
+      (fun tag ->
+        match B.by_tag tag with
+        | None -> None
+        | Some inst ->
+          let cold_ns, _ = flow_ns inst in
+          let warm_ns, warm = flow_ns inst in
+          let hits = Telemetry.counter warm "cache.hit" in
+          let misses = Telemetry.counter warm "cache.miss" in
+          let speedup =
+            Int64.to_float cold_ns /. Int64.to_float (Int64.max 1L warm_ns)
+          in
+          Printf.printf
+            "  %-8s cold %10Ld ns   warm %10Ld ns   speedup %6.1fx   warm \
+             hits/misses %d/%d\n"
+            tag cold_ns warm_ns speedup hits misses;
+          Some
+            (Printf.sprintf
+               "{\"bench\":\"%s\",\"cold_ns\":%Ld,\"warm_ns\":%Ld,\
+                \"speedup\":%.3f,\"warm_hits\":%d,\"warm_misses\":%d}"
+               tag cold_ns warm_ns speedup hits misses))
+      telemetry_tags
+  in
+  rm_rf dir;
+  Inject.fire_sys_error "telemetry.write";
+  Telemetry.write_file "BENCH_cache.json"
+    ("[\n" ^ String.concat ",\n" records ^ "\n]\n");
+  print_endline "\n(wrote BENCH_cache.json)"
+
 (* --- Bechamel timing benches ------------------------------------- *)
 
 open Bechamel
@@ -373,6 +438,7 @@ let () =
   telemetry_section ();
   parallel_section ();
   service_section ();
+  cache_section ();
   match Sys.getenv_opt "BISTPATH_SKIP_TIMING" with
   | Some _ -> print_endline "\n(timing skipped: BISTPATH_SKIP_TIMING set)"
   | None -> benchmark ()

@@ -4,6 +4,8 @@
 
 module B = Bistpath_benchmarks.Benchmarks
 module Flow = Bistpath_core.Flow
+module Stage = Bistpath_core.Stage
+module Store = Bistpath_cache.Store
 module Testable_alloc = Bistpath_core.Testable_alloc
 module Policy = Bistpath_dfg.Policy
 module Parser = Bistpath_dfg.Parser
@@ -228,6 +230,61 @@ let common_term =
     $ stats_arg $ trace_arg $ trace_dir_arg $ jobs_arg $ timeout_arg
     $ leaf_budget_arg $ max_errors_arg)
 
+(* --- result cache flags (run/rtl/pareto/serve) --------------------- *)
+
+let cache_flag_arg =
+  let doc =
+    "Enable the content-addressed result cache: stage results and \
+     terminal artifacts are stored under the cache directory, and a \
+     warm re-run serves byte-identical output from it, re-running only \
+     the stages whose inputs changed."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the result cache (overrides $(b,--cache) and $(b,--cache-dir))." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Result-cache directory (created if missing; implies $(b,--cache)). \
+     Defaults to $(b,.bistpath-cache) — or $(b,SPOOL/cache) under \
+     $(b,serve)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_max_mb_arg =
+  let doc =
+    "On-disk cache size cap in megabytes; least-recently-used entries \
+     are evicted past it."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-max-mb" ] ~docv:"MB" ~doc)
+
+type cache_opts = { cache_on : bool; cache_dir : string option; cache_max_mb : int option }
+
+let cache_term =
+  Term.(
+    const (fun on off dir max_mb ->
+        {
+          cache_on = (on || dir <> None) && not off;
+          cache_dir = dir;
+          cache_max_mb = pos_int_of ~flag:"--cache-max-mb" max_mb;
+        })
+    $ cache_flag_arg $ no_cache_arg $ cache_dir_arg $ cache_max_mb_arg)
+
+(* An unusable cache directory degrades to an uncached run with a
+   warning, never a failure: the cache is an optimization, and the
+   primary artifact must still be produced. *)
+let open_cache ?(default_dir = ".bistpath-cache") co =
+  if not co.cache_on then None
+  else
+    let dir = Option.value co.cache_dir ~default:default_dir in
+    match Store.open_ ?max_mb:co.cache_max_mb ~dir () with
+    | store -> Some store
+    | exception Sys_error msg ->
+      Printf.eprintf "synth: warning: result cache disabled: %s\n" msg;
+      None
+
 (* Telemetry goes to stderr or the named trace file, never stdout: for
    rtl/dot/vcd/tb/export the primary artifact is the stdout stream and
    must stay machine-parsable.
@@ -333,22 +390,55 @@ let run_check_gate ~budget ~width ~transparency (inst : B.instance) label r =
     prerr_string (Check.to_text rep);
   if Check.errors rep > 0 then exit exit_findings
 
+(* Key for a whole rendered artifact. [None] turns the terminal-stage
+   caching off (while Flow.run ?cache still reuses inner stages) —
+   used under --check, which needs the live flow result. Must stay in
+   lock-step with Runner's derivation so the CLI and the service share
+   one cache. *)
+let cli_artifact_key ~cache ~stage ~width ?(transparency = false) ~style extra
+    (inst : B.instance) =
+  Option.map
+    (fun _ ->
+      Flow.artifact_key ~stage
+        ~spec_hash:(Flow.spec_hash inst.B.dfg inst.B.massign ~policy:inst.B.policy)
+        ~params:
+          (Bistpath_util.Json.Obj
+             (("flow", Flow.flow_params_json ~width ~transparency ~style ())
+             :: extra)))
+    cache
+
 let run_term =
-  let run c spec width flow transparency check =
+  let run c spec width flow transparency check cache_o =
     with_common c @@ fun budget ->
     let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
-    let r =
-      Flow.run ~budget ~width ~transparency ~style inst.B.dfg inst.B.massign
-        ~policy:inst.B.policy
+    let cache = open_cache cache_o in
+    let key =
+      if check then None
+      else
+        cli_artifact_key ~cache ~stage:Stage.Report ~width ~transparency ~style
+          [ ("artifact", Bistpath_util.Json.Str "run") ]
+          inst
     in
-    Format.printf "%a@.@.%a@." Bistpath_dfg.Dfg.pp inst.B.dfg Flow.pp_result r;
-    Format.printf "@.test sessions: %a@." Bistpath_bist.Session.pp r.Flow.sessions;
-    if check then run_check_gate ~budget ~width ~transparency inst flow r
+    match Flow.artifact_find ~cache ~stage:Stage.Report ~key with
+    | Some payload -> print_string payload
+    | None ->
+      let r =
+        Flow.run ~budget ~width ~transparency ?cache ~style inst.B.dfg
+          inst.B.massign ~policy:inst.B.policy
+      in
+      let payload =
+        Format.asprintf "%a@.@.%a@.@.test sessions: %a@." Bistpath_dfg.Dfg.pp
+          inst.B.dfg Flow.pp_result r Bistpath_bist.Session.pp r.Flow.sessions
+      in
+      print_string payload;
+      if not (Budget.should_stop budget) then
+        Flow.artifact_store ~cache ~stage:Stage.Report ~key payload;
+      if check then run_check_gate ~budget ~width ~transparency inst flow r
   in
   Term.(
     const run $ common_term $ instance_arg $ width_arg $ flow_arg
-    $ transparency_arg $ check_gate_arg)
+    $ transparency_arg $ check_gate_arg $ cache_term)
 
 let run_cmd =
   let doc = "Synthesize a data path and report its minimal-area BIST solution." in
@@ -408,34 +498,54 @@ let rtl_cmd =
     let doc = "Also emit the self-test wrapper (implies $(b,--bist))." in
     Arg.(value & flag & info [ "wrapper" ] ~doc)
   in
-  let run c spec width flow bist wrapper check =
+  let run c spec width flow bist wrapper check cache_o =
     with_common c @@ fun budget ->
     let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
-    let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
     let bist = bist || wrapper in
-    print_endline (Verilog.primitives ~width);
-    print_endline
-      (Verilog.emit ~width
-         ?bist:(if bist then Some r.Flow.bist else None)
-         ?sessions:(if wrapper then Some r.Flow.sessions else None)
-         r.Flow.datapath);
-    if wrapper then begin
-      let golden =
-        Bistpath_rtl.Rtl_sim.golden_signatures ~width r.Flow.datapath r.Flow.bist
-          r.Flow.sessions
+    let cache = open_cache cache_o in
+    let key =
+      if check then None
+      else
+        cli_artifact_key ~cache ~stage:Stage.Rtl ~width ~style
+          [ ("artifact", Bistpath_util.Json.Str "rtl");
+            ("bist", Bistpath_util.Json.Bool bist);
+            ("wrapper", Bistpath_util.Json.Bool wrapper) ]
+          inst
+    in
+    match Flow.artifact_find ~cache ~stage:Stage.Rtl ~key with
+    | Some payload -> print_string payload
+    | None ->
+      let r = Flow.run ~budget ~width ?cache ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+      let payload =
+        Verilog.primitives ~width ^ "\n"
+        ^ Verilog.emit ~width
+            ?bist:(if bist then Some r.Flow.bist else None)
+            ?sessions:(if wrapper then Some r.Flow.sessions else None)
+            r.Flow.datapath
+        ^ "\n"
+        ^
+        if wrapper then begin
+          let golden =
+            Bistpath_rtl.Rtl_sim.golden_signatures ~width r.Flow.datapath
+              r.Flow.bist r.Flow.sessions
+          in
+          Bistpath_rtl.Bist_wrapper.emit ~width ~golden r.Flow.datapath
+            r.Flow.bist r.Flow.sessions
+          ^ "\n"
+        end
+        else ""
       in
-      print_endline
-        (Bistpath_rtl.Bist_wrapper.emit ~width ~golden r.Flow.datapath r.Flow.bist
-           r.Flow.sessions)
-    end;
-    if check then run_check_gate ~budget ~width ~transparency:false inst flow r
+      print_string payload;
+      if not (Budget.should_stop budget) then
+        Flow.artifact_store ~cache ~stage:Stage.Rtl ~key payload;
+      if check then run_check_gate ~budget ~width ~transparency:false inst flow r
   in
   let doc = "Emit structural Verilog for the synthesized data path." in
   Cmd.v (Cmd.info "rtl" ~doc)
     Term.(
       const run $ common_term $ instance_arg $ width_arg $ flow_arg $ bist_arg
-      $ wrapper_arg $ check_gate_arg)
+      $ wrapper_arg $ check_gate_arg $ cache_term)
 
 let dot_cmd =
   let what_arg =
@@ -581,17 +691,31 @@ let area_cmd =
     Term.(const run $ common_term $ instance_arg $ width_arg $ flow_arg)
 
 let pareto_cmd =
-  let run c spec width flow =
+  let run c spec width flow cache_o =
     with_common c @@ fun budget ->
     let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
-    let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
-    Format.printf "%a@." Bistpath_bist.Pareto.pp
-      (Bistpath_bist.Pareto.explore ~width ~budget r.Flow.datapath)
+    let cache = open_cache cache_o in
+    let key =
+      cli_artifact_key ~cache ~stage:Stage.Report ~width ~style
+        [ ("artifact", Bistpath_util.Json.Str "pareto") ]
+        inst
+    in
+    match Flow.artifact_find ~cache ~stage:Stage.Report ~key with
+    | Some payload -> print_string payload
+    | None ->
+      let r = Flow.run ~budget ~width ?cache ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+      let payload =
+        Format.asprintf "%a@." Bistpath_bist.Pareto.pp
+          (Bistpath_bist.Pareto.explore ~width ~budget r.Flow.datapath)
+      in
+      print_string payload;
+      if not (Budget.should_stop budget) then
+        Flow.artifact_store ~cache ~stage:Stage.Report ~key payload
   in
   let doc = "Area vs test-session Pareto front for one design." in
   Cmd.v (Cmd.info "pareto" ~doc)
-    Term.(const run $ common_term $ instance_arg $ width_arg $ flow_arg)
+    Term.(const run $ common_term $ instance_arg $ width_arg $ flow_arg $ cache_term)
 
 let check_cmd =
   let vectors_arg =
@@ -820,7 +944,7 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "trace-keep" ] ~docv:"N" ~doc)
   in
   let run c spool out journal resume max_attempts retry_base breaker_k breaker_cd
-      queue_cap job_delay seed quiet metrics metrics_interval trace_keep =
+      queue_cap job_delay seed quiet metrics metrics_interval trace_keep cache_o =
     with_common c @@ fun _budget ->
     let source =
       match spool with
@@ -828,6 +952,16 @@ let serve_cmd =
       | Some dir -> Service.Spool_dir dir
     in
     let dc = Service.default_config source in
+    let cache_dir =
+      if not cache_o.cache_on then None
+      else
+        Some
+          (Option.value cache_o.cache_dir
+             ~default:
+               (Filename.concat
+                  (match source with Service.Spool_dir d -> d | Service.Stdin -> ".")
+                  "cache"))
+    in
     let cfg =
       {
         dc with
@@ -868,6 +1002,8 @@ let serve_cmd =
           Option.value
             (pos_int_of ~flag:"--trace-keep" trace_keep)
             ~default:dc.Service.trace_keep;
+        cache_dir;
+        cache_max_mb = cache_o.cache_max_mb;
       }
     in
     match Service.run cfg with
@@ -924,7 +1060,62 @@ let serve_cmd =
       const run $ common_term $ spool_arg $ out_arg $ journal_arg $ resume_arg
       $ max_attempts_arg $ retry_base_arg $ breaker_threshold_arg
       $ breaker_cooldown_arg $ queue_cap_arg $ job_delay_arg $ seed_arg
-      $ quiet_arg $ metrics_arg $ metrics_interval_arg $ trace_keep_arg)
+      $ quiet_arg $ metrics_arg $ metrics_interval_arg $ trace_keep_arg
+      $ cache_term)
+
+let cache_cmd =
+  (* maintenance works on the directory, enabled or not: no --cache
+     flag here, just --cache-dir (with the CLI default) *)
+  let dir_arg =
+    let doc = "Result-cache directory to operate on." in
+    Arg.(value & opt string ".bistpath-cache" & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let open_dir dir =
+    match Store.open_ ~dir () with
+    | store -> store
+    | exception Sys_error msg ->
+      prerr_endline ("synth: " ^ Diagnostic.to_string (Diagnostic.error msg));
+      exit exit_invalid_input
+  in
+  let stats_cmd =
+    let run dir =
+      let s = Store.stats (open_dir dir) in
+      Printf.printf "dir: %s\nentries: %d\nbytes: %d\n" dir s.Store.entries
+        s.Store.bytes
+    in
+    let doc = "Entry count and on-disk size of the result cache." in
+    Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ dir_arg)
+  in
+  let gc_cmd =
+    let max_mb_arg =
+      let doc = "Evict least-recently-used entries until the cache fits $(docv) megabytes." in
+      Arg.(required & opt (some string) None & info [ "cache-max-mb" ] ~docv:"MB" ~doc)
+    in
+    let run dir max_mb =
+      let max_mb =
+        match pos_int_of ~flag:"--cache-max-mb" (Some max_mb) with
+        | Some mb -> mb
+        | None -> assert false
+      in
+      let removed = Store.gc (open_dir dir) ~max_bytes:(max_mb * 1024 * 1024) in
+      Printf.printf "evicted: %d\n" removed
+    in
+    let doc = "Evict least-recently-used cache entries down to a size cap." in
+    Cmd.v (Cmd.info "gc" ~doc) Term.(const run $ dir_arg $ max_mb_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      let removed = Store.clear (open_dir dir) in
+      Printf.printf "removed: %d\n" removed
+    in
+    let doc = "Remove every entry from the result cache." in
+    Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ dir_arg)
+  in
+  let doc =
+    "Inspect and maintain the content-addressed result cache \
+     ($(b,stats), $(b,gc), $(b,clear))."
+  in
+  Cmd.group (Cmd.info "cache" ~doc) [ stats_cmd; gc_cmd; clear_cmd ]
 
 let list_cmd =
   let run () =
@@ -948,7 +1139,7 @@ let () =
   let cmds =
     [ run_cmd; compare_cmd; tables_cmd; figures_cmd; ablation_cmd; rtl_cmd;
       dot_cmd; coverage_cmd; atpg_cmd; tb_cmd; vcd_cmd; area_cmd; pareto_cmd;
-      check_cmd; export_cmd; serve_cmd; list_cmd ]
+      check_cmd; export_cmd; serve_cmd; cache_cmd; list_cmd ]
   in
   (* A first argument that is neither a subcommand nor an option is a DFG
      spec: treat `synth data/Paulin.dfg --stats` as `synth run ...`. *)

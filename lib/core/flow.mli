@@ -25,6 +25,7 @@ val run :
   ?io_penalty_percent:int ->
   ?transparency:bool ->
   ?budget:Bistpath_resilience.Budget.t ->
+  ?cache:Bistpath_cache.Store.t ->
   style:style ->
   Bistpath_dfg.Dfg.t ->
   Bistpath_dfg.Massign.t ->
@@ -36,7 +37,17 @@ val run :
     {!Bistpath_resilience.Budget.unlimited}) is forwarded to the BIST
     allocation and session scheduling, the two unbounded-search stages;
     a tripped budget yields a valid flow built from the best allocation
-    found so far (check [result.bist.exact], or use {!run_outcome}). *)
+    found so far (check [result.bist.exact], or use {!run_outcome}).
+
+    [cache] attaches a content-addressed result store: the flow becomes
+    a walk over the keyed stage DAG ({!Stage}), where each stage first
+    looks up its deterministic input key and only recomputes on a miss.
+    Hits and misses are counted per stage ([cache.hit.<stage>] /
+    [cache.miss.<stage>]) and in aggregate; a corrupt or undecodable
+    entry counts as [cache.corrupt] and recomputes. Budget-truncated
+    BIST solutions are returned but never stored. Without [cache]
+    (the default) the historical straight-line behaviour — spans,
+    telemetry, outputs — is byte-identical. *)
 
 val run_outcome :
   ?model:Bistpath_datapath.Area.model ->
@@ -44,6 +55,7 @@ val run_outcome :
   ?io_penalty_percent:int ->
   ?transparency:bool ->
   ?budget:Bistpath_resilience.Budget.t ->
+  ?cache:Bistpath_cache.Store.t ->
   style:style ->
   Bistpath_dfg.Dfg.t ->
   Bistpath_dfg.Massign.t ->
@@ -51,6 +63,59 @@ val run_outcome :
   result Bistpath_resilience.Outcome.t
 (** [run] tagged with the budget's stop reason ([Degraded] iff its token
     tripped). *)
+
+(** {1 Cache keys}
+
+    Helpers shared with the CLI and service layers so every consumer
+    derives identical keys. *)
+
+val spec_hash :
+  Bistpath_dfg.Dfg.t ->
+  Bistpath_dfg.Massign.t ->
+  policy:Bistpath_dfg.Policy.t ->
+  string
+(** Content identity of a specification: the {!Stage.Schedule} root key,
+    an MD5 hex digest over the canonical DFG text (which carries the
+    control steps), module assignment and policy. *)
+
+val flow_params_json :
+  ?model:Bistpath_datapath.Area.model ->
+  ?width:int ->
+  ?io_penalty_percent:int ->
+  ?transparency:bool ->
+  style:style ->
+  unit ->
+  Bistpath_util.Json.t
+(** Canonical encoding of the flow parameter set (style + options, area
+    model, width, I/O penalty, transparency) with the same defaults as
+    {!run} — the [params] half of an {!artifact_key}. *)
+
+val artifact_key : stage:Stage.t -> spec_hash:string -> params:Bistpath_util.Json.t -> string
+(** Key for a terminal artifact stage ({!Stage.Rtl} / {!Stage.Report}):
+    chains the schedule root hash with the full parameter set, under
+    which the whole pipeline is deterministic — so a warm artifact can
+    be served byte-identical without re-running the flow. *)
+
+val artifact_find :
+  cache:Bistpath_cache.Store.t option ->
+  stage:Stage.t ->
+  key:string option ->
+  string option
+(** Look a terminal artifact up by its {!artifact_key}, counting
+    [cache.hit.<stage>] / [cache.miss.<stage>] (and the aggregates).
+    [None] for [cache] or [key] is a silent pass-through — no counters,
+    no I/O — so uncached paths stay byte-identical. *)
+
+val artifact_store :
+  cache:Bistpath_cache.Store.t option ->
+  stage:Stage.t ->
+  key:string option ->
+  string ->
+  unit
+(** Commit a freshly rendered terminal artifact (best-effort; see
+    {!Bistpath_cache.Store.put}). Callers must skip this when the run
+    was budget-truncated — the bytes would not be deterministic in the
+    key. *)
 
 val reduction_percent : traditional:result -> testable:result -> float
 (** Table I's "% Reduction in BIST area":

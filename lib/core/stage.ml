@@ -1,0 +1,55 @@
+module Json = Bistpath_util.Json
+
+type t = Schedule | Alloc | Interconnect | Bist | Rtl | Report
+
+let all = [ Schedule; Alloc; Interconnect; Bist; Rtl; Report ]
+
+let name = function
+  | Schedule -> "schedule"
+  | Alloc -> "alloc"
+  | Interconnect -> "interconnect"
+  | Bist -> "bist"
+  | Rtl -> "rtl"
+  | Report -> "report"
+
+let of_name = function
+  | "schedule" -> Some Schedule
+  | "alloc" -> Some Alloc
+  | "interconnect" -> Some Interconnect
+  | "bist" -> Some Bist
+  | "rtl" -> Some Rtl
+  | "report" -> Some Report
+  | _ -> None
+
+(* Bump a stage's version whenever its payload encoding *or* the
+   semantics of the computation it memoizes change: the version is
+   hashed into every key, so old entries become unreachable (and
+   eventually GC'd) instead of being decoded under wrong assumptions. *)
+let schema_version = function
+  | Schedule -> 1
+  | Alloc -> 1
+  | Interconnect -> 1
+  | Bist -> 1
+  | Rtl -> 1
+  | Report -> 1
+
+let deps = function
+  | Schedule -> []
+  | Alloc -> [ Schedule ]
+  | Interconnect -> [ Schedule; Alloc ]
+  | Bist -> [ Interconnect ]
+  | Rtl -> [ Bist ]
+  | Report -> [ Bist ]
+
+let key stage ~inputs =
+  Digest.to_hex
+    (Digest.string
+       (Json.canonical
+          (Json.Obj
+             [
+               ("stage", Json.Str (name stage));
+               ("schema", Json.Num (float_of_int (schema_version stage)));
+               ("inputs", inputs);
+             ])))
+
+let out_hash ~key ~payload = Digest.to_hex (Digest.string (key ^ "\n" ^ payload))

@@ -7,6 +7,7 @@ let sites =
   [
     "pool.worker"; "telemetry.write"; "allocator.leaf"; "pareto.leaf";
     "service.journal"; "service.result_io"; "service.worker"; "check.rule";
+    "cache.io";
   ]
 
 type site_state = { prob : float; prng : Prng.t }

@@ -47,6 +47,10 @@
     - [check.rule] — a static-analysis rule raises as it starts
       ([Bistpath_check.Check.run]); the crash degrades to a per-rule
       CHK000 finding instead of failing the whole check run.
+    - [cache.io] — a result-cache read or write fails with [Sys_error]
+      ([Bistpath_cache.Store]); a failed read degrades to a miss and a
+      failed write to a skipped store, both counted in
+      [cache.io_errors] — the pipeline recomputes, never crashes.
 
     Telemetry: every shot that fires increments [resilience.injected]. *)
 

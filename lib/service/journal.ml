@@ -5,7 +5,13 @@ module Inject = Bistpath_resilience.Inject
 type event =
   | Accept of Job.t
   | Start of { id : string; attempt : int }
-  | Done of { id : string; attempt : int; status : string; reason : string option }
+  | Done of {
+      id : string;
+      attempt : int;
+      status : string;
+      reason : string option;
+      cache : string option;
+    }
   | Fail of { id : string; attempt : int; error : string }
   | Give_up of { id : string; error : string }
   | Interrupted of { id : string; attempt : int }
@@ -19,11 +25,12 @@ let event_to_json = function
     Json.Obj
       [ ("ev", Json.Str "start"); ("id", Json.Str id);
         ("attempt", Json.Num (float_of_int attempt)) ]
-  | Done { id; attempt; status; reason } ->
+  | Done { id; attempt; status; reason; cache } ->
     Json.Obj
       ([ ("ev", Json.Str "done"); ("id", Json.Str id);
          ("attempt", Json.Num (float_of_int attempt)); ("status", Json.Str status) ]
-      @ match reason with Some r -> [ ("reason", Json.Str r) ] | None -> [])
+      @ (match reason with Some r -> [ ("reason", Json.Str r) ] | None -> [])
+      @ match cache with Some c -> [ ("cache", Json.Str c) ] | None -> [])
   | Fail { id; attempt; error } ->
     Json.Obj
       [ ("ev", Json.Str "fail"); ("id", Json.Str id);
@@ -69,7 +76,10 @@ let event_of_json json =
     let* attempt = int "attempt" in
     let* status = str "status" in
     let reason = Option.bind (Json.member "reason" json) Json.to_str in
-    Ok (Done { id; attempt; status; reason })
+    (* absent in journals written before result caching existed: old
+       files replay unchanged *)
+    let cache = Option.bind (Json.member "cache" json) Json.to_str in
+    Ok (Done { id; attempt; status; reason; cache })
   | "fail" ->
     let* id = str "id" in
     let* attempt = int "attempt" in

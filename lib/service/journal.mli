@@ -27,9 +27,20 @@
 type event =
   | Accept of Job.t
   | Start of { id : string; attempt : int }
-  | Done of { id : string; attempt : int; status : string; reason : string option }
+  | Done of {
+      id : string;
+      attempt : int;
+      status : string;
+      reason : string option;
+      cache : string option;
+    }
       (** [status] is ["ok"] or ["degraded"]; [reason] is the budget's
-          stop reason for degraded results. *)
+          stop reason for degraded results. [cache] is [Some "hit"] when
+          the artifact was served from the result cache, [Some "miss"]
+          when a consulted cache had no entry, [None] when the service
+          ran without one (including every journal written before
+          caching existed — the field is absent on disk and replays as
+          [None]). *)
   | Fail of { id : string; attempt : int; error : string }
   | Give_up of { id : string; error : string }
   | Interrupted of { id : string; attempt : int }

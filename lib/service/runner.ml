@@ -1,5 +1,6 @@
 module B = Bistpath_benchmarks.Benchmarks
 module Flow = Bistpath_core.Flow
+module Stage = Bistpath_core.Stage
 module Testable_alloc = Bistpath_core.Testable_alloc
 module Policy = Bistpath_dfg.Policy
 module Parser = Bistpath_dfg.Parser
@@ -52,15 +53,15 @@ let style_of_flow = function
   | "traditional" -> Flow.Traditional
   | _ -> Flow.Testable Testable_alloc.default_options
 
-let execute ~budget (job : Job.t) =
+let execute ?cache ~budget (job : Job.t) =
   match load_instance job.Job.spec with
   | Error lines -> Error (Invalid_input lines)
   | Ok inst ->
     let width = job.Job.width in
     let style = style_of_flow job.Job.flow in
     let flow () =
-      Flow.run ~budget ~width ~transparency:job.Job.transparency ~style inst.B.dfg
-        inst.B.massign ~policy:inst.B.policy
+      Flow.run ~budget ~width ~transparency:job.Job.transparency ?cache ~style
+        inst.B.dfg inst.B.massign ~policy:inst.B.policy
     in
     let check () =
       let r = flow () in
@@ -74,34 +75,68 @@ let execute ~budget (job : Job.t) =
         Error
           (Check_findings
              (List.map Bistpath_resilience.Diagnostic.to_string (Check.diagnostics rep)))
-      else Ok (Bistpath_util.Json.to_string (Check.to_json rep) ^ "\n")
+      else Ok (Bistpath_util.Json.to_string (Check.to_json rep) ^ "\n", None)
     in
+    (* Terminal artifact stage: the whole rendered output, keyed from
+       the spec's schedule root hash plus the job parameters, so a warm
+       job is served byte-identical without running the flow at all.
+       Same key derivation as the CLI — the two consumers share one
+       cache. *)
+    let artifact_key stage extra =
+      Option.map
+        (fun _ ->
+          Flow.artifact_key ~stage
+            ~spec_hash:
+              (Flow.spec_hash inst.B.dfg inst.B.massign ~policy:inst.B.policy)
+            ~params:
+              (Bistpath_util.Json.Obj
+                 (( "flow",
+                    Flow.flow_params_json ~width
+                      ~transparency:job.Job.transparency ~style () )
+                 :: extra)))
+        cache
+    in
+    let cached ~stage ~extra render =
+      let key = artifact_key stage extra in
+      match Flow.artifact_find ~cache ~stage ~key with
+      | Some payload -> Ok (payload, Some `Hit)
+      | None ->
+        let payload = render () in
+        if not (Bistpath_resilience.Budget.should_stop budget) then
+          Flow.artifact_store ~cache ~stage ~key payload;
+        Ok (payload, if key = None then None else Some `Miss)
+    in
+    let str s = Bistpath_util.Json.Str s in
     match job.Job.pipeline with
     | Job.Check -> check ()
-    | _ ->
-    let artifact =
-      match job.Job.pipeline with
-      | Job.Run ->
-        let r = flow () in
-        Format.asprintf "%a@.@.%a@.@.test sessions: %a@." Dfg.pp inst.B.dfg
-          Flow.pp_result r Session.pp r.Flow.sessions
-      | Job.Pareto ->
-        let r = flow () in
-        Format.asprintf "%a@." Pareto.pp
-          (Pareto.explore ~width ~budget r.Flow.datapath)
-      | Job.Coverage ->
-        let r = flow () in
-        let rep =
-          Bist_sim.run ~budget ~width ~pattern_count:job.Job.patterns
-            r.Flow.datapath r.Flow.bist
-        in
-        Format.asprintf "%a@." Bist_sim.pp rep
-      | Job.Rtl ->
-        let r = flow () in
-        Verilog.primitives ~width ^ "\n"
-        ^ Verilog.emit ~width ~bist:r.Flow.bist r.Flow.datapath
-        ^ "\n"
-      | Job.Export -> Parser.to_string inst.B.dfg
-      | Job.Check -> assert false (* handled above *)
-    in
-    Ok artifact
+    | Job.Run ->
+      cached ~stage:Stage.Report ~extra:[ ("artifact", str "run") ] (fun () ->
+          let r = flow () in
+          Format.asprintf "%a@.@.%a@.@.test sessions: %a@." Dfg.pp inst.B.dfg
+            Flow.pp_result r Session.pp r.Flow.sessions)
+    | Job.Pareto ->
+      cached ~stage:Stage.Report ~extra:[ ("artifact", str "pareto") ] (fun () ->
+          let r = flow () in
+          Format.asprintf "%a@." Pareto.pp
+            (Pareto.explore ~width ~budget r.Flow.datapath))
+    | Job.Rtl ->
+      cached ~stage:Stage.Rtl
+        ~extra:
+          [ ("artifact", str "rtl");
+            ("bist", Bistpath_util.Json.Bool true);
+            ("wrapper", Bistpath_util.Json.Bool false) ]
+        (fun () ->
+          let r = flow () in
+          Verilog.primitives ~width ^ "\n"
+          ^ Verilog.emit ~width ~bist:r.Flow.bist r.Flow.datapath
+          ^ "\n")
+    | Job.Coverage ->
+      (* gate-level simulation is not a DAG stage; the flow underneath
+         it still reuses cached stages *)
+      let r = flow () in
+      let rep =
+        Bist_sim.run ~budget ~width ~pattern_count:job.Job.patterns
+          r.Flow.datapath r.Flow.bist
+      in
+      Ok (Format.asprintf "%a@." Bist_sim.pp rep, None)
+    | Job.Export -> Ok (Parser.to_string inst.B.dfg, None)

@@ -26,8 +26,23 @@
 
 type error = Invalid_input of string list | Check_findings of string list
 
-val execute : budget:Bistpath_resilience.Budget.t -> Job.t -> (string, error) result
+val execute :
+  ?cache:Bistpath_cache.Store.t ->
+  budget:Bistpath_resilience.Budget.t ->
+  Job.t ->
+  (string * [ `Hit | `Miss ] option, error) result
 (** Deterministic for a fixed job and untripped budget: two runs
     produce byte-identical artifacts (the exactly-once guarantee
     leans on this — re-running a job after a crash rewrites the same
-    bytes). *)
+    bytes).
+
+    [cache] attaches the content-addressed result store. [run], [rtl]
+    and [pareto] jobs become terminal artifact stages: a warm job is
+    served byte-identical from the store ([Some `Hit]) without running
+    the flow; a cold one runs (reusing any cached inner stages),
+    renders, and commits the artifact unless its budget tripped
+    ([Some `Miss]). [check], [coverage] and [export] never cache their
+    artifact ([None] — though the flow underneath [check]/[coverage]
+    still reuses cached stages). Without [cache] the second component
+    is always [None] and behaviour is byte-identical to the uncached
+    runner. *)

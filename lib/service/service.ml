@@ -26,6 +26,8 @@ type config = {
   metrics_interval_ms : int;
   trace_dir : string option;
   trace_keep : int;
+  cache_dir : string option;
+  cache_max_mb : int option;
 }
 
 let default_config source =
@@ -49,6 +51,8 @@ let default_config source =
     metrics_interval_ms = 1000;
     trace_dir = None;
     trace_keep = 32;
+    cache_dir = None;
+    cache_max_mb = None;
   }
 
 type stats = {
@@ -184,6 +188,7 @@ type state = {
   cfg : config;
   journal : Journal.t;
   breaker : Breaker.t;
+  cache : Bistpath_cache.Store.t option;
   queue : job_rec Queue.t;  (* rotated to skip not-ready entries *)
   known : (string, unit) Hashtbl.t;  (* accepted ids, this run or replayed *)
   mutable s_accepted : int;
@@ -343,14 +348,25 @@ let run_attempt st (jr : job_rec) =
     match
       Inject.fire "service.worker";
       Telemetry.with_span "pipeline" ~attrs:[ ("class", Job.class_of jr.job) ]
-        (fun () -> Runner.execute ~budget jr.job)
+        (fun () -> Runner.execute ?cache:st.cache ~budget jr.job)
     with
     | r -> Ok r
     | exception e -> Error (Printexc.to_string e)
   in
   current_cancel := None;
   let dur_ns = Int64.sub (now_ns ()) t0 in
-  if Telemetry.enabled () then Telemetry.observe "service.job_ns" (Int64.to_int dur_ns);
+  (* Cache-served jobs complete orders of magnitude faster; recording
+     them into the same histogram would drag every latency quantile
+     down and hide real pipeline regressions. They get their own
+     series. *)
+  if Telemetry.enabled () then begin
+    let histogram =
+      match outcome with
+      | Ok (Ok (_, Some `Hit)) -> "service.job_ns_cached"
+      | _ -> "service.job_ns"
+    in
+    Telemetry.observe histogram (Int64.to_int dur_ns)
+  end;
   let ms = Int64.to_float dur_ns /. 1e6 in
   let drain_cancelled =
     match Budget.stop_reason budget with
@@ -377,7 +393,7 @@ let run_attempt st (jr : job_rec) =
     enqueue st jr;
     log st "[%s] interrupted by drain; left pending" jr.job.Job.id;
     false
-  | Ok (Ok artifact) -> (
+  | Ok (Ok (artifact, cache_status)) -> (
     match
       Inject.fire_sys_error "service.result_io";
       Atomic_io.write_file (out_path st jr.job ".out") artifact
@@ -388,8 +404,15 @@ let run_attempt st (jr : job_rec) =
         | Some r -> ("degraded", Some (Cancel.describe r))
         | None -> ("ok", None)
       in
+      let cache =
+        match cache_status with
+        | Some `Hit -> Some "hit"
+        | Some `Miss -> Some "miss"
+        | None -> None
+      in
       journal_append st
-        (Journal.Done { id = jr.job.Job.id; attempt = jr.attempts; status; reason });
+        (Journal.Done
+           { id = jr.job.Job.id; attempt = jr.attempts; status; reason; cache });
       Breaker.success st.breaker (Job.class_of jr.job);
       (match status with
       | "degraded" ->
@@ -400,7 +423,8 @@ let run_attempt st (jr : job_rec) =
       | _ ->
         st.s_completed <- st.s_completed + 1;
         Telemetry.incr "service.jobs_completed";
-        log st "[%s] done in %.1f ms" jr.job.Job.id ms);
+        log st "[%s] done in %.1f ms%s" jr.job.Job.id ms
+          (match cache with Some "hit" -> " (cache hit)" | _ -> ""));
       true
     | exception Sys_error msg ->
       handle_failure st jr ~error:("result write failed: " ^ msg);
@@ -532,11 +556,23 @@ let run cfg =
   let replayed = if cfg.resume then Journal.fold_state (Journal.replay cfg.journal_path) else [] in
   Atomic.set drain_flag false;
   current_cancel := None;
+  (* an unusable cache directory degrades to an uncached service, not a
+     startup failure — caching is an optimization, never a dependency *)
+  let cache =
+    match cfg.cache_dir with
+    | None -> None
+    | Some dir -> (
+      try Some (Bistpath_cache.Store.open_ ?max_mb:cfg.cache_max_mb ~dir ())
+      with Sys_error msg ->
+        Printf.eprintf "serve: warning: result cache disabled: %s\n%!" msg;
+        None)
+  in
   let journal = Journal.open_ cfg.journal_path in
   let st =
     {
       cfg;
       journal;
+      cache;
       breaker =
         Breaker.create ~threshold:cfg.breaker_threshold
           ~cooldown_s:cfg.breaker_cooldown_s ();

@@ -83,6 +83,18 @@ type config = {
   trace_keep : int;
       (** >= 1; per-job trace files kept on disk — oldest are removed
           beyond this ring bound *)
+  cache_dir : string option;
+      (** attach a content-addressed result cache
+          ({!Bistpath_cache.Store}) rooted here: warm [run]/[rtl]/
+          [pareto] jobs are served byte-identical without re-running
+          the pipeline (their latency lands in the separate
+          [service.job_ns_cached] histogram, and the journal's [Done]
+          records carry [cache = hit/miss]). An unusable directory
+          degrades to an uncached service with a warning — never a
+          startup failure. [None] (the default) runs uncached. *)
+  cache_max_mb : int option;
+      (** on-disk cap for the result cache; oldest-used entries are
+          evicted past it *)
 }
 
 val default_config : source -> config
@@ -91,7 +103,7 @@ val default_config : source -> config
     [breaker_threshold = 3]; [breaker_cooldown_s = 1.0];
     [queue_cap = 64]; no default budgets; [seed = 0x5E41CE];
     [verbose = true]; no metrics snapshot ([metrics_interval_ms =
-    1000]); no per-job traces ([trace_keep = 32]). *)
+    1000]); no per-job traces ([trace_keep = 32]); no result cache. *)
 
 type stats = {
   accepted : int;  (** specs admitted to the queue this run *)

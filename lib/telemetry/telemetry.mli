@@ -98,6 +98,22 @@
     - [telemetry.dropped_samples] — gauge samples / instants / track
       events discarded because a bounded sample stream hit its cap
       (the scalar aggregates keep absorbing).
+    - [cache.hit] / [cache.miss] — result-cache lookups that
+      found / did not find a reusable entry, in aggregate; the
+      per-stage breakdown lands in [cache.hit.<stage>] /
+      [cache.miss.<stage>] ([schedule], [alloc], [interconnect],
+      [bist], [rtl], [report]).
+    - [cache.store] — entries committed to the result cache
+      ([Bistpath_cache.Store]).
+    - [cache.corrupt] — entries whose integrity header or payload
+      failed verification on read; each is deleted and counted as a
+      miss, never a crash.
+    - [cache.evicted] — entries removed by LRU garbage collection
+      (explicit [gc] or the automatic post-[put] pass under a size
+      cap).
+    - [cache.io_errors] — cache reads/writes that failed with
+      [Sys_error] (including injected [cache.io] faults); a failed
+      read degrades to a miss, a failed write to a skipped store.
 
     {1 Histogram registry}
 
@@ -108,7 +124,12 @@
     - [parallel.chunk_ns] — per-chunk (pool task) execution time.
     - [parallel.stall_ns] — per-batch submitter tail-wait time.
     - [check.rule_ns] — per-rule static-analysis evaluation time.
-    - [service.job_ns] — per-attempt job execution wall time.
+    - [service.job_ns] — per-attempt job execution wall time
+      (cache-served attempts excluded — see below).
+    - [service.job_ns_cached] — wall time of attempts whose artifact
+      was served from the result cache. Kept as its own series so the
+      orders-of-magnitude-faster cache hits cannot drag the pipeline
+      latency quantiles down and mask real regressions.
     - [service.queue_wait_ns] — time a job waited in the serve queue
       (or backoff) before its attempt started.
 

@@ -67,6 +67,23 @@ let to_string v =
   write buf v;
   Buffer.contents buf
 
+(* Canonical form for hashing: identical to [to_string] except that
+   object keys are emitted in sorted order at every depth. Number
+   formatting is already deterministic ([num_to_string] picks %.0f for
+   integral values and the shortest of %.15g/%.17g that round-trips,
+   both defined by the float value alone), so sorting keys is the only
+   remaining source of representation variance. *)
+let rec sort_keys = function
+  | (Null | Bool _ | Num _ | Str _) as v -> v
+  | Arr xs -> Arr (List.map sort_keys xs)
+  | Obj fields ->
+    Obj
+      (List.stable_sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (List.map (fun (k, v) -> (k, sort_keys v)) fields))
+
+let canonical v = to_string (sort_keys v)
+
 (* --- parsing ------------------------------------------------------- *)
 
 exception Bad of int * string

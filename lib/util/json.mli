@@ -27,7 +27,20 @@ val parse : string -> (t, string) result
 val to_string : t -> string
 (** Compact rendering. Integral [Num] values print without a decimal
     point ([Num 3.] prints ["3"]); non-finite floats print as [null]
-    (JSON has no representation for them). *)
+    (JSON has no representation for them). Object fields keep the order
+    given — journal records must round-trip byte-for-byte — so this
+    form is {e not} suitable for content hashing; use {!canonical}. *)
+
+val canonical : t -> string
+(** Deterministic rendering for content hashing: like {!to_string} but
+    with object keys sorted ([String.compare]) at every depth, so two
+    structurally equal values always print identically regardless of
+    field insertion order. Numeric formatting is deterministic across
+    OCaml versions: integral values in \[-1e15, 1e15\] print via
+    ["%.0f"], other finite values as the shortest of ["%.15g"] /
+    ["%.17g"] that round-trips through [float_of_string] — both depend
+    only on the IEEE-754 double, never on locale or platform. All cache
+    keys are digests of this form. *)
 
 val escape : string -> string
 (** Escape for inclusion inside JSON double quotes. *)

@@ -59,7 +59,11 @@ let write_bench_files dir ~scale ?(perturb = false) () =
        (ns 200_000.0) (ns 80_000.0));
   write (in_dir "BENCH_service.json")
     (Printf.sprintf {|[{"scenario":"clean","jobs":1,"wall_ns":%d}]|}
-       (ns (if perturb then 2_000_000.0 else 100_000.0)))
+       (ns (if perturb then 2_000_000.0 else 100_000.0)));
+  write (in_dir "BENCH_cache.json")
+    (Printf.sprintf
+       {|[{"bench":"ex1","cold_ns":%d,"warm_ns":%d,"speedup":10.0,"warm_hits":4,"warm_misses":0}]|}
+       (ns 500_000.0) (ns 50_000.0))
 
 let gate_identical_and_perturbed () =
   let d = tmpdir () in

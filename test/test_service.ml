@@ -169,7 +169,9 @@ let journal_roundtrip () =
       Journal.Start { id = "j1"; attempt = 1 };
       Journal.Fail { id = "j1"; attempt = 1; error = "boom \"quoted\"" };
       Journal.Start { id = "j1"; attempt = 2 };
-      Journal.Done { id = "j1"; attempt = 2; status = "degraded"; reason = Some "deadline" };
+      Journal.Done
+        { id = "j1"; attempt = 2; status = "degraded"; reason = Some "deadline";
+          cache = Some "miss" };
       Journal.Give_up { id = "j2"; error = "bad spec" };
       Journal.Interrupted { id = "j3"; attempt = 1 };
       Journal.Drain;
@@ -216,7 +218,7 @@ let journal_torn_tail_repaired_on_reopen () =
   let j = Journal.open_ path in
   Journal.append j (Journal.Start { id = "j1"; attempt = 1 });
   Journal.append j
-    (Journal.Done { id = "j1"; attempt = 1; status = "ok"; reason = None });
+    (Journal.Done { id = "j1"; attempt = 1; status = "ok"; reason = None; cache = None });
   Journal.close j;
   let events = Journal.replay path in
   check Alcotest.int "torn bytes dropped, new records readable" 3
@@ -260,7 +262,8 @@ let journal_fold_state () =
   | l -> Alcotest.failf "expected one job state, got %d" (List.length l));
   (match
      Journal.fold_state
-       (events @ [ Journal.Done { id = "j1"; attempt = 2; status = "ok"; reason = None } ])
+       (events @ [ Journal.Done
+             { id = "j1"; attempt = 2; status = "ok"; reason = None; cache = None } ])
    with
   | [ st ] -> check Alcotest.bool "terminal after done" true st.Journal.terminal
   | l -> Alcotest.failf "expected one job state, got %d" (List.length l));
