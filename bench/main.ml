@@ -199,6 +199,103 @@ let rec rm_rf path =
     end
     else Sys.remove path
 
+(* Fleet throughput: the same job stream through the forked worker
+   fleet at widths 1/4/16, driving the real synth binary — this bench
+   process already runs domains, and [Unix.fork] is forbidden once
+   domains exist, so [Fleet.run] cannot be called in-process. Records
+   land in BENCH_service.json under scenario "fleet-wN" so the compare
+   gate tracks fleet wall time alongside the in-process service. *)
+let fleet_widths = [ 1; 4; 16 ]
+
+let fleet_records () =
+  let synth =
+    Filename.concat
+      (Filename.concat (Filename.dirname Sys.executable_name) "..")
+      (Filename.concat "bin" "synth.exe")
+  in
+  if not (Sys.file_exists synth) then begin
+    Printf.printf "\n  (fleet throughput skipped: %s not built)\n" synth;
+    []
+  end
+  else begin
+    let jobs =
+      List.concat
+        (List.init 6 (fun batch ->
+             List.concat_map
+               (fun tag ->
+                 [
+                   Printf.sprintf {|{"id":"%s-run-%d","spec":"%s","pipeline":"run"}|}
+                     tag batch tag;
+                   Printf.sprintf {|{"id":"%s-rtl-%d","spec":"%s","pipeline":"rtl"}|}
+                     tag batch tag;
+                 ])
+               [ "ex1"; "ex2"; "Tseng1"; "Paulin" ]))
+    in
+    let mem_int name json =
+      Option.bind (Bistpath_util.Json.member name json) Bistpath_util.Json.to_int
+    in
+    List.filter_map
+      (fun workers ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "bistpath-bench-fleet-%d-w%d" (Unix.getpid ()) workers)
+        in
+        rm_rf dir;
+        Unix.mkdir dir 0o755;
+        Out_channel.with_open_text (Filename.concat dir "jobs.ndjson") (fun oc ->
+            List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) jobs);
+        let stats_file = Filename.concat dir "stats.json" in
+        let out =
+          Unix.openfile stats_file [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644
+        in
+        let pid =
+          Unix.create_process synth
+            [| synth; "serve"; dir; "--quiet"; "--workers";
+               string_of_int workers |]
+            Unix.stdin out Unix.stderr
+        in
+        Unix.close out;
+        let t0 = Monotonic_clock.now () in
+        let code =
+          match snd (Unix.waitpid [] pid) with
+          | Unix.WEXITED c -> c
+          | Unix.WSIGNALED s -> 128 + s
+          | Unix.WSTOPPED _ -> -1
+        in
+        let wall_ns = Int64.sub (Monotonic_clock.now ()) t0 in
+        let stats =
+          match
+            Bistpath_util.Json.parse
+              (In_channel.with_open_bin stats_file In_channel.input_all)
+          with
+          | Ok j -> Some j
+          | Error _ -> None
+        in
+        rm_rf dir;
+        match stats with
+        | Some j when code = 0 ->
+          let field name = Option.value ~default:0 (mem_int name j) in
+          Printf.printf
+            "  fleet-w%-2d %d jobs in %10Ld ns   ok %d  degraded %d  failed \
+             %d  retries %d\n"
+            workers (field "accepted") wall_ns (field "completed")
+            (field "degraded") (field "failed") (field "retries");
+          Some
+            (Printf.sprintf
+               "{\"scenario\":\"fleet-w%d\",\"jobs\":%d,\"wall_ns\":%Ld,\
+                \"completed\":%d,\"degraded\":%d,\"failed\":%d,\"retries\":%d,\
+                \"breaker_trips\":0,\"journal_errors\":%d}"
+               workers (field "accepted") wall_ns (field "completed")
+               (field "degraded") (field "failed") (field "retries")
+               (field "journal_errors"))
+        | _ ->
+          Printf.printf "  fleet-w%-2d FAILED (exit %d), record dropped\n"
+            workers code;
+          None)
+      fleet_widths
+  end
+
 (* One spool of real jobs through [Service.run], clean and under
    injected faults: the records capture batch wall time plus how much
    work the retry/breaker machinery did, so the perf trajectory shows
@@ -262,6 +359,7 @@ let service_section () =
           stats.Service.breaker_trips stats.Service.journal_errors)
       scenarios
   in
+  let records = records @ fleet_records () in
   Inject.fire_sys_error "telemetry.write";
   Telemetry.write_file "BENCH_service.json"
     ("[\n" ^ String.concat ",\n" records ^ "\n]\n");

@@ -22,6 +22,7 @@ module Cancel = Bistpath_resilience.Cancel
 module Diagnostic = Bistpath_resilience.Diagnostic
 module Inject = Bistpath_resilience.Inject
 module Service = Bistpath_service.Service
+module Fleet = Bistpath_service.Fleet
 module Check = Bistpath_check.Check
 
 open Cmdliner
@@ -943,8 +944,39 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace-keep" ] ~docv:"N" ~doc)
   in
+  let workers_arg =
+    let doc =
+      "Fleet mode: fork $(docv) crash-isolated worker processes that claim \
+       jobs from a shared lease spool (lock-free atomic renames) while the \
+       supervisor only ingests, watches heartbeats and recovers dead \
+       workers' leases. 0 (the default) runs jobs in-process."
+    in
+    Arg.(value & opt (some string) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let heartbeat_interval_arg =
+    let doc = "Fleet worker heartbeat period in milliseconds." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "heartbeat-interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let lease_expiry_arg =
+    let doc =
+      "A fleet worker silent for more than $(docv) milliseconds is presumed \
+       wedged: it is killed and its leases are stolen back to the pending \
+       queue."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "lease-expiry-ms" ] ~docv:"MS" ~doc)
+  in
+  let fleet_term =
+    Term.(
+      const (fun w hb exp -> (w, hb, exp))
+      $ workers_arg $ heartbeat_interval_arg $ lease_expiry_arg)
+  in
   let run c spool out journal resume max_attempts retry_base breaker_k breaker_cd
-      queue_cap job_delay seed quiet metrics metrics_interval trace_keep cache_o =
+      queue_cap job_delay seed quiet metrics metrics_interval trace_keep
+      (workers, heartbeat_interval, lease_expiry) cache_o =
     with_common c @@ fun _budget ->
     let source =
       match spool with
@@ -1004,9 +1036,22 @@ let serve_cmd =
             ~default:dc.Service.trace_keep;
         cache_dir;
         cache_max_mb = cache_o.cache_max_mb;
+        workers =
+          nonneg_int_of ~flag:"--workers" ~default:dc.Service.workers workers;
+        heartbeat_interval_ms =
+          Option.value
+            (pos_int_of ~flag:"--heartbeat-interval-ms" heartbeat_interval)
+            ~default:dc.Service.heartbeat_interval_ms;
+        lease_expiry_ms =
+          Option.value
+            (pos_int_of ~flag:"--lease-expiry-ms" lease_expiry)
+            ~default:dc.Service.lease_expiry_ms;
       }
     in
-    match Service.run cfg with
+    let dispatch (cfg : Service.config) =
+      if cfg.workers > 0 then Fleet.run cfg else Service.run cfg
+    in
+    match dispatch cfg with
     | exception Sys_error msg ->
       (* setup problems (missing spool dir, refused journal) are
          invalid input, not an internal error *)
@@ -1018,11 +1063,39 @@ let serve_cmd =
       Printf.printf
         "{\"accepted\":%d,\"completed\":%d,\"degraded\":%d,\"failed\":%d,\
          \"rejected_specs\":%d,\"retries\":%d,\"breaker_trips\":%d,\
-         \"journal_errors\":%d,\"pending\":%d,\"drained\":%b}\n"
+         \"journal_errors\":%d,\"pending\":%d,\"drained\":%b,\"workers\":%d,\
+         \"worker_deaths_signal\":%d,\"worker_deaths_exit\":%d,\
+         \"lease_steals\":%d,\"worker_restarts\":%d}\n"
         stats.Service.accepted stats.Service.completed stats.Service.degraded
         stats.Service.failed stats.Service.rejected_specs stats.Service.retries
         stats.Service.breaker_trips stats.Service.journal_errors
-        stats.Service.pending stats.Service.drained;
+        stats.Service.pending stats.Service.drained stats.Service.workers
+        stats.Service.worker_deaths_signal stats.Service.worker_deaths_exit
+        stats.Service.lease_steals stats.Service.worker_restarts;
+      (* Worker-death causes, each named distinctly: a signal death is
+         outside pressure (OOM killer, chaos), a nonzero exit is a
+         worker-loop bug worth a report, a heartbeat-expiry steal is a
+         wedged worker the fleet healed around. None of them changes
+         the exit-code protocol — every affected job was re-run or
+         recorded as failed, and those outcomes are what exit codes
+         report. *)
+      if stats.Service.worker_deaths_signal > 0 then
+        Printf.eprintf
+          "synth: %d worker(s) died by signal; their leases were recovered \
+           and re-run\n"
+          stats.Service.worker_deaths_signal;
+      if stats.Service.worker_deaths_exit > 0 then
+        Printf.eprintf
+          "synth: %d worker(s) exited nonzero (worker-loop error, not a job \
+           failure)\n"
+          stats.Service.worker_deaths_exit;
+      if stats.Service.lease_steals > 0 then
+        Printf.eprintf
+          "synth: %d lease(s) stolen from heartbeat-expired worker(s)\n"
+          stats.Service.lease_steals;
+      if stats.Service.worker_restarts > 0 then
+        Printf.eprintf "synth: %d replacement worker(s) forked\n"
+          stats.Service.worker_restarts;
       (* Exit-3 triage, most actionable cause first. "failed" now means
          accepted jobs that exhausted their attempts — spec rejections
          are counted (and reported) separately, and budget-truncated
@@ -1061,7 +1134,7 @@ let serve_cmd =
       $ max_attempts_arg $ retry_base_arg $ breaker_threshold_arg
       $ breaker_cooldown_arg $ queue_cap_arg $ job_delay_arg $ seed_arg
       $ quiet_arg $ metrics_arg $ metrics_interval_arg $ trace_keep_arg
-      $ cache_term)
+      $ fleet_term $ cache_term)
 
 let cache_cmd =
   (* maintenance works on the directory, enabled or not: no --cache

@@ -7,16 +7,7 @@ type t = { dir : string; max_bytes : int option }
 let magic = "bistpath-cache"
 let version = "1"
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with
-    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    | Unix.Unix_error (e, _, _) ->
-      raise (Sys_error (Printf.sprintf "%s: %s" dir (Unix.error_message e)))
-  end
-  else if not (Sys.is_directory dir) then
-    raise (Sys_error (dir ^ ": not a directory"))
+let mkdir_p = Atomic_io.mkdir_p
 
 let objects_dir t = Filename.concat t.dir "objects"
 
@@ -67,28 +58,47 @@ let remove_corrupt path =
 
 let touch path = try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ()
 
+(* Open the object directly rather than probing [Sys.file_exists]
+   first: a concurrent [gc] (ours or another process's delete-on-sight
+   of a corrupt entry) may unlink the object at any moment, and an
+   exists/open pair leaves a window where the open would raise. ENOENT
+   at open is therefore an ordinary miss — the entry was evicted under
+   us — and once the descriptor is open POSIX keeps the inode readable
+   even if the file is unlinked mid-read, so the header and payload
+   always come from one consistent entry. Only genuine I/O trouble
+   (permissions, bad disk, an injected [cache.io] fault) counts into
+   [cache.io_errors]. *)
 let find t ~stage ~key =
   match object_path t key with
   | None -> None
-  | Some path ->
-    if not (Sys.file_exists path) then None
-    else begin
-      match
-        Inject.fire_sys_error "cache.io";
-        In_channel.with_open_bin path In_channel.input_all
-      with
+  | Some path -> (
+    match
+      Inject.fire_sys_error "cache.io";
+      Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0
+    with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+    | exception Unix.Unix_error (_, _, _) ->
+      Telemetry.incr "cache.io_errors";
+      None
+    | exception Sys_error _ ->
+      Telemetry.incr "cache.io_errors";
+      None
+    | fd -> (
+      let ic = Unix.in_channel_of_descr fd in
+      match In_channel.input_all ic with
       | exception Sys_error _ ->
+        (try In_channel.close ic with Sys_error _ -> ());
         Telemetry.incr "cache.io_errors";
         None
       | text -> (
+        (try In_channel.close ic with Sys_error _ -> ());
         match decode_entry ~stage text with
         | Some payload ->
           touch path;
           Some payload
         | None ->
           remove_corrupt path;
-          None)
-    end
+          None)))
 
 (* --- volume accounting and eviction -------------------------------- *)
 

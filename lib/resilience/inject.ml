@@ -7,7 +7,7 @@ let sites =
   [
     "pool.worker"; "telemetry.write"; "allocator.leaf"; "pareto.leaf";
     "service.journal"; "service.result_io"; "service.worker"; "check.rule";
-    "cache.io";
+    "cache.io"; "fleet.heartbeat"; "fleet.claim";
   ]
 
 type site_state = { prob : float; prng : Prng.t }

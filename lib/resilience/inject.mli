@@ -51,6 +51,14 @@
       ([Bistpath_cache.Store]); a failed read degrades to a miss and a
       failed write to a skipped store, both counted in
       [cache.io_errors] — the pipeline recomputes, never crashes.
+    - [fleet.heartbeat] — a fleet worker's heartbeat write fails with
+      [Sys_error] ([Bistpath_service.Lease.heartbeat]); the worker
+      keeps running (a stale heartbeat at worst provokes a lease steal,
+      which re-runs the job byte-identically).
+    - [fleet.claim] — a job-claim rename fails with [Sys_error]
+      ([Bistpath_service.Lease.claim]); the worker treats it as claim
+      contention and retries on the next poll — the pending lease is
+      never lost.
 
     Telemetry: every shot that fires increments [resilience.injected]. *)
 

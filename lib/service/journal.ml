@@ -186,6 +186,42 @@ let replay path =
     parse [] lines
   end
 
+(* --- fleet journal shards ------------------------------------------ *)
+
+let shard_path path slot =
+  if slot < 0 then invalid_arg "Journal.shard_path: slot must be >= 0";
+  Printf.sprintf "%s.shard%d" path slot
+
+let shards path =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let prefix = base ^ ".shard" in
+  let plen = String.length prefix in
+  let is_shard f =
+    String.length f > plen
+    && String.sub f 0 plen = prefix
+    && String.for_all (function '0' .. '9' -> true | _ -> false)
+         (String.sub f plen (String.length f - plen))
+  in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files |> List.filter is_shard
+    |> List.sort (fun a b ->
+           compare
+             (int_of_string (String.sub a plen (String.length a - plen)))
+             (int_of_string (String.sub b plen (String.length b - plen))))
+    |> List.map (Filename.concat dir)
+
+(* Event order across shards is unavailable (each worker fsyncs its own
+   file), but the per-job state {!fold_state} derives is order-free
+   between shards: a job's accept lives in the supervisor journal, and
+   its start/done/fail counts commute. A torn tail in one shard is
+   repaired/ignored locally by {!replay} and cannot poison jobs
+   journaled in the other shards. *)
+let replay_merged path =
+  List.concat_map replay (path :: shards path)
+
 type job_state = { job : Job.t; attempts : int; terminal : bool }
 
 let fold_state events =

@@ -70,6 +70,28 @@ val replay : string -> event list
     mid-append); an unparsable line elsewhere raises [Sys_error] —
     that is corruption, not a crash artifact. *)
 
+(** {1 Fleet journal shards}
+
+    In fleet mode every worker process appends to its own shard —
+    [<journal>.shard<slot>] beside the supervisor's journal — so no
+    two processes ever share an append descriptor. *)
+
+val shard_path : string -> int -> string
+(** [shard_path journal slot] — the shard file a worker on [slot]
+    appends to. Raises [Invalid_argument] for a negative slot. *)
+
+val shards : string -> string list
+(** Existing shard files beside [journal], sorted by slot. *)
+
+val replay_merged : string -> event list
+(** [replay journal] followed by each shard's replay in slot order.
+    Per-job resume state ({!fold_state}) does not depend on event
+    order {e between} files: accepts live in the supervisor journal and
+    the per-job attempt/terminal counts commute, so concatenation is a
+    faithful merge. A torn tail in one shard (worker SIGKILLed
+    mid-append) is ignored locally — jobs journaled in other shards
+    replay unaffected. *)
+
 (** {1 Derived state} *)
 
 type job_state = {

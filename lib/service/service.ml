@@ -28,6 +28,9 @@ type config = {
   trace_keep : int;
   cache_dir : string option;
   cache_max_mb : int option;
+  workers : int;
+  heartbeat_interval_ms : int;
+  lease_expiry_ms : int;
 }
 
 let default_config source =
@@ -53,6 +56,9 @@ let default_config source =
     trace_keep = 32;
     cache_dir = None;
     cache_max_mb = None;
+    workers = 0;
+    heartbeat_interval_ms = 250;
+    lease_expiry_ms = 5000;
   }
 
 type stats = {
@@ -66,6 +72,11 @@ type stats = {
   journal_errors : int;
   pending : int;
   drained : bool;
+  workers : int;
+  worker_deaths_signal : int;
+  worker_deaths_exit : int;
+  lease_steals : int;
+  worker_restarts : int;
 }
 
 (* --- drain signalling ---------------------------------------------- *)
@@ -84,17 +95,7 @@ let draining () = Atomic.get drain_flag
 
 (* --- helpers ------------------------------------------------------- *)
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with
-    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    | Unix.Unix_error (e, _, _) ->
-      raise (Sys_error (Printf.sprintf "%s: %s" dir (Unix.error_message e)))
-  end
-  else if not (Sys.is_directory dir) then
-    raise (Sys_error (dir ^ ": not a directory"))
-
+let mkdir_p = Atomic_io.mkdir_p
 let now_ns () = Monotonic_clock.now ()
 
 (* Per-job jitter stream: deterministic in (seed, id) only — stable
@@ -103,7 +104,7 @@ let job_prng ~seed id = Prng.split (Prng.create (seed lxor Hashtbl.hash id))
 
 (* One spec line at a time from the spool or stdin, with a
    deterministic default id per line. *)
-let make_source cfg =
+let spec_source cfg =
   match cfg.source with
   | Stdin ->
     let n = ref 0 in
@@ -529,15 +530,19 @@ let run cfg =
   | Spool_dir dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
     raise (Sys_error (dir ^ ": no such spool directory"))
   | Spool_dir _ | Stdin -> ());
-  if (not cfg.resume) && Sys.file_exists cfg.journal_path then begin
-    let st = Unix.stat cfg.journal_path in
-    if st.Unix.st_size > 0 then
-      raise
-        (Sys_error
-           (cfg.journal_path
-          ^ ": journal already exists; pass --resume to continue it or remove it \
-             to start fresh"))
-  end;
+  if not cfg.resume then
+    List.iter
+      (fun path ->
+        if Sys.file_exists path then begin
+          let st = Unix.stat path in
+          if st.Unix.st_size > 0 then
+            raise
+              (Sys_error
+                 (path
+                ^ ": journal already exists; pass --resume to continue it or \
+                   remove it to start fresh"))
+        end)
+      (cfg.journal_path :: Journal.shards cfg.journal_path);
   mkdir_p cfg.out_dir;
   mkdir_p (Filename.dirname cfg.journal_path);
   (match cfg.trace_dir with Some d -> mkdir_p d | None -> ());
@@ -553,7 +558,12 @@ let run cfg =
     end
     else false
   in
-  let replayed = if cfg.resume then Journal.fold_state (Journal.replay cfg.journal_path) else [] in
+  (* merged: a journal left by a fleet run has per-worker shards beside
+     it; resuming in-process must still see every worker's records *)
+  let replayed =
+    if cfg.resume then Journal.fold_state (Journal.replay_merged cfg.journal_path)
+    else []
+  in
   Atomic.set drain_flag false;
   current_cancel := None;
   (* an unusable cache directory degrades to an uncached service, not a
@@ -612,7 +622,7 @@ let run cfg =
   if cfg.resume then
     log st "resume: %d journaled job(s), %d re-queued" (List.length replayed)
       (Queue.length st.queue);
-  let next_spec = make_source cfg in
+  let next_spec = spec_source cfg in
   let exhausted = ref false in
   let ingest () =
     while (not !exhausted) && (not (draining ())) && Queue.length st.queue < cfg.queue_cap do
@@ -683,4 +693,9 @@ let run cfg =
     journal_errors = st.s_journal_errors;
     pending;
     drained;
+    workers = 0;
+    worker_deaths_signal = 0;
+    worker_deaths_exit = 0;
+    lease_steals = 0;
+    worker_restarts = 0;
   }

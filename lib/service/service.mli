@@ -95,6 +95,17 @@ type config = {
   cache_max_mb : int option;
       (** on-disk cap for the result cache; oldest-used entries are
           evicted past it *)
+  workers : int;
+      (** 0 (the default) runs jobs in-process as described above;
+          [workers >= 1] is fleet mode — {!Fleet.run} forks that many
+          crash-isolated worker processes claiming jobs from a shared
+          {!Lease} spool. {!run} itself always executes in-process;
+          the CLI dispatches on this field. *)
+  heartbeat_interval_ms : int;  (** >= 1; fleet worker beat period *)
+  lease_expiry_ms : int;
+      (** >= 1; a fleet worker whose heartbeat is older than this is
+          presumed wedged: it is killed and its leases are stolen back
+          to the pending queue *)
 }
 
 val default_config : source -> config
@@ -103,7 +114,9 @@ val default_config : source -> config
     [breaker_threshold = 3]; [breaker_cooldown_s = 1.0];
     [queue_cap = 64]; no default budgets; [seed = 0x5E41CE];
     [verbose = true]; no metrics snapshot ([metrics_interval_ms =
-    1000]); no per-job traces ([trace_keep = 32]); no result cache. *)
+    1000]); no per-job traces ([trace_keep = 32]); no result cache;
+    in-process ([workers = 0], [heartbeat_interval_ms = 250],
+    [lease_expiry_ms = 5000]). *)
 
 type stats = {
   accepted : int;  (** specs admitted to the queue this run *)
@@ -119,6 +132,18 @@ type stats = {
   journal_errors : int;  (** appends lost after bounded retries *)
   pending : int;  (** jobs left unfinished (only after a drain) *)
   drained : bool;
+  workers : int;  (** fleet width; 0 for an in-process run *)
+  worker_deaths_signal : int;
+      (** fleet workers that died by signal (SIGKILL, SIGSEGV, OOM
+          kill); their leases were stolen back and re-run *)
+  worker_deaths_exit : int;
+      (** fleet workers that exited nonzero (a bug in the worker loop
+          itself — never caused by a job, which becomes a typed
+          failure record instead) *)
+  lease_steals : int;
+      (** leases reclaimed from workers whose heartbeat expired (a
+          wedged or SIGSTOPped worker, killed and replaced) *)
+  worker_restarts : int;  (** replacement workers forked, with backoff *)
 }
 
 val run : config -> stats
@@ -132,3 +157,10 @@ val request_drain : unit -> unit
 (** What the signal handlers call: stop ingesting, cancel the
     in-flight job cooperatively, checkpoint and return. Exposed for
     embedding and tests. *)
+
+val spec_source : config -> unit -> (string * string) option
+(** The spool/stdin reader {!run} ingests from: yields
+    [(default_id, ndjson_line)] per spec, skipping blank lines and the
+    journal file (identified by inode, so no path alias of it can be
+    ingested as job specs). Exposed for {!Fleet.run}, which shares
+    ingestion semantics exactly. *)

@@ -114,6 +114,23 @@
     - [cache.io_errors] — cache reads/writes that failed with
       [Sys_error] (including injected [cache.io] faults); a failed
       read degrades to a miss, a failed write to a skipped store.
+    - [fleet.spawns] — worker processes forked by the fleet supervisor
+      ([Bistpath_service.Fleet]), initial and replacement alike.
+    - [fleet.restarts] — replacement forks only (a slot whose previous
+      worker died).
+    - [fleet.deaths_signal] — workers reaped after a genuine signal
+      death (SIGKILL, OOM, segfault). Supervisor-initiated kills
+      (heartbeat expiry, shutdown escalation) are counted under
+      [fleet.heartbeat_expiries] / steals instead.
+    - [fleet.deaths_exit] — workers that exited nonzero: a worker-loop
+      error, not a job failure (jobs failing is [service.jobs_failed]
+      in the worker's own recorder).
+    - [fleet.heartbeat_expiries] — workers presumed wedged (no
+      heartbeat within the lease expiry) and killed by the supervisor.
+    - [fleet.lease_steals] — leases recovered from dead or expired
+      workers and re-queued or terminally failed.
+    - [fleet.requeued] — stolen leases whose retry budget allowed a
+      re-run (the re-queued subset of [fleet.lease_steals]).
 
     {1 Histogram registry}
 
@@ -143,7 +160,14 @@
     code 3). Gauges set by the service layer: [service.queue_depth]
     (jobs waiting or retrying), [service.breaker_open] (job classes
     currently failing fast) and — in the [--metrics] snapshot —
-    [service.breaker.<class>] (0 closed, 1 half-open, 2 open).
+    [service.breaker.<class>] (0 closed, 1 half-open, 2 open). Gauges
+    set by the fleet supervisor: [fleet.workers_alive],
+    [fleet.pending_depth] / [fleet.claimed_depth] (spool occupancy)
+    and [fleet.worker.<slot>] (0 dead, 1 alive, 2 heartbeat-expired).
+
+    Instant events from the fleet supervisor: [fleet.steal] with
+    [slot] and [leases] attributes, emitted when a heartbeat-expired
+    worker's leases are recovered.
 
     Instant events ({!instant}; ["i"]-phase marks in the Chrome
     trace): [budget.trip] with a [reason] attribute, emitted the

@@ -1,6 +1,16 @@
 let sys_error path e =
   raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | Unix.Unix_error (e, _, _) -> sys_error dir e
+  end
+  else if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"))
+
 let write_all fd path s =
   let len = String.length s in
   let off = ref 0 in

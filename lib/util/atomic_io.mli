@@ -20,6 +20,11 @@
 
 val write_file : string -> string -> unit
 
+val mkdir_p : string -> unit
+(** Create a directory and its missing ancestors ([mkdir -p]). A
+    concurrent creator winning the race ([EEXIST]) is success; a
+    non-directory in the way raises [Sys_error]. *)
+
 val fsync_append : Unix.file_descr -> string -> unit
 (** [fsync_append fd line] writes all of [line] to [fd] and fsyncs —
     the journal primitive: used with an [O_APPEND] descriptor, the

@@ -129,6 +129,58 @@ let store_corrupt_entry () =
   check Alcotest.bool "corrupt file deleted on sight" false (Sys.file_exists path);
   rm_rf d
 
+(* Regression: an entry unlinked between [find]'s header and payload
+   reads (a concurrent gc in another process) used to escape as an
+   exception. [find] now opens the object exactly once — ENOENT at open
+   is an ordinary miss, and an inode already open stays readable after
+   any unlink — so a second process deleting and recreating the entry
+   at full speed must never produce anything but hits and misses. *)
+let store_concurrent_gc_race () =
+  let d = tmpdir () in
+  let s = Store.open_ ~dir:(Filename.concat d "cache") () in
+  let key = some_key "gc-race" in
+  let payload = "racy payload" in
+  Store.put s ~stage:"alloc" ~key payload;
+  let path = entry_path s key in
+  let rounds = 2000 in
+  (* the gc impersonator, in a second process: unlink and atomically
+     recreate (rename within the directory) a byte-exact copy of the
+     object, flat out. A shell subprocess rather than fork: the test
+     runner already has domains alive. *)
+  let template = path ^ ".template" in
+  Out_channel.with_open_bin template (fun oc ->
+      Out_channel.output_string oc (read_file path));
+  let script =
+    Printf.sprintf
+      "i=0; while [ $i -lt %d ]; do rm -f %s; cp %s %s; mv %s %s; i=$((i+1)); \
+       done"
+      rounds (Filename.quote path) (Filename.quote template)
+      (Filename.quote (path ^ ".churn"))
+      (Filename.quote (path ^ ".churn"))
+      (Filename.quote path)
+  in
+  let child =
+    Unix.create_process "/bin/sh"
+      [| "/bin/sh"; "-c"; script |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let outcomes = ref 0 in
+  let (), r =
+    Telemetry.collect (fun () ->
+        for _ = 1 to rounds do
+          (match Store.find s ~stage:"alloc" ~key with
+          | Some p -> check Alcotest.string "payload never torn" payload p
+          | None -> ());
+          incr outcomes
+        done)
+  in
+  ignore (Unix.waitpid [] child);
+  check Alcotest.int "every read returned (no exception escaped)" rounds
+    !outcomes;
+  check Alcotest.int "unlink races are misses, not io errors" 0
+    (Telemetry.counter r "cache.io_errors");
+  rm_rf d
+
 let store_gc_evicts_oldest () =
   let d = tmpdir () in
   let s = Store.open_ ~dir:(Filename.concat d "cache") () in
@@ -465,6 +517,8 @@ let suite =
     case "stage keys are distinct 32-hex digests" stage_keys_distinct;
     case "store: put/find round-trip, stage identity, clear" store_roundtrip;
     case "store: corrupt entry is a counted miss and is deleted" store_corrupt_entry;
+    case "store: concurrent delete/recreate is only ever a miss"
+      store_concurrent_gc_race;
     case "store: gc evicts oldest-mtime entries first" store_gc_evicts_oldest;
     case "store: injected cache.io faults degrade to misses" store_io_fault_degrades;
     case "flow: warm run is a full per-stage hit" flow_warm_run_is_full_hit;

@@ -30,6 +30,7 @@ let () =
       ("atpg", Test_atpg.suite);
       ("report", Test_report.suite);
       ("service", Test_service.suite);
+      ("fleet", Test_fleet.suite);
       ("cache", Test_cache.suite);
       ("compare", Test_compare.suite);
       ("check", Test_check.suite);
