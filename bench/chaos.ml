@@ -12,7 +12,12 @@
         holds at most one terminal record per job id;
      3. byte-identity — every artifact the fleet produced is
         byte-identical to the clean reference's artifact for that id;
-        with no injection and no poison, the artifact *sets* match too.
+        with no injection and no poison, the artifact *sets* match too;
+     4. parse-back equivalence — every completed `rtl` job's artifact
+        parses back structurally and functionally equivalent to the
+        data path re-synthesized from its spec (byte-identity says the
+        fleet wrote the right bytes; this says the bytes mean what the
+        flow meant).
 
    Every random choice (job mix, poison placement, kill times, victim
    slots) derives from --seed, so a failure reproduces with the same
@@ -26,6 +31,10 @@
 module Json = Bistpath_util.Json
 module Prng = Bistpath_util.Prng
 module Journal = Bistpath_service.Journal
+module Job = Bistpath_service.Job
+module Bench = Bistpath_benchmarks.Benchmarks
+module Flow = Bistpath_core.Flow
+module Equiv = Bistpath_rtl.Equiv
 
 let usage () =
   prerr_endline
@@ -401,6 +410,57 @@ let () =
   end;
   note "verified %d artifacts byte-identical, %d terminal records"
     (List.length chaos_outs) (Hashtbl.length terminals);
+
+  (* 4. parse-back equivalence on every completed rtl artifact. Same
+     spec + same defaults = byte-identical artifact, so each distinct
+     (spec, bytes) pair is verified once and later artifacts only pay
+     a byte comparison. *)
+  let verified_rtl = Hashtbl.create 8 in
+  let rtl_checked = ref 0 in
+  List.iter
+    (fun (id, poisoned, line) ->
+      let out = Filename.concat chaos_results (id ^ ".out") in
+      if (not poisoned) && Sys.file_exists out then
+        match Job.parse_line ~default_id:id line with
+        | Error _ | Ok { Job.pipeline = Job.Run | Pareto | Coverage | Export
+                         | Check | Verify; _ } -> ()
+        | Ok ({ Job.pipeline = Job.Rtl; _ } as j) -> (
+          match Bench.by_tag j.Job.spec with
+          | None -> ()
+          | Some inst ->
+            incr rtl_checked;
+            let rtl = read_file out in
+            if Hashtbl.find_opt verified_rtl j.Job.spec <> Some rtl then begin
+              let r =
+                Flow.run ~width:j.Job.width
+                  ~transparency:j.Job.transparency
+                  ~style:(Flow.Testable Bistpath_core.Testable_alloc.default_options)
+                  inst.Bench.dfg inst.Bench.massign ~policy:inst.Bench.policy
+              in
+              (match
+                 Equiv.verify ~width:j.Job.width ~bist:r.Flow.bist ~rtl
+                   r.Flow.datapath
+               with
+              | Error diags ->
+                bad "%s: rtl artifact does not parse back (%s)" id
+                  (match diags with
+                  | d :: _ -> Bistpath_resilience.Diagnostic.to_string d
+                  | [] -> "no diagnostics")
+              | Ok rep ->
+                (match rep.Equiv.structural with
+                | diff :: _ ->
+                  bad "%s: rtl artifact not structurally equivalent (%s)" id diff
+                | [] -> ());
+                (match rep.Equiv.functional with
+                | Some m ->
+                  bad "%s: rtl artifact disagrees with the interpreter on %s" id
+                    m.Equiv.output
+                | None -> ()));
+              Hashtbl.replace verified_rtl j.Job.spec rtl
+            end))
+    stream;
+  note "parse-back equivalence verified on %d rtl artifacts (%d distinct specs)"
+    !rtl_checked (Hashtbl.length verified_rtl);
 
   (match
      ( stats_field chaos_stdout "worker_deaths_signal",

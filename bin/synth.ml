@@ -24,13 +24,16 @@ module Inject = Bistpath_resilience.Inject
 module Service = Bistpath_service.Service
 module Fleet = Bistpath_service.Fleet
 module Check = Bistpath_check.Check
+module Equiv = Bistpath_rtl.Equiv
 
 open Cmdliner
 
 (* Exit-code protocol: 0 success, 1 internal/CLI error, 2 static-check
-   findings (the verifier found error-severity violations), 3 degraded
-   (a budget tripped and best-so-far results were printed), 4 invalid
-   input (the DFG/behavioural text failed validation). *)
+   or parse-back findings (the verifier found error-severity
+   violations, or `verify` found a structural/functional mismatch), 3
+   degraded (a budget tripped and best-so-far results were printed), 4
+   invalid input (the DFG/behavioural text failed validation, or
+   `verify` was given unparsable RTL). *)
 let exit_findings = 2
 let exit_degraded = 3
 let exit_invalid_input = 4
@@ -499,14 +502,22 @@ let rtl_cmd =
     let doc = "Also emit the self-test wrapper (implies $(b,--bist))." in
     Arg.(value & flag & info [ "wrapper" ] ~doc)
   in
-  let run c spec width flow bist wrapper check cache_o =
+  let verify_arg =
+    let doc =
+      "Parse the emitted RTL back and prove it structurally equivalent to \
+       the data path before printing (exit 2 on mismatch, 4 if the emitted \
+       text is unparsable)."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run c spec width flow bist wrapper verify check cache_o =
     with_common c @@ fun budget ->
     let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
     let bist = bist || wrapper in
     let cache = open_cache cache_o in
     let key =
-      if check then None
+      if check || verify then None
       else
         cli_artifact_key ~cache ~stage:Stage.Rtl ~width ~style
           [ ("artifact", Bistpath_util.Json.Str "rtl");
@@ -540,13 +551,43 @@ let rtl_cmd =
       print_string payload;
       if not (Budget.should_stop budget) then
         Flow.artifact_store ~cache ~stage:Stage.Rtl ~key payload;
+      if verify then begin
+        (* parse the just-printed text back and prove it equivalent *)
+        match
+          Equiv.verify ~width
+            ?bist:(if bist then Some r.Flow.bist else None)
+            ?sessions:(if wrapper then Some r.Flow.sessions else None)
+            ~rtl:payload r.Flow.datapath
+        with
+        | Error diags ->
+          List.iter
+            (fun d -> prerr_endline ("synth: " ^ Diagnostic.to_string d))
+            diags;
+          exit exit_invalid_input
+        | Ok rep ->
+          let bad =
+            List.map (fun d -> "RTL005 " ^ d) rep.Equiv.structural
+            @
+            match rep.Equiv.functional with
+            | None -> []
+            | Some m ->
+              [
+                Printf.sprintf "EQ002 output %s: expected %d got %d"
+                  m.Equiv.output m.Equiv.expected m.Equiv.actual;
+              ]
+          in
+          if bad <> [] then begin
+            List.iter (fun l -> prerr_endline ("synth: verify: " ^ l)) bad;
+            exit exit_findings
+          end
+      end;
       if check then run_check_gate ~budget ~width ~transparency:false inst flow r
   in
   let doc = "Emit structural Verilog for the synthesized data path." in
   Cmd.v (Cmd.info "rtl" ~doc)
     Term.(
       const run $ common_term $ instance_arg $ width_arg $ flow_arg $ bist_arg
-      $ wrapper_arg $ check_gate_arg $ cache_term)
+      $ wrapper_arg $ verify_arg $ check_gate_arg $ cache_term)
 
 let dot_cmd =
   let what_arg =
@@ -799,6 +840,248 @@ let check_cmd =
     Term.(
       const run $ common_term $ instance_arg $ width_arg $ check_flow_arg
       $ transparency_arg $ vectors_arg $ format_arg $ suppress_arg)
+
+(* `synth verify`: close the RTL loop. The emitted Verilog (or a user
+   file, or a committed golden artifact) is parsed back, structurally
+   matched against the in-memory data path and simulated on random
+   vectors. Exit 0 equivalent, 2 mismatch, 4 unparsable RTL. *)
+let verify_cmd =
+  let vectors_arg =
+    let doc =
+      "Random vectors for the simulation cross-check EQ002 (0 disables it; \
+       the structural comparison RTL005 always runs)."
+    in
+    Arg.(value & opt int 16 & info [ "vectors" ] ~docv:"N" ~doc)
+  in
+  let format_arg =
+    let doc =
+      "Report format: $(b,text) (default) or $(b,json) (one NDJSON object \
+       per verified artifact)."
+    in
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let verify_flow_arg =
+    let doc =
+      "Which flow(s) to verify: $(b,both) (default), $(b,testable) or \
+       $(b,traditional)."
+    in
+    Arg.(value & opt string "both" & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let rtl_arg =
+    let doc =
+      "Verify this RTL file instead of re-emitting (requires a single \
+       $(b,--flow); combine with $(b,--bist)/$(b,--sessions) to state the \
+       configuration the file was emitted with)."
+    in
+    Arg.(value & opt (some string) None & info [ "rtl" ] ~docv:"FILE" ~doc)
+  in
+  let bist_arg =
+    let doc = "With $(b,--rtl): the file instantiates BIST register variants." in
+    Arg.(value & flag & info [ "bist" ] ~doc)
+  in
+  let sessions_arg =
+    let doc =
+      "With $(b,--rtl): the file steers test sessions (implies $(b,--bist))."
+    in
+    Arg.(value & flag & info [ "sessions" ] ~doc)
+  in
+  let golden_arg =
+    let doc =
+      "Compare the emitted RTL against $(docv)/<spec>__<flow>.v (the \
+       file name is the sanitized spec as written on the command line) \
+       structurally: formatting and comment churn never fail; semantic \
+       drift always does."
+    in
+    Arg.(value & opt (some string) None & info [ "golden" ] ~docv:"DIR" ~doc)
+  in
+  let update_golden_arg =
+    let doc = "Rewrite the golden files under $(b,--golden) instead of comparing." in
+    Arg.(value & flag & info [ "update-golden" ] ~doc)
+  in
+  let run c spec width flow vectors format rtl_file bist_f sessions_f golden
+      update_golden =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
+    (match format with
+    | "text" | "json" -> ()
+    | s -> or_die (Error (Printf.sprintf "unknown format %S (use text or json)" s)));
+    if vectors < 0 then invalid_flag "--vectors" (string_of_int vectors) "a non-negative integer";
+    let styles =
+      match flow with
+      | "both" ->
+        [ ("traditional", Flow.Traditional);
+          ("testable", Flow.Testable Testable_alloc.default_options) ]
+      | s -> [ (s, or_die (style_of_flow s)) ]
+    in
+    let mismatches = ref 0 and unparsable = ref 0 in
+    let json = format = "json" in
+    let report_text label lines ok_note =
+      if lines = [] then Printf.printf "verify %s: ok%s\n" label ok_note
+      else begin
+        Printf.printf "verify %s: MISMATCH\n" label;
+        List.iter (fun l -> Printf.printf "  %s\n" l) lines
+      end
+    in
+    let finding_lines (rep : Equiv.report) =
+      List.map (fun d -> "RTL005 " ^ d) rep.Equiv.structural
+      @
+      match rep.Equiv.functional with
+      | None -> []
+      | Some m ->
+        [
+          Printf.sprintf "EQ002 output %s: expected %d got %d on vector %s"
+            m.Equiv.output m.Equiv.expected m.Equiv.actual
+            (String.concat ", "
+               (List.map (fun (x, v) -> Printf.sprintf "%s=%d" x v) m.Equiv.vector));
+        ]
+    in
+    let emit_report label result =
+      match result with
+      | Error diags ->
+        incr unparsable;
+        if json then
+          print_endline
+            (Bistpath_util.Json.to_string
+               (Bistpath_util.Json.Obj
+                  [
+                    ("artifact", Bistpath_util.Json.Str label);
+                    ("ok", Bistpath_util.Json.Bool false);
+                    ("unparsable", Bistpath_util.Json.Bool true);
+                    ( "diagnostics",
+                      Bistpath_util.Json.Arr
+                        (List.map
+                           (fun d -> Bistpath_util.Json.Str (Diagnostic.to_string d))
+                           diags) );
+                  ]))
+        else begin
+          Printf.printf "verify %s: UNPARSABLE\n" label;
+          List.iter
+            (fun d -> Printf.printf "  %s\n" (Diagnostic.to_string d))
+            diags
+        end
+      | Ok (rep : Equiv.report) ->
+        let lines = finding_lines rep in
+        if lines <> [] then incr mismatches;
+        if json then
+          print_endline
+            (Bistpath_util.Json.to_string
+               (Bistpath_util.Json.Obj
+                  [
+                    ("artifact", Bistpath_util.Json.Str label);
+                    ("ok", Bistpath_util.Json.Bool (lines = []));
+                    ( "findings",
+                      Bistpath_util.Json.Arr
+                        (List.map (fun l -> Bistpath_util.Json.Str l) lines) );
+                    ( "vectors",
+                      Bistpath_util.Json.Num (float_of_int rep.Equiv.vectors_run) );
+                  ]))
+        else
+          report_text label lines
+            (Printf.sprintf " (%d vectors)" rep.Equiv.vectors_run)
+    in
+    let full_rtl ?bist ?sessions dp =
+      Verilog.primitives ~width ^ "\n"
+      ^ Verilog.emit ~width ?bist ?sessions dp
+      ^ "\n"
+    in
+    (match (rtl_file, golden) with
+    | Some file, _ ->
+      let label, style =
+        match styles with
+        | [ one ] -> one
+        | _ -> or_die (Error "--rtl needs a single --flow (testable or traditional)")
+      in
+      let text =
+        try In_channel.with_open_bin file In_channel.input_all
+        with Sys_error e -> or_die (Error e)
+      in
+      let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+      let bist = if bist_f || sessions_f then Some r.Flow.bist else None in
+      let sessions = if sessions_f then Some r.Flow.sessions else None in
+      emit_report
+        (Printf.sprintf "%s/%s/%s" inst.B.tag label (Filename.basename file))
+        (Equiv.verify ~vectors ~width ?bist ?sessions ~rtl:text r.Flow.datapath)
+    | None, Some dir ->
+      List.iter
+        (fun (label, style) ->
+          let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+          let current =
+            full_rtl ~bist:r.Flow.bist ~sessions:r.Flow.sessions r.Flow.datapath
+          in
+          (* Keyed by the spec as written, not the instance tag: a DFG
+             file may carry the same internal name as a benchmark tag
+             while meaning a different design (single-function module
+             assignment), and the two must not share a golden file. *)
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "%s__%s.v" (Verilog.sanitize spec) label)
+          in
+          let glabel = Printf.sprintf "%s/%s golden" inst.B.tag label in
+          if update_golden then begin
+            Bistpath_util.Atomic_io.mkdir_p dir;
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc current);
+            if not json then Printf.printf "verify %s: updated %s\n" glabel path
+          end
+          else if not (Sys.file_exists path) then begin
+            incr mismatches;
+            report_text glabel
+              [ Printf.sprintf "missing golden file %s (run --update-golden)" path ]
+              ""
+          end
+          else begin
+            let g = In_channel.with_open_bin path In_channel.input_all in
+            if String.equal g current then report_text glabel [] " (byte-identical)"
+            else
+              match Equiv.drift ~golden:g ~current with
+              | Ok [] -> report_text glabel [] " (formatting drift only)"
+              | Ok diffs ->
+                incr mismatches;
+                report_text glabel (List.map (fun d -> "DRIFT " ^ d) diffs) ""
+              | Error diags ->
+                incr unparsable;
+                Printf.printf "verify %s: UNPARSABLE\n" glabel;
+                List.iter
+                  (fun d -> Printf.printf "  %s\n" (Diagnostic.to_string d))
+                  diags
+          end)
+        styles
+    | None, None ->
+      List.iter
+        (fun (label, style) ->
+          let r = Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+          let dp = r.Flow.datapath in
+          let variants =
+            [
+              ("plain", None, None);
+              ("bist", Some r.Flow.bist, None);
+              ("sessions", Some r.Flow.bist, Some r.Flow.sessions);
+            ]
+          in
+          List.iter
+            (fun (vname, bist, sessions) ->
+              emit_report
+                (Printf.sprintf "%s/%s/%s" inst.B.tag label vname)
+                (Equiv.verify ~vectors ~width ?bist ?sessions
+                   ~rtl:(full_rtl ?bist ?sessions dp)
+                   dp))
+            variants)
+        styles);
+    if !unparsable > 0 then exit exit_invalid_input;
+    if !mismatches > 0 then exit exit_findings
+  in
+  let doc =
+    "Parse the emitted Verilog back and prove it equivalent to the \
+     in-memory data path: structural netlist match (RTL005) plus a \
+     random-vector simulation cross-check (EQ002). With $(b,--golden), \
+     detect semantic drift against committed RTL instead. Exit 2 on \
+     mismatch, 4 on unparsable RTL."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      const run $ common_term $ instance_arg $ width_arg $ verify_flow_arg
+      $ vectors_arg $ format_arg $ rtl_arg $ bist_arg $ sessions_arg
+      $ golden_arg $ update_golden_arg)
 
 let atpg_cmd =
   let backtracks_arg =
@@ -1212,7 +1495,7 @@ let () =
   let cmds =
     [ run_cmd; compare_cmd; tables_cmd; figures_cmd; ablation_cmd; rtl_cmd;
       dot_cmd; coverage_cmd; atpg_cmd; tb_cmd; vcd_cmd; area_cmd; pareto_cmd;
-      check_cmd; export_cmd; serve_cmd; cache_cmd; list_cmd ]
+      check_cmd; verify_cmd; export_cmd; serve_cmd; cache_cmd; list_cmd ]
   in
   (* A first argument that is neither a subcommand nor an option is a DFG
      spec: treat `synth data/Paulin.dfg --stats` as `synth run ...`. *)

@@ -1,0 +1,326 @@
+module dp_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (en) q <= d;
+  end
+endmodule
+
+module tpg_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module sa_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (test_mode) q <= {q[WIDTH-2:0], fb} ^ d;
+    else if (en) q <= d;
+  end
+endmodule
+
+module bilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire compact,  // 1 = signature analysis, 0 = pattern generation
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= compact ? ({q[WIDTH-2:0], fb} ^ d) : {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module cbilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  // two ranks: generator rank feeds the datapath, compactor rank
+  // absorbs responses concurrently (roughly 2x register area)
+  reg [WIDTH-1:0] sig;
+  wire fb  = q[WIDTH-1] ^ (^(q   & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  wire fb2 = sig[WIDTH-1] ^ (^(sig & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = sig;
+  always @(posedge clk) begin
+    if (rst) begin q <= SEED; sig <= {WIDTH{1'b0}}; end
+    else if (test_mode) begin
+      q   <= {q[WIDTH-2:0], fb};
+      sig <= {sig[WIDTH-2:0], fb2} ^ d;
+    end else if (en) q <= d;
+  end
+endmodule
+
+module dp_add #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a + b;
+endmodule
+module dp_sub #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a - b;
+endmodule
+module dp_mul #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a * b;
+endmodule
+module dp_div #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = (b == 0) ? {WIDTH{1'b1}} : a / b;
+endmodule
+module dp_and #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a & b;
+endmodule
+module dp_or #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a | b;
+endmodule
+module dp_xor #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a ^ b;
+endmodule
+module dp_less #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = {{(WIDTH-1){1'b0}}, a < b};
+endmodule
+
+module paulin_datapath (
+  input  wire clk,
+  input  wire rst,
+  input  wire test_mode,
+  input  wire [1:0] test_session,
+  input  wire [7:0] pin_x,
+  input  wire [7:0] pin_y,
+  input  wire [7:0] pin_u,
+  input  wire [7:0] pin_dx,
+  input  wire [7:0] pin_a,
+  input  wire [7:0] pin_c3,
+  output wire [7:0] pout_x1,
+  output wire [7:0] pout_y1,
+  output wire [7:0] pout_u1,
+  output wire [7:0] pout_cc,
+  output wire [7:0] sig_R2,
+  output wire [7:0] sig_IN_x
+);
+
+  localparam NUM_STEPS = 4;
+  reg [2:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 3'd0;
+    else if (step <= 3'd4) step <= step + 3'd1;
+  end
+
+  wire [7:0] d_R1;
+  assign d_R1 = out_MUL2;
+  wire en_R1;
+  assign en_R1 = (step == 3'd1);
+  wire [7:0] q_R1;
+  dp_register #(.WIDTH(8)) R1 (.clk(clk), .rst(rst), .en(en_R1), .d(d_R1), .q(q_R1));
+
+  wire [7:0] d_R2;
+  wire [1:0] sel_R2;
+  assign sel_R2 =
+    (test_mode && test_session == 2'd0) ? 2'd0 :
+    (test_mode && test_session == 2'd1) ? 2'd1 :
+    (test_mode && test_session == 2'd2) ? 2'd2 :
+    step == 3'd1 ? 2'd0 :
+    step == 3'd2 ? 2'd1 :
+    step == 3'd3 ? 2'd2 :
+    2'd0;
+  assign d_R2 =
+    sel_R2 == 2'd0 ? out_MUL1 :
+    sel_R2 == 2'd1 ? out_MUL2 :
+    out_SUB;
+  wire en_R2;
+  assign en_R2 = (step == 3'd1) || (step == 3'd2) || (step == 3'd3);
+  wire [7:0] q_R2;
+  sa_register #(.WIDTH(8)) R2 (.clk(clk), .rst(rst), .en(en_R2), .test_mode(test_mode), .d(d_R2), .q(q_R2), .sig_out(sig_R2));
+
+  wire [7:0] d_R3;
+  assign d_R3 = out_MUL1;
+  wire en_R3;
+  assign en_R3 = (step == 3'd2) || (step == 3'd3);
+  wire [7:0] q_R3;
+  dp_register #(.WIDTH(8)) R3 (.clk(clk), .rst(rst), .en(en_R3), .d(d_R3), .q(q_R3));
+
+  wire [7:0] d_R4;
+  assign d_R4 = out_SUB;
+  wire en_R4;
+  assign en_R4 = (step == 3'd2);
+  wire [7:0] q_R4;
+  dp_register #(.WIDTH(8)) R4 (.clk(clk), .rst(rst), .en(en_R4), .d(d_R4), .q(q_R4));
+
+  wire [7:0] d_IN_x;
+  wire [0:0] sel_IN_x;
+  assign sel_IN_x =
+    (test_mode && test_session == 2'd0) ? 1'd0 :
+    step == 3'd0 ? 1'd1 :
+    step == 3'd1 ? 1'd0 :
+    1'd0;
+  assign d_IN_x =
+    sel_IN_x == 1'd0 ? out_ADD :
+    pin_x;
+  wire en_IN_x;
+  assign en_IN_x = (step == 3'd0) || (step == 3'd1);
+  wire [7:0] q_IN_x;
+  cbilbo_register #(.WIDTH(8), .SEED(8'd116)) IN_x (.clk(clk), .rst(rst), .en(en_IN_x), .test_mode(test_mode), .d(d_IN_x), .q(q_IN_x), .sig_out(sig_IN_x));
+
+  wire [7:0] d_IN_y;
+  wire [0:0] sel_IN_y;
+  assign sel_IN_y =
+    step == 3'd1 ? 1'd1 :
+    step == 3'd4 ? 1'd0 :
+    1'd0;
+  assign d_IN_y =
+    sel_IN_y == 1'd0 ? out_ADD :
+    pin_y;
+  wire en_IN_y;
+  assign en_IN_y = (step == 3'd1) || (step == 3'd4);
+  wire [7:0] q_IN_y;
+  dp_register #(.WIDTH(8)) IN_y (.clk(clk), .rst(rst), .en(en_IN_y), .d(d_IN_y), .q(q_IN_y));
+
+  wire [7:0] d_IN_u;
+  wire [0:0] sel_IN_u;
+  assign sel_IN_u =
+    step == 3'd0 ? 1'd1 :
+    step == 3'd4 ? 1'd0 :
+    1'd0;
+  assign d_IN_u =
+    sel_IN_u == 1'd0 ? out_SUB :
+    pin_u;
+  wire en_IN_u;
+  assign en_IN_u = (step == 3'd0) || (step == 3'd4);
+  wire [7:0] q_IN_u;
+  dp_register #(.WIDTH(8)) IN_u (.clk(clk), .rst(rst), .en(en_IN_u), .d(d_IN_u), .q(q_IN_u));
+
+  wire [7:0] d_IN_dx;
+  assign d_IN_dx = pin_dx;
+  wire en_IN_dx;
+  assign en_IN_dx = (step == 3'd0);
+  wire [7:0] q_IN_dx;
+  tpg_register #(.WIDTH(8), .SEED(8'd241)) IN_dx (.clk(clk), .rst(rst), .en(en_IN_dx), .test_mode(test_mode), .d(d_IN_dx), .q(q_IN_dx));
+
+  wire [7:0] d_IN_a;
+  assign d_IN_a = pin_a;
+  wire en_IN_a;
+  assign en_IN_a = (step == 3'd1);
+  wire [7:0] q_IN_a;
+  tpg_register #(.WIDTH(8), .SEED(8'd80)) IN_a (.clk(clk), .rst(rst), .en(en_IN_a), .test_mode(test_mode), .d(d_IN_a), .q(q_IN_a));
+
+  wire [7:0] d_IN_c3;
+  assign d_IN_c3 = pin_c3;
+  wire en_IN_c3;
+  assign en_IN_c3 = (step == 3'd0);
+  wire [7:0] q_IN_c3;
+  tpg_register #(.WIDTH(8), .SEED(8'd112)) IN_c3 (.clk(clk), .rst(rst), .en(en_IN_c3), .test_mode(test_mode), .d(d_IN_c3), .q(q_IN_c3));
+
+  wire [7:0] l_ADD;
+  wire [0:0] lsel_ADD;
+  assign lsel_ADD =
+    (test_mode && test_session == 2'd0) ? 1'd0 :
+    step == 3'd1 ? 1'd0 :
+    step == 3'd4 ? 1'd1 :
+    1'd0;
+  assign l_ADD =
+    lsel_ADD == 1'd0 ? q_IN_x :
+    q_IN_y;
+  wire [7:0] r_ADD;
+  wire [0:0] rsel_ADD;
+  assign rsel_ADD =
+    (test_mode && test_session == 2'd0) ? 1'd0 :
+    step == 3'd1 ? 1'd0 :
+    step == 3'd4 ? 1'd1 :
+    1'd0;
+  assign r_ADD =
+    rsel_ADD == 1'd0 ? q_IN_dx :
+    q_R1;
+  wire [7:0] out_ADD;
+  dp_add #(.WIDTH(8)) u_ADD (.a(l_ADD), .b(r_ADD), .y(out_ADD));
+
+  wire [7:0] l_MUL1;
+  wire [1:0] lsel_MUL1;
+  assign lsel_MUL1 =
+    (test_mode && test_session == 2'd0) ? 2'd0 :
+    step == 3'd1 ? 2'd0 :
+    step == 3'd2 ? 2'd2 :
+    step == 3'd3 ? 2'd1 :
+    2'd0;
+  assign l_MUL1 =
+    lsel_MUL1 == 2'd0 ? q_IN_c3 :
+    lsel_MUL1 == 2'd1 ? q_IN_dx :
+    q_R1;
+  wire [7:0] r_MUL1;
+  wire [0:0] rsel_MUL1;
+  assign rsel_MUL1 =
+    (test_mode && test_session == 2'd0) ? 1'd0 :
+    step == 3'd1 ? 1'd0 :
+    step == 3'd2 ? 1'd1 :
+    step == 3'd3 ? 1'd1 :
+    1'd0;
+  assign r_MUL1 =
+    rsel_MUL1 == 1'd0 ? q_IN_x :
+    q_R2;
+  wire [7:0] out_MUL1;
+  dp_mul #(.WIDTH(8)) u_MUL1 (.a(l_MUL1), .b(r_MUL1), .y(out_MUL1));
+
+  wire [7:0] l_MUL2;
+  wire [0:0] lsel_MUL2;
+  assign lsel_MUL2 =
+    (test_mode && test_session == 2'd1) ? 1'd0 :
+    step == 3'd1 ? 1'd1 :
+    step == 3'd2 ? 1'd0 :
+    1'd0;
+  assign l_MUL2 =
+    lsel_MUL2 == 1'd0 ? q_IN_c3 :
+    q_IN_u;
+  wire [7:0] r_MUL2;
+  wire [0:0] rsel_MUL2;
+  assign rsel_MUL2 =
+    (test_mode && test_session == 2'd1) ? 1'd0 :
+    step == 3'd1 ? 1'd0 :
+    step == 3'd2 ? 1'd1 :
+    1'd0;
+  assign r_MUL2 =
+    rsel_MUL2 == 1'd0 ? q_IN_dx :
+    q_IN_y;
+  wire [7:0] out_MUL2;
+  dp_mul #(.WIDTH(8)) u_MUL2 (.a(l_MUL2), .b(r_MUL2), .y(out_MUL2));
+
+  wire [7:0] l_SUB;
+  wire [1:0] lsel_SUB;
+  assign lsel_SUB =
+    (test_mode && test_session == 2'd2) ? 2'd1 :
+    step == 3'd2 ? 2'd1 :
+    step == 3'd3 ? 2'd0 :
+    step == 3'd4 ? 2'd2 :
+    2'd0;
+  assign l_SUB =
+    lsel_SUB == 2'd0 ? q_IN_u :
+    lsel_SUB == 2'd1 ? q_IN_x :
+    q_R2;
+  wire [7:0] r_SUB;
+  wire [0:0] rsel_SUB;
+  assign rsel_SUB =
+    (test_mode && test_session == 2'd2) ? 1'd0 :
+    step == 3'd2 ? 1'd0 :
+    step == 3'd3 ? 1'd1 :
+    step == 3'd4 ? 1'd1 :
+    1'd0;
+  assign r_SUB =
+    rsel_SUB == 1'd0 ? q_IN_a :
+    q_R3;
+  wire [7:0] out_SUB;
+  dp_sub #(.WIDTH(8)) u_SUB (.a(l_SUB), .b(r_SUB), .y(out_SUB));
+
+  assign pout_x1 = q_IN_x;
+  assign pout_y1 = q_IN_y;
+  assign pout_u1 = q_IN_u;
+  assign pout_cc = q_R4;
+
+endmodule
+

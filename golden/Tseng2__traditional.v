@@ -1,0 +1,279 @@
+module dp_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (en) q <= d;
+  end
+endmodule
+
+module tpg_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module sa_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (test_mode) q <= {q[WIDTH-2:0], fb} ^ d;
+    else if (en) q <= d;
+  end
+endmodule
+
+module bilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire compact,  // 1 = signature analysis, 0 = pattern generation
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= compact ? ({q[WIDTH-2:0], fb} ^ d) : {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module cbilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  // two ranks: generator rank feeds the datapath, compactor rank
+  // absorbs responses concurrently (roughly 2x register area)
+  reg [WIDTH-1:0] sig;
+  wire fb  = q[WIDTH-1] ^ (^(q   & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  wire fb2 = sig[WIDTH-1] ^ (^(sig & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = sig;
+  always @(posedge clk) begin
+    if (rst) begin q <= SEED; sig <= {WIDTH{1'b0}}; end
+    else if (test_mode) begin
+      q   <= {q[WIDTH-2:0], fb};
+      sig <= {sig[WIDTH-2:0], fb2} ^ d;
+    end else if (en) q <= d;
+  end
+endmodule
+
+module dp_add #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a + b;
+endmodule
+module dp_sub #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a - b;
+endmodule
+module dp_mul #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a * b;
+endmodule
+module dp_div #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = (b == 0) ? {WIDTH{1'b1}} : a / b;
+endmodule
+module dp_and #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a & b;
+endmodule
+module dp_or #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a | b;
+endmodule
+module dp_xor #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a ^ b;
+endmodule
+module dp_less #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = {{(WIDTH-1){1'b0}}, a < b};
+endmodule
+
+module tseng_datapath (
+  input  wire clk,
+  input  wire rst,
+  input  wire test_mode,
+  input  wire [1:0] test_session,
+  input  wire [7:0] pin_a,
+  input  wire [7:0] pin_b,
+  input  wire [7:0] pin_c,
+  input  wire [7:0] pin_d,
+  input  wire [7:0] pin_e,
+  input  wire [7:0] pin_f,
+  output wire [7:0] pout_t7,
+  output wire [7:0] pout_t8,
+  output wire [7:0] sig_R1,
+  output wire [7:0] sig_R2
+);
+
+  localparam NUM_STEPS = 4;
+  reg [2:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 3'd0;
+    else if (step <= 3'd4) step <= step + 3'd1;
+  end
+
+  wire [7:0] d_R1;
+  wire [2:0] sel_R1;
+  assign sel_R1 =
+    (test_mode && test_session == 2'd0) ? 3'd0 :
+    (test_mode && test_session == 2'd1) ? 3'd1 :
+    (test_mode && test_session == 2'd2) ? 3'd2 :
+    step == 3'd0 ? 3'd3 :
+    step == 3'd1 ? 3'd0 :
+    step == 3'd2 ? 3'd4 :
+    step == 3'd3 ? 3'd1 :
+    step == 3'd4 ? 3'd2 :
+    3'd0;
+  assign d_R1 =
+    sel_R1 == 3'd0 ? out_ADD :
+    sel_R1 == 3'd1 ? out_ALU1 :
+    sel_R1 == 3'd2 ? out_ALU2 :
+    sel_R1 == 3'd3 ? pin_b :
+    pin_f;
+  wire en_R1;
+  assign en_R1 = (step == 3'd0) || (step == 3'd1) || (step == 3'd2) || (step == 3'd3) || (step == 3'd4);
+  wire [7:0] q_R1;
+  cbilbo_register #(.WIDTH(8), .SEED(8'd138)) R1 (.clk(clk), .rst(rst), .en(en_R1), .test_mode(test_mode), .d(d_R1), .q(q_R1), .sig_out(sig_R1));
+
+  wire [7:0] d_R2;
+  wire [1:0] sel_R2;
+  assign sel_R2 =
+    (test_mode && test_session == 2'd0) ? 2'd1 :
+    step == 3'd0 ? 2'd2 :
+    step == 3'd1 ? 2'd0 :
+    step == 3'd2 ? 2'd0 :
+    step == 3'd3 ? 2'd1 :
+    step == 3'd4 ? 2'd1 :
+    2'd0;
+  assign d_R2 =
+    sel_R2 == 2'd0 ? out_ALU1 :
+    sel_R2 == 2'd1 ? out_ALU3 :
+    pin_c;
+  wire en_R2;
+  assign en_R2 = (step == 3'd0) || (step == 3'd1) || (step == 3'd2) || (step == 3'd3) || (step == 3'd4);
+  wire [7:0] q_R2;
+  wire compact_R2 = (test_session == 2'd0);
+  bilbo_register #(.WIDTH(8), .SEED(8'd234)) R2 (.clk(clk), .rst(rst), .en(en_R2), .test_mode(test_mode), .compact(compact_R2), .d(d_R2), .q(q_R2), .sig_out(sig_R2));
+
+  wire [7:0] d_R3;
+  wire [0:0] sel_R3;
+  assign sel_R3 =
+    step == 3'd0 ? 1'd0 :
+    step == 3'd1 ? 1'd1 :
+    1'd0;
+  assign d_R3 =
+    sel_R3 == 1'd0 ? pin_d :
+    pin_e;
+  wire en_R3;
+  assign en_R3 = (step == 3'd0) || (step == 3'd1);
+  wire [7:0] q_R3;
+  tpg_register #(.WIDTH(8), .SEED(8'd87)) R3 (.clk(clk), .rst(rst), .en(en_R3), .test_mode(test_mode), .d(d_R3), .q(q_R3));
+
+  wire [7:0] d_R4;
+  assign d_R4 = pin_a;
+  wire en_R4;
+  assign en_R4 = (step == 3'd0);
+  wire [7:0] q_R4;
+  tpg_register #(.WIDTH(8), .SEED(8'd114)) R4 (.clk(clk), .rst(rst), .en(en_R4), .test_mode(test_mode), .d(d_R4), .q(q_R4));
+
+  wire [7:0] d_R5;
+  assign d_R5 = out_ALU2;
+  wire en_R5;
+  assign en_R5 = (step == 3'd2);
+  wire [7:0] q_R5;
+  dp_register #(.WIDTH(8)) R5 (.clk(clk), .rst(rst), .en(en_R5), .d(d_R5), .q(q_R5));
+
+  wire [7:0] l_ADD;
+  assign l_ADD = q_R4;
+  wire [7:0] r_ADD;
+  assign r_ADD = q_R1;
+  wire [7:0] out_ADD;
+  dp_add #(.WIDTH(8)) u_ADD (.a(l_ADD), .b(r_ADD), .y(out_ADD));
+
+  wire [7:0] l_ALU1;
+  wire [0:0] lsel_ALU1;
+  assign lsel_ALU1 =
+    (test_mode && test_session == 2'd1) ? 1'd0 :
+    step == 3'd1 ? 1'd1 :
+    step == 3'd2 ? 1'd0 :
+    step == 3'd3 ? 1'd1 :
+    1'd0;
+  assign l_ALU1 =
+    lsel_ALU1 == 1'd0 ? q_R1 :
+    q_R2;
+  wire [7:0] r_ALU1;
+  wire [0:0] rsel_ALU1;
+  assign rsel_ALU1 =
+    (test_mode && test_session == 2'd1) ? 1'd0 :
+    step == 3'd1 ? 1'd0 :
+    step == 3'd2 ? 1'd0 :
+    step == 3'd3 ? 1'd1 :
+    1'd0;
+  assign r_ALU1 =
+    rsel_ALU1 == 1'd0 ? q_R3 :
+    q_R5;
+  wire [7:0] out_ALU1;
+  wire [5:0] fsel_ALU1;
+  assign fsel_ALU1 =
+    step == 3'd1 ? 6'd1 :
+    step == 3'd2 ? 6'd4 :
+    step == 3'd3 ? 6'd2 :
+    6'd0;
+  assign out_ALU1 =
+    fsel_ALU1[0] ? (l_ALU1 + r_ALU1) :
+    fsel_ALU1[1] ? (l_ALU1 - r_ALU1) :
+    fsel_ALU1[2] ? (l_ALU1 * r_ALU1) :
+    fsel_ALU1[3] ? ((r_ALU1 == 0 ? {8{1'b1}} : l_ALU1 / r_ALU1)) :
+    fsel_ALU1[4] ? (l_ALU1 & r_ALU1) :
+    l_ALU1 | r_ALU1;
+
+  wire [7:0] l_ALU2;
+  assign l_ALU2 = q_R2;
+  wire [7:0] r_ALU2;
+  assign r_ALU2 = q_R1;
+  wire [7:0] out_ALU2;
+  wire [5:0] fsel_ALU2;
+  assign fsel_ALU2 =
+    step == 3'd2 ? 6'd8 :
+    step == 3'd4 ? 6'd1 :
+    6'd0;
+  assign out_ALU2 =
+    fsel_ALU2[0] ? (l_ALU2 + r_ALU2) :
+    fsel_ALU2[1] ? (l_ALU2 - r_ALU2) :
+    fsel_ALU2[2] ? (l_ALU2 * r_ALU2) :
+    fsel_ALU2[3] ? ((r_ALU2 == 0 ? {8{1'b1}} : l_ALU2 / r_ALU2)) :
+    fsel_ALU2[4] ? (l_ALU2 & r_ALU2) :
+    l_ALU2 | r_ALU2;
+
+  wire [7:0] l_ALU3;
+  assign l_ALU3 = q_R1;
+  wire [7:0] r_ALU3;
+  wire [0:0] rsel_ALU3;
+  assign rsel_ALU3 =
+    (test_mode && test_session == 2'd0) ? 1'd1 :
+    step == 3'd3 ? 1'd0 :
+    step == 3'd4 ? 1'd1 :
+    1'd0;
+  assign r_ALU3 =
+    rsel_ALU3 == 1'd0 ? q_R3 :
+    q_R4;
+  wire [7:0] out_ALU3;
+  wire [5:0] fsel_ALU3;
+  assign fsel_ALU3 =
+    step == 3'd3 ? 6'd32 :
+    step == 3'd4 ? 6'd16 :
+    6'd0;
+  assign out_ALU3 =
+    fsel_ALU3[0] ? (l_ALU3 + r_ALU3) :
+    fsel_ALU3[1] ? (l_ALU3 - r_ALU3) :
+    fsel_ALU3[2] ? (l_ALU3 * r_ALU3) :
+    fsel_ALU3[3] ? ((r_ALU3 == 0 ? {8{1'b1}} : l_ALU3 / r_ALU3)) :
+    fsel_ALU3[4] ? (l_ALU3 & r_ALU3) :
+    l_ALU3 | r_ALU3;
+
+  assign pout_t7 = q_R1;
+  assign pout_t8 = q_R2;
+
+endmodule
+

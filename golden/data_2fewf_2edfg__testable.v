@@ -1,0 +1,410 @@
+module dp_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (en) q <= d;
+  end
+endmodule
+
+module tpg_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module sa_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (test_mode) q <= {q[WIDTH-2:0], fb} ^ d;
+    else if (en) q <= d;
+  end
+endmodule
+
+module bilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire compact,  // 1 = signature analysis, 0 = pattern generation
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= compact ? ({q[WIDTH-2:0], fb} ^ d) : {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module cbilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  // two ranks: generator rank feeds the datapath, compactor rank
+  // absorbs responses concurrently (roughly 2x register area)
+  reg [WIDTH-1:0] sig;
+  wire fb  = q[WIDTH-1] ^ (^(q   & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  wire fb2 = sig[WIDTH-1] ^ (^(sig & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = sig;
+  always @(posedge clk) begin
+    if (rst) begin q <= SEED; sig <= {WIDTH{1'b0}}; end
+    else if (test_mode) begin
+      q   <= {q[WIDTH-2:0], fb};
+      sig <= {sig[WIDTH-2:0], fb2} ^ d;
+    end else if (en) q <= d;
+  end
+endmodule
+
+module dp_add #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a + b;
+endmodule
+module dp_sub #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a - b;
+endmodule
+module dp_mul #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a * b;
+endmodule
+module dp_div #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = (b == 0) ? {WIDTH{1'b1}} : a / b;
+endmodule
+module dp_and #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a & b;
+endmodule
+module dp_or #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a | b;
+endmodule
+module dp_xor #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a ^ b;
+endmodule
+module dp_less #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = {{(WIDTH-1){1'b0}}, a < b};
+endmodule
+
+module ewf_datapath (
+  input  wire clk,
+  input  wire rst,
+  input  wire test_mode,
+  input  wire [1:0] test_session,
+  input  wire [7:0] pin_xin,
+  input  wire [7:0] pin_sv1,
+  input  wire [7:0] pin_sv2,
+  input  wire [7:0] pin_sv3,
+  input  wire [7:0] pin_sv4,
+  input  wire [7:0] pin_sv5,
+  input  wire [7:0] pin_k1,
+  input  wire [7:0] pin_k2,
+  input  wire [7:0] pin_k3,
+  input  wire [7:0] pin_k4,
+  input  wire [7:0] pin_k5,
+  input  wire [7:0] pin_g0,
+  input  wire [7:0] pin_g1,
+  input  wire [7:0] pin_g2,
+  output wire [7:0] pout_pad25,
+  output wire [7:0] sig_R1
+);
+
+  localparam NUM_STEPS = 25;
+  reg [4:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 5'd0;
+    else if (step <= 5'd25) step <= step + 5'd1;
+  end
+
+  wire [7:0] d_R1;
+  wire [1:0] sel_R1;
+  assign sel_R1 =
+    (test_mode && test_session == 2'd0) ? 2'd0 :
+    (test_mode && test_session == 2'd1) ? 2'd1 :
+    (test_mode && test_session == 2'd2) ? 2'd2 :
+    step == 5'd0 ? 2'd3 :
+    step == 5'd4 ? 2'd1 :
+    step == 5'd5 ? 2'd0 :
+    step == 5'd6 ? 2'd2 :
+    step == 5'd10 ? 2'd1 :
+    step == 5'd11 ? 2'd0 :
+    step == 5'd13 ? 2'd1 :
+    step == 5'd14 ? 2'd0 :
+    step == 5'd15 ? 2'd1 :
+    step == 5'd16 ? 2'd2 :
+    step == 5'd17 ? 2'd0 :
+    step == 5'd18 ? 2'd0 :
+    step == 5'd19 ? 2'd1 :
+    step == 5'd20 ? 2'd1 :
+    step == 5'd21 ? 2'd1 :
+    step == 5'd22 ? 2'd1 :
+    step == 5'd23 ? 2'd1 :
+    step == 5'd24 ? 2'd1 :
+    step == 5'd25 ? 2'd1 :
+    2'd0;
+  assign d_R1 =
+    sel_R1 == 2'd0 ? out__2a1 :
+    sel_R1 == 2'd1 ? out__2b1 :
+    sel_R1 == 2'd2 ? out__2b2 :
+    pin_sv1;
+  wire en_R1;
+  assign en_R1 = (step == 5'd0) || (step == 5'd4) || (step == 5'd5) || (step == 5'd6) || (step == 5'd10) || (step == 5'd11) || (step == 5'd13) || (step == 5'd14) || (step == 5'd15) || (step == 5'd16) || (step == 5'd17) || (step == 5'd18) || (step == 5'd19) || (step == 5'd20) || (step == 5'd21) || (step == 5'd22) || (step == 5'd23) || (step == 5'd24) || (step == 5'd25);
+  wire [7:0] q_R1;
+  cbilbo_register #(.WIDTH(8), .SEED(8'd138)) R1 (.clk(clk), .rst(rst), .en(en_R1), .test_mode(test_mode), .d(d_R1), .q(q_R1), .sig_out(sig_R1));
+
+  wire [7:0] d_R2;
+  wire [1:0] sel_R2;
+  assign sel_R2 =
+    step == 5'd1 ? 2'd1 :
+    step == 5'd2 ? 2'd0 :
+    step == 5'd3 ? 2'd2 :
+    step == 5'd16 ? 2'd1 :
+    step == 5'd18 ? 2'd1 :
+    2'd0;
+  assign d_R2 =
+    sel_R2 == 2'd0 ? out__2a1 :
+    sel_R2 == 2'd1 ? out__2b1 :
+    out__2b2;
+  wire en_R2;
+  assign en_R2 = (step == 5'd1) || (step == 5'd2) || (step == 5'd3) || (step == 5'd16) || (step == 5'd18);
+  wire [7:0] q_R2;
+  dp_register #(.WIDTH(8)) R2 (.clk(clk), .rst(rst), .en(en_R2), .d(d_R2), .q(q_R2));
+
+  wire [7:0] d_R3;
+  assign d_R3 = pin_xin;
+  wire en_R3;
+  assign en_R3 = (step == 5'd0);
+  wire [7:0] q_R3;
+  dp_register #(.WIDTH(8)) R3 (.clk(clk), .rst(rst), .en(en_R3), .d(d_R3), .q(q_R3));
+
+  wire [7:0] d_R4;
+  wire [1:0] sel_R4;
+  assign sel_R4 =
+    step == 5'd4 ? 2'd1 :
+    step == 5'd7 ? 2'd2 :
+    step == 5'd9 ? 2'd3 :
+    step == 5'd12 ? 2'd0 :
+    2'd0;
+  assign d_R4 =
+    sel_R4 == 2'd0 ? out__2b1 :
+    sel_R4 == 2'd1 ? pin_k2 :
+    sel_R4 == 2'd2 ? pin_k3 :
+    pin_sv4;
+  wire en_R4;
+  assign en_R4 = (step == 5'd4) || (step == 5'd7) || (step == 5'd9) || (step == 5'd12);
+  wire [7:0] q_R4;
+  tpg_register #(.WIDTH(8), .SEED(8'd114)) R4 (.clk(clk), .rst(rst), .en(en_R4), .test_mode(test_mode), .d(d_R4), .q(q_R4));
+
+  wire [7:0] d_R5;
+  wire [2:0] sel_R5;
+  assign sel_R5 =
+    step == 5'd1 ? 3'd5 :
+    step == 5'd3 ? 3'd1 :
+    step == 5'd7 ? 3'd1 :
+    step == 5'd8 ? 3'd0 :
+    step == 5'd9 ? 3'd1 :
+    step == 5'd12 ? 3'd6 :
+    step == 5'd15 ? 3'd2 :
+    step == 5'd16 ? 3'd3 :
+    step == 5'd17 ? 3'd4 :
+    3'd0;
+  assign d_R5 =
+    sel_R5 == 3'd0 ? out__2a1 :
+    sel_R5 == 3'd1 ? out__2b1 :
+    sel_R5 == 3'd2 ? out__2b2 :
+    sel_R5 == 3'd3 ? pin_g0 :
+    sel_R5 == 3'd4 ? pin_g2 :
+    sel_R5 == 3'd5 ? pin_k1 :
+    pin_sv5;
+  wire en_R5;
+  assign en_R5 = (step == 5'd1) || (step == 5'd3) || (step == 5'd7) || (step == 5'd8) || (step == 5'd9) || (step == 5'd12) || (step == 5'd15) || (step == 5'd16) || (step == 5'd17);
+  wire [7:0] q_R5;
+  dp_register #(.WIDTH(8)) R5 (.clk(clk), .rst(rst), .en(en_R5), .d(d_R5), .q(q_R5));
+
+  wire [7:0] d_R6;
+  wire [1:0] sel_R6;
+  assign sel_R6 =
+    step == 5'd6 ? 2'd3 :
+    step == 5'd10 ? 2'd2 :
+    step == 5'd11 ? 2'd1 :
+    step == 5'd12 ? 2'd0 :
+    2'd0;
+  assign d_R6 =
+    sel_R6 == 2'd0 ? out__2b2 :
+    sel_R6 == 2'd1 ? pin_g1 :
+    sel_R6 == 2'd2 ? pin_k4 :
+    pin_sv3;
+  wire en_R6;
+  assign en_R6 = (step == 5'd6) || (step == 5'd10) || (step == 5'd11) || (step == 5'd12);
+  wire [7:0] q_R6;
+  dp_register #(.WIDTH(8)) R6 (.clk(clk), .rst(rst), .en(en_R6), .d(d_R6), .q(q_R6));
+
+  wire [7:0] d_R7;
+  wire [1:0] sel_R7;
+  assign sel_R7 =
+    step == 5'd3 ? 2'd3 :
+    step == 5'd6 ? 2'd1 :
+    step == 5'd9 ? 2'd2 :
+    step == 5'd10 ? 2'd2 :
+    step == 5'd12 ? 2'd0 :
+    2'd0;
+  assign d_R7 =
+    sel_R7 == 2'd0 ? out__2a1 :
+    sel_R7 == 2'd1 ? out__2b1 :
+    sel_R7 == 2'd2 ? out__2b2 :
+    pin_sv2;
+  wire en_R7;
+  assign en_R7 = (step == 5'd3) || (step == 5'd6) || (step == 5'd9) || (step == 5'd10) || (step == 5'd12);
+  wire [7:0] q_R7;
+  dp_register #(.WIDTH(8)) R7 (.clk(clk), .rst(rst), .en(en_R7), .d(d_R7), .q(q_R7));
+
+  wire [7:0] d_R8;
+  assign d_R8 = pin_k5;
+  wire en_R8;
+  assign en_R8 = (step == 5'd13);
+  wire [7:0] q_R8;
+  dp_register #(.WIDTH(8)) R8 (.clk(clk), .rst(rst), .en(en_R8), .d(d_R8), .q(q_R8));
+
+  wire [7:0] l__2a1;
+  wire [1:0] lsel__2a1;
+  assign lsel__2a1 =
+    (test_mode && test_session == 2'd0) ? 2'd0 :
+    step == 5'd2 ? 2'd1 :
+    step == 5'd5 ? 2'd0 :
+    step == 5'd8 ? 2'd2 :
+    step == 5'd11 ? 2'd0 :
+    step == 5'd12 ? 2'd3 :
+    step == 5'd14 ? 2'd0 :
+    step == 5'd17 ? 2'd0 :
+    step == 5'd18 ? 2'd1 :
+    2'd0;
+  assign l__2a1 =
+    lsel__2a1 == 2'd0 ? q_R1 :
+    lsel__2a1 == 2'd1 ? q_R2 :
+    lsel__2a1 == 2'd2 ? q_R5 :
+    q_R7;
+  wire [7:0] r__2a1;
+  wire [1:0] rsel__2a1;
+  assign rsel__2a1 =
+    (test_mode && test_session == 2'd0) ? 2'd0 :
+    step == 5'd2 ? 2'd1 :
+    step == 5'd5 ? 2'd0 :
+    step == 5'd8 ? 2'd0 :
+    step == 5'd11 ? 2'd2 :
+    step == 5'd12 ? 2'd2 :
+    step == 5'd14 ? 2'd3 :
+    step == 5'd17 ? 2'd1 :
+    step == 5'd18 ? 2'd1 :
+    2'd0;
+  assign r__2a1 =
+    rsel__2a1 == 2'd0 ? q_R4 :
+    rsel__2a1 == 2'd1 ? q_R5 :
+    rsel__2a1 == 2'd2 ? q_R6 :
+    q_R8;
+  wire [7:0] out__2a1;
+  dp_mul #(.WIDTH(8)) u__2a1 (.a(l__2a1), .b(r__2a1), .y(out__2a1));
+
+  wire [7:0] l__2b1;
+  wire [1:0] lsel__2b1;
+  assign lsel__2b1 =
+    (test_mode && test_session == 2'd1) ? 2'd0 :
+    step == 5'd1 ? 2'd0 :
+    step == 5'd3 ? 2'd1 :
+    step == 5'd4 ? 2'd2 :
+    step == 5'd6 ? 2'd0 :
+    step == 5'd7 ? 2'd3 :
+    step == 5'd9 ? 2'd2 :
+    step == 5'd10 ? 2'd2 :
+    step == 5'd12 ? 2'd0 :
+    step == 5'd13 ? 2'd2 :
+    step == 5'd15 ? 2'd0 :
+    step == 5'd16 ? 2'd1 :
+    step == 5'd18 ? 2'd0 :
+    step == 5'd19 ? 2'd1 :
+    step == 5'd20 ? 2'd0 :
+    step == 5'd21 ? 2'd0 :
+    step == 5'd22 ? 2'd0 :
+    step == 5'd23 ? 2'd0 :
+    step == 5'd24 ? 2'd0 :
+    step == 5'd25 ? 2'd0 :
+    2'd0;
+  assign l__2b1 =
+    lsel__2b1 == 2'd0 ? q_R1 :
+    lsel__2b1 == 2'd1 ? q_R2 :
+    lsel__2b1 == 2'd2 ? q_R5 :
+    q_R6;
+  wire [7:0] r__2b1;
+  wire [2:0] rsel__2b1;
+  assign rsel__2b1 =
+    (test_mode && test_session == 2'd1) ? 3'd2 :
+    step == 5'd1 ? 3'd1 :
+    step == 5'd3 ? 3'd1 :
+    step == 5'd4 ? 3'd4 :
+    step == 5'd6 ? 3'd3 :
+    step == 5'd7 ? 3'd4 :
+    step == 5'd9 ? 3'd4 :
+    step == 5'd10 ? 3'd2 :
+    step == 5'd12 ? 3'd3 :
+    step == 5'd13 ? 3'd2 :
+    step == 5'd15 ? 3'd2 :
+    step == 5'd16 ? 3'd0 :
+    step == 5'd18 ? 3'd4 :
+    step == 5'd19 ? 3'd0 :
+    step == 5'd20 ? 3'd1 :
+    step == 5'd21 ? 3'd1 :
+    step == 5'd22 ? 3'd1 :
+    step == 5'd23 ? 3'd1 :
+    step == 5'd24 ? 3'd1 :
+    step == 5'd25 ? 3'd1 :
+    3'd0;
+  assign r__2b1 =
+    rsel__2b1 == 3'd0 ? q_R1 :
+    rsel__2b1 == 3'd1 ? q_R3 :
+    rsel__2b1 == 3'd2 ? q_R4 :
+    rsel__2b1 == 3'd3 ? q_R5 :
+    q_R7;
+  wire [7:0] out__2b1;
+  dp_add #(.WIDTH(8)) u__2b1 (.a(l__2b1), .b(r__2b1), .y(out__2b1));
+
+  wire [7:0] l__2b2;
+  wire [0:0] lsel__2b2;
+  assign lsel__2b2 =
+    (test_mode && test_session == 2'd2) ? 1'd0 :
+    step == 5'd3 ? 1'd0 :
+    step == 5'd6 ? 1'd0 :
+    step == 5'd9 ? 1'd1 :
+    step == 5'd10 ? 1'd0 :
+    step == 5'd12 ? 1'd0 :
+    step == 5'd15 ? 1'd0 :
+    step == 5'd16 ? 1'd1 :
+    1'd0;
+  assign l__2b2 =
+    lsel__2b2 == 1'd0 ? q_R1 :
+    q_R6;
+  wire [7:0] r__2b2;
+  wire [1:0] rsel__2b2;
+  assign rsel__2b2 =
+    (test_mode && test_session == 2'd2) ? 2'd1 :
+    step == 5'd3 ? 2'd0 :
+    step == 5'd6 ? 2'd3 :
+    step == 5'd9 ? 2'd2 :
+    step == 5'd10 ? 2'd3 :
+    step == 5'd12 ? 2'd1 :
+    step == 5'd15 ? 2'd2 :
+    step == 5'd16 ? 2'd2 :
+    2'd0;
+  assign r__2b2 =
+    rsel__2b2 == 2'd0 ? q_R2 :
+    rsel__2b2 == 2'd1 ? q_R4 :
+    rsel__2b2 == 2'd2 ? q_R5 :
+    q_R7;
+  wire [7:0] out__2b2;
+  dp_add #(.WIDTH(8)) u__2b2 (.a(l__2b2), .b(r__2b2), .y(out__2b2));
+
+  assign pout_pad25 = q_R1;
+
+endmodule
+

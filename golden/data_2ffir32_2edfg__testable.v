@@ -1,0 +1,841 @@
+module dp_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (en) q <= d;
+  end
+endmodule
+
+module tpg_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module sa_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (test_mode) q <= {q[WIDTH-2:0], fb} ^ d;
+    else if (en) q <= d;
+  end
+endmodule
+
+module bilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire compact,  // 1 = signature analysis, 0 = pattern generation
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= compact ? ({q[WIDTH-2:0], fb} ^ d) : {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module cbilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  // two ranks: generator rank feeds the datapath, compactor rank
+  // absorbs responses concurrently (roughly 2x register area)
+  reg [WIDTH-1:0] sig;
+  wire fb  = q[WIDTH-1] ^ (^(q   & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  wire fb2 = sig[WIDTH-1] ^ (^(sig & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = sig;
+  always @(posedge clk) begin
+    if (rst) begin q <= SEED; sig <= {WIDTH{1'b0}}; end
+    else if (test_mode) begin
+      q   <= {q[WIDTH-2:0], fb};
+      sig <= {sig[WIDTH-2:0], fb2} ^ d;
+    end else if (en) q <= d;
+  end
+endmodule
+
+module dp_add #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a + b;
+endmodule
+module dp_sub #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a - b;
+endmodule
+module dp_mul #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a * b;
+endmodule
+module dp_div #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = (b == 0) ? {WIDTH{1'b1}} : a / b;
+endmodule
+module dp_and #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a & b;
+endmodule
+module dp_or #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a | b;
+endmodule
+module dp_xor #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a ^ b;
+endmodule
+module dp_less #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = {{(WIDTH-1){1'b0}}, a < b};
+endmodule
+
+module fir32_datapath (
+  input  wire clk,
+  input  wire rst,
+  input  wire test_mode,
+  input  wire [1:0] test_session,
+  input  wire [7:0] pin_x0,
+  input  wire [7:0] pin_h0,
+  input  wire [7:0] pin_x1,
+  input  wire [7:0] pin_h1,
+  input  wire [7:0] pin_x2,
+  input  wire [7:0] pin_h2,
+  input  wire [7:0] pin_x3,
+  input  wire [7:0] pin_h3,
+  input  wire [7:0] pin_x4,
+  input  wire [7:0] pin_h4,
+  input  wire [7:0] pin_x5,
+  input  wire [7:0] pin_h5,
+  input  wire [7:0] pin_x6,
+  input  wire [7:0] pin_h6,
+  input  wire [7:0] pin_x7,
+  input  wire [7:0] pin_h7,
+  input  wire [7:0] pin_x8,
+  input  wire [7:0] pin_h8,
+  input  wire [7:0] pin_x9,
+  input  wire [7:0] pin_h9,
+  input  wire [7:0] pin_x10,
+  input  wire [7:0] pin_h10,
+  input  wire [7:0] pin_x11,
+  input  wire [7:0] pin_h11,
+  input  wire [7:0] pin_x12,
+  input  wire [7:0] pin_h12,
+  input  wire [7:0] pin_x13,
+  input  wire [7:0] pin_h13,
+  input  wire [7:0] pin_x14,
+  input  wire [7:0] pin_h14,
+  input  wire [7:0] pin_x15,
+  input  wire [7:0] pin_h15,
+  input  wire [7:0] pin_x16,
+  input  wire [7:0] pin_h16,
+  input  wire [7:0] pin_x17,
+  input  wire [7:0] pin_h17,
+  input  wire [7:0] pin_x18,
+  input  wire [7:0] pin_h18,
+  input  wire [7:0] pin_x19,
+  input  wire [7:0] pin_h19,
+  input  wire [7:0] pin_x20,
+  input  wire [7:0] pin_h20,
+  input  wire [7:0] pin_x21,
+  input  wire [7:0] pin_h21,
+  input  wire [7:0] pin_x22,
+  input  wire [7:0] pin_h22,
+  input  wire [7:0] pin_x23,
+  input  wire [7:0] pin_h23,
+  input  wire [7:0] pin_x24,
+  input  wire [7:0] pin_h24,
+  input  wire [7:0] pin_x25,
+  input  wire [7:0] pin_h25,
+  input  wire [7:0] pin_x26,
+  input  wire [7:0] pin_h26,
+  input  wire [7:0] pin_x27,
+  input  wire [7:0] pin_h27,
+  input  wire [7:0] pin_x28,
+  input  wire [7:0] pin_h28,
+  input  wire [7:0] pin_x29,
+  input  wire [7:0] pin_h29,
+  input  wire [7:0] pin_x30,
+  input  wire [7:0] pin_h30,
+  input  wire [7:0] pin_x31,
+  input  wire [7:0] pin_h31,
+  output wire [7:0] pout_s31,
+  output wire [7:0] sig_R1
+);
+
+  localparam NUM_STEPS = 32;
+  reg [5:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 6'd0;
+    else if (step <= 6'd32) step <= step + 6'd1;
+  end
+
+  wire [7:0] d_R1;
+  wire [1:0] sel_R1;
+  assign sel_R1 =
+    (test_mode && test_session == 2'd0) ? 2'd0 :
+    (test_mode && test_session == 2'd1) ? 2'd1 :
+    (test_mode && test_session == 2'd2) ? 2'd2 :
+    step == 6'd2 ? 2'd2 :
+    step == 6'd3 ? 2'd2 :
+    step == 6'd4 ? 2'd2 :
+    step == 6'd5 ? 2'd2 :
+    step == 6'd7 ? 2'd2 :
+    step == 6'd8 ? 2'd1 :
+    step == 6'd15 ? 2'd2 :
+    step == 6'd16 ? 2'd0 :
+    2'd0;
+  assign d_R1 =
+    sel_R1 == 2'd0 ? out__2a1 :
+    sel_R1 == 2'd1 ? out__2a2 :
+    out__2b1;
+  wire en_R1;
+  assign en_R1 = (step == 6'd2) || (step == 6'd3) || (step == 6'd4) || (step == 6'd5) || (step == 6'd7) || (step == 6'd8) || (step == 6'd15) || (step == 6'd16);
+  wire [7:0] q_R1;
+  sa_register #(.WIDTH(8)) R1 (.clk(clk), .rst(rst), .en(en_R1), .test_mode(test_mode), .d(d_R1), .q(q_R1), .sig_out(sig_R1));
+
+  wire [7:0] d_R2;
+  wire [3:0] sel_R2;
+  assign sel_R2 =
+    step == 6'd0 ? 4'd3 :
+    step == 6'd1 ? 4'd5 :
+    step == 6'd2 ? 4'd6 :
+    step == 6'd3 ? 4'd9 :
+    step == 6'd4 ? 4'd10 :
+    step == 6'd5 ? 4'd4 :
+    step == 6'd6 ? 4'd7 :
+    step == 6'd7 ? 4'd0 :
+    step == 6'd13 ? 4'd8 :
+    step == 6'd14 ? 4'd2 :
+    step == 6'd15 ? 4'd1 :
+    step == 6'd30 ? 4'd2 :
+    4'd0;
+  assign d_R2 =
+    sel_R2 == 4'd0 ? out__2a1 :
+    sel_R2 == 4'd1 ? out__2a2 :
+    sel_R2 == 4'd2 ? out__2b1 :
+    sel_R2 == 4'd3 ? pin_h0 :
+    sel_R2 == 4'd4 ? pin_h10 :
+    sel_R2 == 4'd5 ? pin_h2 :
+    sel_R2 == 4'd6 ? pin_h5 :
+    sel_R2 == 4'd7 ? pin_x13 :
+    sel_R2 == 4'd8 ? pin_x27 :
+    sel_R2 == 4'd9 ? pin_x6 :
+    pin_x8;
+  wire en_R2;
+  assign en_R2 = (step == 6'd0) || (step == 6'd1) || (step == 6'd2) || (step == 6'd3) || (step == 6'd4) || (step == 6'd5) || (step == 6'd6) || (step == 6'd7) || (step == 6'd13) || (step == 6'd14) || (step == 6'd15) || (step == 6'd30);
+  wire [7:0] q_R2;
+  dp_register #(.WIDTH(8)) R2 (.clk(clk), .rst(rst), .en(en_R2), .d(d_R2), .q(q_R2));
+
+  wire [7:0] d_R3;
+  wire [3:0] sel_R3;
+  assign sel_R3 =
+    step == 6'd2 ? 4'd3 :
+    step == 6'd3 ? 4'd4 :
+    step == 6'd4 ? 4'd5 :
+    step == 6'd6 ? 4'd1 :
+    step == 6'd11 ? 4'd6 :
+    step == 6'd12 ? 4'd7 :
+    step == 6'd13 ? 4'd2 :
+    step == 6'd14 ? 4'd8 :
+    step == 6'd15 ? 4'd0 :
+    step == 6'd29 ? 4'd2 :
+    4'd0;
+  assign d_R3 =
+    sel_R3 == 4'd0 ? out__2a1 :
+    sel_R3 == 4'd1 ? out__2a2 :
+    sel_R3 == 4'd2 ? out__2b1 :
+    sel_R3 == 4'd3 ? pin_h4 :
+    sel_R3 == 4'd4 ? pin_h7 :
+    sel_R3 == 4'd5 ? pin_h9 :
+    sel_R3 == 4'd6 ? pin_x22 :
+    sel_R3 == 4'd7 ? pin_x24 :
+    pin_x29;
+  wire en_R3;
+  assign en_R3 = (step == 6'd2) || (step == 6'd3) || (step == 6'd4) || (step == 6'd6) || (step == 6'd11) || (step == 6'd12) || (step == 6'd13) || (step == 6'd14) || (step == 6'd15) || (step == 6'd29);
+  wire [7:0] q_R3;
+  dp_register #(.WIDTH(8)) R3 (.clk(clk), .rst(rst), .en(en_R3), .d(d_R3), .q(q_R3));
+
+  wire [7:0] d_R4;
+  wire [1:0] sel_R4;
+  assign sel_R4 =
+    step == 6'd6 ? 2'd2 :
+    step == 6'd7 ? 2'd1 :
+    step == 6'd14 ? 2'd0 :
+    step == 6'd28 ? 2'd2 :
+    2'd0;
+  assign d_R4 =
+    sel_R4 == 2'd0 ? out__2a1 :
+    sel_R4 == 2'd1 ? out__2a2 :
+    out__2b1;
+  wire en_R4;
+  assign en_R4 = (step == 6'd6) || (step == 6'd7) || (step == 6'd14) || (step == 6'd28);
+  wire [7:0] q_R4;
+  dp_register #(.WIDTH(8)) R4 (.clk(clk), .rst(rst), .en(en_R4), .d(d_R4), .q(q_R4));
+
+  wire [7:0] d_R5;
+  wire [2:0] sel_R5;
+  assign sel_R5 =
+    step == 6'd3 ? 3'd3 :
+    step == 6'd4 ? 3'd4 :
+    step == 6'd5 ? 3'd5 :
+    step == 6'd6 ? 3'd0 :
+    step == 6'd12 ? 3'd2 :
+    step == 6'd13 ? 3'd6 :
+    step == 6'd14 ? 3'd1 :
+    step == 6'd27 ? 3'd2 :
+    3'd0;
+  assign d_R5 =
+    sel_R5 == 3'd0 ? out__2a1 :
+    sel_R5 == 3'd1 ? out__2a2 :
+    sel_R5 == 3'd2 ? out__2b1 :
+    sel_R5 == 3'd3 ? pin_h6 :
+    sel_R5 == 3'd4 ? pin_h8 :
+    sel_R5 == 3'd5 ? pin_x11 :
+    pin_x26;
+  wire en_R5;
+  assign en_R5 = (step == 6'd3) || (step == 6'd4) || (step == 6'd5) || (step == 6'd6) || (step == 6'd12) || (step == 6'd13) || (step == 6'd14) || (step == 6'd27);
+  wire [7:0] q_R5;
+  dp_register #(.WIDTH(8)) R5 (.clk(clk), .rst(rst), .en(en_R5), .d(d_R5), .q(q_R5));
+
+  wire [7:0] d_R6;
+  wire [2:0] sel_R6;
+  assign sel_R6 =
+    step == 6'd5 ? 3'd0 :
+    step == 6'd9 ? 3'd3 :
+    step == 6'd10 ? 3'd4 :
+    step == 6'd11 ? 3'd2 :
+    step == 6'd12 ? 3'd5 :
+    step == 6'd13 ? 3'd1 :
+    step == 6'd26 ? 3'd2 :
+    3'd0;
+  assign d_R6 =
+    sel_R6 == 3'd0 ? out__2a1 :
+    sel_R6 == 3'd1 ? out__2a2 :
+    sel_R6 == 3'd2 ? out__2b1 :
+    sel_R6 == 3'd3 ? pin_x18 :
+    sel_R6 == 3'd4 ? pin_x20 :
+    pin_x25;
+  wire en_R6;
+  assign en_R6 = (step == 6'd5) || (step == 6'd9) || (step == 6'd10) || (step == 6'd11) || (step == 6'd12) || (step == 6'd13) || (step == 6'd26);
+  wire [7:0] q_R6;
+  dp_register #(.WIDTH(8)) R6 (.clk(clk), .rst(rst), .en(en_R6), .d(d_R6), .q(q_R6));
+
+  wire [7:0] d_R7;
+  wire [2:0] sel_R7;
+  assign sel_R7 =
+    step == 6'd5 ? 3'd1 :
+    step == 6'd10 ? 3'd2 :
+    step == 6'd11 ? 3'd4 :
+    step == 6'd12 ? 3'd3 :
+    step == 6'd13 ? 3'd0 :
+    step == 6'd25 ? 3'd2 :
+    3'd0;
+  assign d_R7 =
+    sel_R7 == 3'd0 ? out__2a1 :
+    sel_R7 == 3'd1 ? out__2a2 :
+    sel_R7 == 3'd2 ? out__2b1 :
+    sel_R7 == 3'd3 ? pin_h25 :
+    pin_x23;
+  wire en_R7;
+  assign en_R7 = (step == 6'd5) || (step == 6'd10) || (step == 6'd11) || (step == 6'd12) || (step == 6'd13) || (step == 6'd25);
+  wire [7:0] q_R7;
+  dp_register #(.WIDTH(8)) R7 (.clk(clk), .rst(rst), .en(en_R7), .d(d_R7), .q(q_R7));
+
+  wire [7:0] d_R8;
+  wire [2:0] sel_R8;
+  assign sel_R8 =
+    step == 6'd4 ? 3'd1 :
+    step == 6'd7 ? 3'd3 :
+    step == 6'd8 ? 3'd4 :
+    step == 6'd9 ? 3'd2 :
+    step == 6'd10 ? 3'd6 :
+    step == 6'd11 ? 3'd5 :
+    step == 6'd12 ? 3'd0 :
+    step == 6'd24 ? 3'd2 :
+    3'd0;
+  assign d_R8 =
+    sel_R8 == 3'd0 ? out__2a1 :
+    sel_R8 == 3'd1 ? out__2a2 :
+    sel_R8 == 3'd2 ? out__2b1 :
+    sel_R8 == 3'd3 ? pin_h14 :
+    sel_R8 == 3'd4 ? pin_h17 :
+    sel_R8 == 3'd5 ? pin_h23 :
+    pin_x21;
+  wire en_R8;
+  assign en_R8 = (step == 6'd4) || (step == 6'd7) || (step == 6'd8) || (step == 6'd9) || (step == 6'd10) || (step == 6'd11) || (step == 6'd12) || (step == 6'd24);
+  wire [7:0] q_R8;
+  dp_register #(.WIDTH(8)) R8 (.clk(clk), .rst(rst), .en(en_R8), .d(d_R8), .q(q_R8));
+
+  wire [7:0] d_R9;
+  wire [2:0] sel_R9;
+  assign sel_R9 =
+    step == 6'd4 ? 3'd0 :
+    step == 6'd8 ? 3'd2 :
+    step == 6'd9 ? 3'd3 :
+    step == 6'd10 ? 3'd4 :
+    step == 6'd11 ? 3'd5 :
+    step == 6'd12 ? 3'd1 :
+    step == 6'd23 ? 3'd2 :
+    3'd0;
+  assign d_R9 =
+    sel_R9 == 3'd0 ? out__2a1 :
+    sel_R9 == 3'd1 ? out__2a2 :
+    sel_R9 == 3'd2 ? out__2b1 :
+    sel_R9 == 3'd3 ? pin_h19 :
+    sel_R9 == 3'd4 ? pin_h20 :
+    pin_h22;
+  wire en_R9;
+  assign en_R9 = (step == 6'd4) || (step == 6'd8) || (step == 6'd9) || (step == 6'd10) || (step == 6'd11) || (step == 6'd12) || (step == 6'd23);
+  wire [7:0] q_R9;
+  dp_register #(.WIDTH(8)) R9 (.clk(clk), .rst(rst), .en(en_R9), .d(d_R9), .q(q_R9));
+
+  wire [7:0] d_R10;
+  wire [3:0] sel_R10;
+  assign sel_R10 =
+    step == 6'd0 ? 4'd4 :
+    step == 6'd1 ? 4'd10 :
+    step == 6'd2 ? 4'd11 :
+    step == 6'd3 ? 4'd0 :
+    step == 6'd5 ? 4'd5 :
+    step == 6'd6 ? 4'd6 :
+    step == 6'd7 ? 4'd7 :
+    step == 6'd8 ? 4'd8 :
+    step == 6'd9 ? 4'd9 :
+    step == 6'd10 ? 4'd3 :
+    step == 6'd11 ? 4'd1 :
+    step == 6'd22 ? 4'd2 :
+    step == 6'd31 ? 4'd2 :
+    step == 6'd32 ? 4'd2 :
+    4'd0;
+  assign d_R10 =
+    sel_R10 == 4'd0 ? out__2a1 :
+    sel_R10 == 4'd1 ? out__2a2 :
+    sel_R10 == 4'd2 ? out__2b1 :
+    sel_R10 == 4'd3 ? pin_h21 :
+    sel_R10 == 4'd4 ? pin_x1 :
+    sel_R10 == 4'd5 ? pin_x10 :
+    sel_R10 == 4'd6 ? pin_x12 :
+    sel_R10 == 4'd7 ? pin_x15 :
+    sel_R10 == 4'd8 ? pin_x17 :
+    sel_R10 == 4'd9 ? pin_x19 :
+    sel_R10 == 4'd10 ? pin_x3 :
+    pin_x5;
+  wire en_R10;
+  assign en_R10 = (step == 6'd0) || (step == 6'd1) || (step == 6'd2) || (step == 6'd3) || (step == 6'd5) || (step == 6'd6) || (step == 6'd7) || (step == 6'd8) || (step == 6'd9) || (step == 6'd10) || (step == 6'd11) || (step == 6'd22) || (step == 6'd31) || (step == 6'd32);
+  wire [7:0] q_R10;
+  tpg_register #(.WIDTH(8), .SEED(8'd127)) R10 (.clk(clk), .rst(rst), .en(en_R10), .test_mode(test_mode), .d(d_R10), .q(q_R10));
+
+  wire [7:0] d_R11;
+  wire [3:0] sel_R11;
+  assign sel_R11 =
+    step == 6'd0 ? 4'd6 :
+    step == 6'd1 ? 4'd8 :
+    step == 6'd2 ? 4'd9 :
+    step == 6'd3 ? 4'd1 :
+    step == 6'd6 ? 4'd3 :
+    step == 6'd7 ? 4'd4 :
+    step == 6'd8 ? 4'd7 :
+    step == 6'd9 ? 4'd5 :
+    step == 6'd11 ? 4'd0 :
+    step == 6'd21 ? 4'd2 :
+    4'd0;
+  assign d_R11 =
+    sel_R11 == 4'd0 ? out__2a1 :
+    sel_R11 == 4'd1 ? out__2a2 :
+    sel_R11 == 4'd2 ? out__2b1 :
+    sel_R11 == 4'd3 ? pin_h13 :
+    sel_R11 == 4'd4 ? pin_h15 :
+    sel_R11 == 4'd5 ? pin_h18 :
+    sel_R11 == 4'd6 ? pin_x0 :
+    sel_R11 == 4'd7 ? pin_x16 :
+    sel_R11 == 4'd8 ? pin_x2 :
+    pin_x4;
+  wire en_R11;
+  assign en_R11 = (step == 6'd0) || (step == 6'd1) || (step == 6'd2) || (step == 6'd3) || (step == 6'd6) || (step == 6'd7) || (step == 6'd8) || (step == 6'd9) || (step == 6'd11) || (step == 6'd21);
+  wire [7:0] q_R11;
+  tpg_register #(.WIDTH(8), .SEED(8'd162)) R11 (.clk(clk), .rst(rst), .en(en_R11), .test_mode(test_mode), .d(d_R11), .q(q_R11));
+
+  wire [7:0] d_R12;
+  wire [3:0] sel_R12;
+  assign sel_R12 =
+    step == 6'd0 ? 4'd3 :
+    step == 6'd1 ? 4'd7 :
+    step == 6'd2 ? 4'd1 :
+    step == 6'd3 ? 4'd9 :
+    step == 6'd4 ? 4'd10 :
+    step == 6'd5 ? 4'd4 :
+    step == 6'd6 ? 4'd5 :
+    step == 6'd7 ? 4'd8 :
+    step == 6'd8 ? 4'd6 :
+    step == 6'd10 ? 4'd0 :
+    step == 6'd20 ? 4'd2 :
+    4'd0;
+  assign d_R12 =
+    sel_R12 == 4'd0 ? out__2a1 :
+    sel_R12 == 4'd1 ? out__2a2 :
+    sel_R12 == 4'd2 ? out__2b1 :
+    sel_R12 == 4'd3 ? pin_h1 :
+    sel_R12 == 4'd4 ? pin_h11 :
+    sel_R12 == 4'd5 ? pin_h12 :
+    sel_R12 == 4'd6 ? pin_h16 :
+    sel_R12 == 4'd7 ? pin_h3 :
+    sel_R12 == 4'd8 ? pin_x14 :
+    sel_R12 == 4'd9 ? pin_x7 :
+    pin_x9;
+  wire en_R12;
+  assign en_R12 = (step == 6'd0) || (step == 6'd1) || (step == 6'd2) || (step == 6'd3) || (step == 6'd4) || (step == 6'd5) || (step == 6'd6) || (step == 6'd7) || (step == 6'd8) || (step == 6'd10) || (step == 6'd20);
+  wire [7:0] q_R12;
+  dp_register #(.WIDTH(8)) R12 (.clk(clk), .rst(rst), .en(en_R12), .d(d_R12), .q(q_R12));
+
+  wire [7:0] d_R13;
+  wire [1:0] sel_R13;
+  assign sel_R13 =
+    step == 6'd2 ? 2'd0 :
+    step == 6'd10 ? 2'd1 :
+    step == 6'd19 ? 2'd2 :
+    2'd0;
+  assign d_R13 =
+    sel_R13 == 2'd0 ? out__2a1 :
+    sel_R13 == 2'd1 ? out__2a2 :
+    out__2b1;
+  wire en_R13;
+  assign en_R13 = (step == 6'd2) || (step == 6'd10) || (step == 6'd19);
+  wire [7:0] q_R13;
+  dp_register #(.WIDTH(8)) R13 (.clk(clk), .rst(rst), .en(en_R13), .d(d_R13), .q(q_R13));
+
+  wire [7:0] d_R14;
+  wire [1:0] sel_R14;
+  assign sel_R14 =
+    step == 6'd1 ? 2'd0 :
+    step == 6'd9 ? 2'd1 :
+    step == 6'd18 ? 2'd2 :
+    2'd0;
+  assign d_R14 =
+    sel_R14 == 2'd0 ? out__2a1 :
+    sel_R14 == 2'd1 ? out__2a2 :
+    out__2b1;
+  wire en_R14;
+  assign en_R14 = (step == 6'd1) || (step == 6'd9) || (step == 6'd18);
+  wire [7:0] q_R14;
+  dp_register #(.WIDTH(8)) R14 (.clk(clk), .rst(rst), .en(en_R14), .d(d_R14), .q(q_R14));
+
+  wire [7:0] d_R15;
+  wire [1:0] sel_R15;
+  assign sel_R15 =
+    step == 6'd1 ? 2'd1 :
+    step == 6'd9 ? 2'd0 :
+    step == 6'd17 ? 2'd2 :
+    2'd0;
+  assign d_R15 =
+    sel_R15 == 2'd0 ? out__2a1 :
+    sel_R15 == 2'd1 ? out__2a2 :
+    out__2b1;
+  wire en_R15;
+  assign en_R15 = (step == 6'd1) || (step == 6'd9) || (step == 6'd17);
+  wire [7:0] q_R15;
+  dp_register #(.WIDTH(8)) R15 (.clk(clk), .rst(rst), .en(en_R15), .d(d_R15), .q(q_R15));
+
+  wire [7:0] d_R16;
+  wire [0:0] sel_R16;
+  assign sel_R16 =
+    step == 6'd8 ? 1'd0 :
+    step == 6'd16 ? 1'd1 :
+    1'd0;
+  assign d_R16 =
+    sel_R16 == 1'd0 ? out__2a1 :
+    out__2b1;
+  wire en_R16;
+  assign en_R16 = (step == 6'd8) || (step == 6'd16);
+  wire [7:0] q_R16;
+  dp_register #(.WIDTH(8)) R16 (.clk(clk), .rst(rst), .en(en_R16), .d(d_R16), .q(q_R16));
+
+  wire [7:0] d_R17;
+  wire [2:0] sel_R17;
+  assign sel_R17 =
+    step == 6'd12 ? 3'd1 :
+    step == 6'd13 ? 3'd2 :
+    step == 6'd14 ? 3'd3 :
+    step == 6'd15 ? 3'd4 :
+    step == 6'd16 ? 3'd0 :
+    3'd0;
+  assign d_R17 =
+    sel_R17 == 3'd0 ? out__2a2 :
+    sel_R17 == 3'd1 ? pin_h24 :
+    sel_R17 == 3'd2 ? pin_h27 :
+    sel_R17 == 3'd3 ? pin_x28 :
+    pin_x31;
+  wire en_R17;
+  assign en_R17 = (step == 6'd12) || (step == 6'd13) || (step == 6'd14) || (step == 6'd15) || (step == 6'd16);
+  wire [7:0] q_R17;
+  dp_register #(.WIDTH(8)) R17 (.clk(clk), .rst(rst), .en(en_R17), .d(d_R17), .q(q_R17));
+
+  wire [7:0] d_R18;
+  wire [1:0] sel_R18;
+  assign sel_R18 =
+    step == 6'd13 ? 2'd0 :
+    step == 6'd14 ? 2'd1 :
+    step == 6'd15 ? 2'd2 :
+    2'd0;
+  assign d_R18 =
+    sel_R18 == 2'd0 ? pin_h26 :
+    sel_R18 == 2'd1 ? pin_h28 :
+    pin_x30;
+  wire en_R18;
+  assign en_R18 = (step == 6'd13) || (step == 6'd14) || (step == 6'd15);
+  wire [7:0] q_R18;
+  dp_register #(.WIDTH(8)) R18 (.clk(clk), .rst(rst), .en(en_R18), .d(d_R18), .q(q_R18));
+
+  wire [7:0] d_R19;
+  wire [0:0] sel_R19;
+  assign sel_R19 =
+    step == 6'd14 ? 1'd0 :
+    step == 6'd15 ? 1'd1 :
+    1'd0;
+  assign d_R19 =
+    sel_R19 == 1'd0 ? pin_h29 :
+    pin_h31;
+  wire en_R19;
+  assign en_R19 = (step == 6'd14) || (step == 6'd15);
+  wire [7:0] q_R19;
+  dp_register #(.WIDTH(8)) R19 (.clk(clk), .rst(rst), .en(en_R19), .d(d_R19), .q(q_R19));
+
+  wire [7:0] d_R20;
+  assign d_R20 = pin_h30;
+  wire en_R20;
+  assign en_R20 = (step == 6'd15);
+  wire [7:0] q_R20;
+  dp_register #(.WIDTH(8)) R20 (.clk(clk), .rst(rst), .en(en_R20), .d(d_R20), .q(q_R20));
+
+  wire [7:0] l__2a1;
+  wire [2:0] lsel__2a1;
+  assign lsel__2a1 =
+    (test_mode && test_session == 2'd0) ? 3'd0 :
+    step == 6'd1 ? 3'd0 :
+    step == 6'd2 ? 3'd0 :
+    step == 6'd3 ? 3'd4 :
+    step == 6'd4 ? 3'd4 :
+    step == 6'd5 ? 3'd3 :
+    step == 6'd6 ? 3'd5 :
+    step == 6'd7 ? 3'd0 :
+    step == 6'd8 ? 3'd0 :
+    step == 6'd9 ? 3'd1 :
+    step == 6'd10 ? 3'd0 :
+    step == 6'd11 ? 3'd6 :
+    step == 6'd12 ? 3'd7 :
+    step == 6'd13 ? 3'd4 :
+    step == 6'd14 ? 3'd3 :
+    step == 6'd15 ? 3'd2 :
+    step == 6'd16 ? 3'd2 :
+    3'd0;
+  assign l__2a1 =
+    lsel__2a1 == 3'd0 ? q_R10 :
+    lsel__2a1 == 3'd1 ? q_R11 :
+    lsel__2a1 == 3'd2 ? q_R17 :
+    lsel__2a1 == 3'd3 ? q_R2 :
+    lsel__2a1 == 3'd4 ? q_R3 :
+    lsel__2a1 == 3'd5 ? q_R5 :
+    lsel__2a1 == 3'd6 ? q_R6 :
+    q_R7;
+  wire [7:0] r__2a1;
+  wire [2:0] rsel__2a1;
+  assign rsel__2a1 =
+    (test_mode && test_session == 2'd0) ? 3'd0 :
+    step == 6'd1 ? 3'd1 :
+    step == 6'd2 ? 3'd1 :
+    step == 6'd3 ? 3'd0 :
+    step == 6'd4 ? 3'd1 :
+    step == 6'd5 ? 3'd5 :
+    step == 6'd6 ? 3'd1 :
+    step == 6'd7 ? 3'd1 :
+    step == 6'd8 ? 3'd0 :
+    step == 6'd9 ? 3'd1 :
+    step == 6'd10 ? 3'd7 :
+    step == 6'd11 ? 3'd7 :
+    step == 6'd12 ? 3'd6 :
+    step == 6'd13 ? 3'd2 :
+    step == 6'd14 ? 3'd2 :
+    step == 6'd15 ? 3'd3 :
+    step == 6'd16 ? 3'd4 :
+    3'd0;
+  assign r__2a1 =
+    rsel__2a1 == 3'd0 ? q_R11 :
+    rsel__2a1 == 3'd1 ? q_R12 :
+    rsel__2a1 == 3'd2 ? q_R17 :
+    rsel__2a1 == 3'd3 ? q_R18 :
+    rsel__2a1 == 3'd4 ? q_R19 :
+    rsel__2a1 == 3'd5 ? q_R5 :
+    rsel__2a1 == 3'd6 ? q_R8 :
+    q_R9;
+  wire [7:0] out__2a1;
+  dp_mul #(.WIDTH(8)) u__2a1 (.a(l__2a1), .b(r__2a1), .y(out__2a1));
+
+  wire [7:0] l__2a2;
+  wire [2:0] lsel__2a2;
+  assign lsel__2a2 =
+    (test_mode && test_session == 2'd1) ? 3'd0 :
+    step == 6'd1 ? 3'd1 :
+    step == 6'd2 ? 3'd1 :
+    step == 6'd3 ? 3'd0 :
+    step == 6'd4 ? 3'd5 :
+    step == 6'd5 ? 3'd2 :
+    step == 6'd6 ? 3'd0 :
+    step == 6'd7 ? 3'd5 :
+    step == 6'd8 ? 3'd2 :
+    step == 6'd9 ? 3'd0 :
+    step == 6'd10 ? 3'd6 :
+    step == 6'd11 ? 3'd0 :
+    step == 6'd12 ? 3'd7 :
+    step == 6'd13 ? 3'd6 :
+    step == 6'd14 ? 3'd3 :
+    step == 6'd15 ? 3'd4 :
+    step == 6'd16 ? 3'd3 :
+    3'd0;
+  assign l__2a2 =
+    lsel__2a2 == 3'd0 ? q_R10 :
+    lsel__2a2 == 3'd1 ? q_R11 :
+    lsel__2a2 == 3'd2 ? q_R12 :
+    lsel__2a2 == 3'd3 ? q_R18 :
+    lsel__2a2 == 3'd4 ? q_R19 :
+    lsel__2a2 == 3'd5 ? q_R2 :
+    lsel__2a2 == 3'd6 ? q_R6 :
+    q_R9;
+  wire [7:0] r__2a2;
+  wire [2:0] rsel__2a2;
+  assign rsel__2a2 =
+    (test_mode && test_session == 2'd1) ? 3'd0 :
+    step == 6'd1 ? 3'd1 :
+    step == 6'd2 ? 3'd1 :
+    step == 6'd3 ? 3'd1 :
+    step == 6'd4 ? 3'd4 :
+    step == 6'd5 ? 3'd3 :
+    step == 6'd6 ? 3'd1 :
+    step == 6'd7 ? 3'd0 :
+    step == 6'd8 ? 3'd6 :
+    step == 6'd9 ? 3'd6 :
+    step == 6'd10 ? 3'd0 :
+    step == 6'd11 ? 3'd6 :
+    step == 6'd12 ? 3'd3 :
+    step == 6'd13 ? 3'd5 :
+    step == 6'd14 ? 3'd4 :
+    step == 6'd15 ? 3'd3 :
+    step == 6'd16 ? 3'd2 :
+    3'd0;
+  assign r__2a2 =
+    rsel__2a2 == 3'd0 ? q_R11 :
+    rsel__2a2 == 3'd1 ? q_R2 :
+    rsel__2a2 == 3'd2 ? q_R20 :
+    rsel__2a2 == 3'd3 ? q_R3 :
+    rsel__2a2 == 3'd4 ? q_R5 :
+    rsel__2a2 == 3'd5 ? q_R7 :
+    q_R8;
+  wire [7:0] out__2a2;
+  dp_mul #(.WIDTH(8)) u__2a2 (.a(l__2a2), .b(r__2a2), .y(out__2a2));
+
+  wire [7:0] l__2b1;
+  wire [3:0] lsel__2b1;
+  assign lsel__2b1 =
+    (test_mode && test_session == 2'd2) ? 4'd2 :
+    step == 6'd2 ? 4'd4 :
+    step == 6'd3 ? 4'd0 :
+    step == 6'd4 ? 4'd3 :
+    step == 6'd5 ? 4'd0 :
+    step == 6'd6 ? 4'd2 :
+    step == 6'd7 ? 4'd8 :
+    step == 6'd8 ? 4'd0 :
+    step == 6'd9 ? 4'd13 :
+    step == 6'd10 ? 4'd12 :
+    step == 6'd11 ? 4'd11 :
+    step == 6'd12 ? 4'd10 :
+    step == 6'd13 ? 4'd9 :
+    step == 6'd14 ? 4'd7 :
+    step == 6'd15 ? 4'd0 :
+    step == 6'd16 ? 4'd5 :
+    step == 6'd17 ? 4'd5 :
+    step == 6'd18 ? 4'd4 :
+    step == 6'd19 ? 4'd3 :
+    step == 6'd20 ? 4'd3 :
+    step == 6'd21 ? 4'd2 :
+    step == 6'd22 ? 4'd2 :
+    step == 6'd23 ? 4'd1 :
+    step == 6'd24 ? 4'd13 :
+    step == 6'd25 ? 4'd12 :
+    step == 6'd26 ? 4'd11 :
+    step == 6'd27 ? 4'd10 :
+    step == 6'd28 ? 4'd9 :
+    step == 6'd29 ? 4'd8 :
+    step == 6'd30 ? 4'd7 :
+    step == 6'd31 ? 4'd6 :
+    step == 6'd32 ? 4'd1 :
+    4'd0;
+  assign l__2b1 =
+    lsel__2b1 == 4'd0 ? q_R1 :
+    lsel__2b1 == 4'd1 ? q_R10 :
+    lsel__2b1 == 4'd2 ? q_R11 :
+    lsel__2b1 == 4'd3 ? q_R13 :
+    lsel__2b1 == 4'd4 ? q_R15 :
+    lsel__2b1 == 4'd5 ? q_R16 :
+    lsel__2b1 == 4'd6 ? q_R17 :
+    lsel__2b1 == 4'd7 ? q_R3 :
+    lsel__2b1 == 4'd8 ? q_R4 :
+    lsel__2b1 == 4'd9 ? q_R5 :
+    lsel__2b1 == 4'd10 ? q_R6 :
+    lsel__2b1 == 4'd11 ? q_R7 :
+    lsel__2b1 == 4'd12 ? q_R8 :
+    q_R9;
+  wire [7:0] r__2b1;
+  wire [3:0] rsel__2b1;
+  assign rsel__2b1 =
+    (test_mode && test_session == 2'd2) ? 4'd1 :
+    step == 6'd2 ? 4'd3 :
+    step == 6'd3 ? 4'd2 :
+    step == 6'd4 ? 4'd0 :
+    step == 6'd5 ? 4'd1 :
+    step == 6'd6 ? 4'd0 :
+    step == 6'd7 ? 4'd11 :
+    step == 6'd8 ? 4'd12 :
+    step == 6'd9 ? 4'd9 :
+    step == 6'd10 ? 4'd10 :
+    step == 6'd11 ? 4'd6 :
+    step == 6'd12 ? 4'd8 :
+    step == 6'd13 ? 4'd5 :
+    step == 6'd14 ? 4'd7 :
+    step == 6'd15 ? 4'd5 :
+    step == 6'd16 ? 4'd0 :
+    step == 6'd17 ? 4'd4 :
+    step == 6'd18 ? 4'd3 :
+    step == 6'd19 ? 4'd3 :
+    step == 6'd20 ? 4'd2 :
+    step == 6'd21 ? 4'd2 :
+    step == 6'd22 ? 4'd1 :
+    step == 6'd23 ? 4'd12 :
+    step == 6'd24 ? 4'd11 :
+    step == 6'd25 ? 4'd10 :
+    step == 6'd26 ? 4'd9 :
+    step == 6'd27 ? 4'd8 :
+    step == 6'd28 ? 4'd7 :
+    step == 6'd29 ? 4'd6 :
+    step == 6'd30 ? 4'd5 :
+    step == 6'd31 ? 4'd5 :
+    step == 6'd32 ? 4'd0 :
+    4'd0;
+  assign r__2b1 =
+    rsel__2b1 == 4'd0 ? q_R1 :
+    rsel__2b1 == 4'd1 ? q_R10 :
+    rsel__2b1 == 4'd2 ? q_R12 :
+    rsel__2b1 == 4'd3 ? q_R14 :
+    rsel__2b1 == 4'd4 ? q_R15 :
+    rsel__2b1 == 4'd5 ? q_R2 :
+    rsel__2b1 == 4'd6 ? q_R3 :
+    rsel__2b1 == 4'd7 ? q_R4 :
+    rsel__2b1 == 4'd8 ? q_R5 :
+    rsel__2b1 == 4'd9 ? q_R6 :
+    rsel__2b1 == 4'd10 ? q_R7 :
+    rsel__2b1 == 4'd11 ? q_R8 :
+    q_R9;
+  wire [7:0] out__2b1;
+  dp_add #(.WIDTH(8)) u__2b1 (.a(l__2b1), .b(r__2b1), .y(out__2b1));
+
+  assign pout_s31 = q_R10;
+
+endmodule
+

@@ -1,0 +1,182 @@
+module dp_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (en) q <= d;
+  end
+endmodule
+
+module tpg_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module sa_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (test_mode) q <= {q[WIDTH-2:0], fb} ^ d;
+    else if (en) q <= d;
+  end
+endmodule
+
+module bilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire compact,  // 1 = signature analysis, 0 = pattern generation
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= compact ? ({q[WIDTH-2:0], fb} ^ d) : {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module cbilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  // two ranks: generator rank feeds the datapath, compactor rank
+  // absorbs responses concurrently (roughly 2x register area)
+  reg [WIDTH-1:0] sig;
+  wire fb  = q[WIDTH-1] ^ (^(q   & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  wire fb2 = sig[WIDTH-1] ^ (^(sig & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = sig;
+  always @(posedge clk) begin
+    if (rst) begin q <= SEED; sig <= {WIDTH{1'b0}}; end
+    else if (test_mode) begin
+      q   <= {q[WIDTH-2:0], fb};
+      sig <= {sig[WIDTH-2:0], fb2} ^ d;
+    end else if (en) q <= d;
+  end
+endmodule
+
+module dp_add #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a + b;
+endmodule
+module dp_sub #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a - b;
+endmodule
+module dp_mul #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a * b;
+endmodule
+module dp_div #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = (b == 0) ? {WIDTH{1'b1}} : a / b;
+endmodule
+module dp_and #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a & b;
+endmodule
+module dp_or #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a | b;
+endmodule
+module dp_xor #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a ^ b;
+endmodule
+module dp_less #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = {{(WIDTH-1){1'b0}}, a < b};
+endmodule
+
+module ex1_datapath (
+  input  wire clk,
+  input  wire rst,
+  input  wire test_mode,
+  input  wire [1:0] test_session,
+  input  wire [7:0] pin_a,
+  input  wire [7:0] pin_b,
+  input  wire [7:0] pin_e,
+  input  wire [7:0] pin_g,
+  output wire [7:0] pout_f,
+  output wire [7:0] pout_h,
+  output wire [7:0] sig_R1
+);
+
+  localparam NUM_STEPS = 3;
+  reg [2:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 3'd0;
+    else if (step <= 3'd3) step <= step + 3'd1;
+  end
+
+  wire [7:0] d_R1;
+  wire [1:0] sel_R1;
+  assign sel_R1 =
+    (test_mode && test_session == 2'd0) ? 2'd0 :
+    (test_mode && test_session == 2'd1) ? 2'd1 :
+    step == 3'd0 ? 2'd2 :
+    step == 3'd1 ? 2'd0 :
+    step == 3'd2 ? 2'd3 :
+    step == 3'd3 ? 2'd1 :
+    2'd0;
+  assign d_R1 =
+    sel_R1 == 2'd0 ? out_M1 :
+    sel_R1 == 2'd1 ? out_M2 :
+    sel_R1 == 2'd2 ? pin_b :
+    pin_g;
+  wire en_R1;
+  assign en_R1 = (step == 3'd0) || (step == 3'd1) || (step == 3'd2) || (step == 3'd3);
+  wire [7:0] q_R1;
+  cbilbo_register #(.WIDTH(8), .SEED(8'd138)) R1 (.clk(clk), .rst(rst), .en(en_R1), .test_mode(test_mode), .d(d_R1), .q(q_R1), .sig_out(sig_R1));
+
+  wire [7:0] d_R2;
+  wire [1:0] sel_R2;
+  assign sel_R2 =
+    step == 3'd0 ? 2'd2 :
+    step == 3'd1 ? 2'd1 :
+    step == 3'd2 ? 2'd0 :
+    2'd0;
+  assign d_R2 =
+    sel_R2 == 2'd0 ? out_M1 :
+    sel_R2 == 2'd1 ? out_M2 :
+    pin_a;
+  wire en_R2;
+  assign en_R2 = (step == 3'd0) || (step == 3'd1) || (step == 3'd2);
+  wire [7:0] q_R2;
+  tpg_register #(.WIDTH(8), .SEED(8'd234)) R2 (.clk(clk), .rst(rst), .en(en_R2), .test_mode(test_mode), .d(d_R2), .q(q_R2));
+
+  wire [7:0] d_R3;
+  assign d_R3 = pin_e;
+  wire en_R3;
+  assign en_R3 = (step == 3'd2);
+  wire [7:0] q_R3;
+  dp_register #(.WIDTH(8)) R3 (.clk(clk), .rst(rst), .en(en_R3), .d(d_R3), .q(q_R3));
+
+  wire [7:0] l_M1;
+  assign l_M1 = q_R2;
+  wire [7:0] r_M1;
+  assign r_M1 = q_R1;
+  wire [7:0] out_M1;
+  dp_add #(.WIDTH(8)) u_M1 (.a(l_M1), .b(r_M1), .y(out_M1));
+
+  wire [7:0] l_M2;
+  wire [0:0] lsel_M2;
+  assign lsel_M2 =
+    (test_mode && test_session == 2'd1) ? 1'd0 :
+    step == 3'd1 ? 1'd0 :
+    step == 3'd3 ? 1'd1 :
+    1'd0;
+  assign l_M2 =
+    lsel_M2 == 1'd0 ? q_R2 :
+    q_R3;
+  wire [7:0] r_M2;
+  assign r_M2 = q_R1;
+  wire [7:0] out_M2;
+  dp_mul #(.WIDTH(8)) u_M2 (.a(l_M2), .b(r_M2), .y(out_M2));
+
+  assign pout_f = q_R2;
+  assign pout_h = q_R1;
+
+endmodule
+

@@ -1,0 +1,263 @@
+module dp_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (en) q <= d;
+  end
+endmodule
+
+module tpg_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module sa_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (test_mode) q <= {q[WIDTH-2:0], fb} ^ d;
+    else if (en) q <= d;
+  end
+endmodule
+
+module bilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire compact,  // 1 = signature analysis, 0 = pattern generation
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= compact ? ({q[WIDTH-2:0], fb} ^ d) : {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module cbilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  // two ranks: generator rank feeds the datapath, compactor rank
+  // absorbs responses concurrently (roughly 2x register area)
+  reg [WIDTH-1:0] sig;
+  wire fb  = q[WIDTH-1] ^ (^(q   & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  wire fb2 = sig[WIDTH-1] ^ (^(sig & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = sig;
+  always @(posedge clk) begin
+    if (rst) begin q <= SEED; sig <= {WIDTH{1'b0}}; end
+    else if (test_mode) begin
+      q   <= {q[WIDTH-2:0], fb};
+      sig <= {sig[WIDTH-2:0], fb2} ^ d;
+    end else if (en) q <= d;
+  end
+endmodule
+
+module dp_add #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a + b;
+endmodule
+module dp_sub #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a - b;
+endmodule
+module dp_mul #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a * b;
+endmodule
+module dp_div #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = (b == 0) ? {WIDTH{1'b1}} : a / b;
+endmodule
+module dp_and #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a & b;
+endmodule
+module dp_or #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a | b;
+endmodule
+module dp_xor #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a ^ b;
+endmodule
+module dp_less #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = {{(WIDTH-1){1'b0}}, a < b};
+endmodule
+
+module ex2_datapath (
+  input  wire clk,
+  input  wire rst,
+  input  wire test_mode,
+  input  wire [2:0] test_session,
+  input  wire [7:0] pin_a,
+  input  wire [7:0] pin_b,
+  input  wire [7:0] pin_c,
+  input  wire [7:0] pin_d,
+  input  wire [7:0] pin_e,
+  input  wire [7:0] pin_f,
+  output wire [7:0] pout_t9,
+  output wire [7:0] sig_R1,
+  output wire [7:0] sig_R2,
+  output wire [7:0] sig_R4
+);
+
+  localparam NUM_STEPS = 4;
+  reg [2:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 3'd0;
+    else if (step <= 3'd4) step <= step + 3'd1;
+  end
+
+  wire [7:0] d_R1;
+  wire [1:0] sel_R1;
+  assign sel_R1 =
+    (test_mode && test_session == 3'd1) ? 2'd1 :
+    (test_mode && test_session == 3'd4) ? 2'd2 :
+    step == 3'd0 ? 2'd3 :
+    step == 3'd1 ? 2'd0 :
+    step == 3'd2 ? 2'd1 :
+    step == 3'd3 ? 2'd2 :
+    2'd0;
+  assign d_R1 =
+    sel_R1 == 2'd0 ? out_ADD1 :
+    sel_R1 == 2'd1 ? out_ADD2 :
+    sel_R1 == 2'd2 ? out_MUL1 :
+    pin_a;
+  wire en_R1;
+  assign en_R1 = (step == 3'd0) || (step == 3'd1) || (step == 3'd2) || (step == 3'd3);
+  wire [7:0] q_R1;
+  wire compact_R1 = (test_session == 3'd1) || (test_session == 3'd4);
+  bilbo_register #(.WIDTH(8), .SEED(8'd138)) R1 (.clk(clk), .rst(rst), .en(en_R1), .test_mode(test_mode), .compact(compact_R1), .d(d_R1), .q(q_R1), .sig_out(sig_R1));
+
+  wire [7:0] d_R2;
+  wire [1:0] sel_R2;
+  assign sel_R2 =
+    (test_mode && test_session == 3'd0) ? 2'd0 :
+    (test_mode && test_session == 3'd1) ? 2'd2 :
+    (test_mode && test_session == 3'd2) ? 2'd1 :
+    step == 3'd0 ? 2'd3 :
+    step == 3'd1 ? 2'd2 :
+    step == 3'd2 ? 2'd0 :
+    step == 3'd3 ? 2'd1 :
+    2'd0;
+  assign d_R2 =
+    sel_R2 == 2'd0 ? out_ADD1 :
+    sel_R2 == 2'd1 ? out_AND :
+    sel_R2 == 2'd2 ? out_MUL2 :
+    pin_b;
+  wire en_R2;
+  assign en_R2 = (step == 3'd0) || (step == 3'd1) || (step == 3'd2) || (step == 3'd3);
+  wire [7:0] q_R2;
+  wire compact_R2 = (test_session == 3'd0) || (test_session == 3'd1) || (test_session == 3'd2);
+  bilbo_register #(.WIDTH(8), .SEED(8'd234)) R2 (.clk(clk), .rst(rst), .en(en_R2), .test_mode(test_mode), .compact(compact_R2), .d(d_R2), .q(q_R2), .sig_out(sig_R2));
+
+  wire [7:0] d_R3;
+  wire [1:0] sel_R3;
+  assign sel_R3 =
+    step == 3'd0 ? 2'd2 :
+    step == 3'd1 ? 2'd1 :
+    step == 3'd2 ? 2'd3 :
+    step == 3'd4 ? 2'd0 :
+    2'd0;
+  assign d_R3 =
+    sel_R3 == 2'd0 ? out_ADD1 :
+    sel_R3 == 2'd1 ? out_MUL1 :
+    sel_R3 == 2'd2 ? pin_c :
+    pin_f;
+  wire en_R3;
+  assign en_R3 = (step == 3'd0) || (step == 3'd1) || (step == 3'd2) || (step == 3'd4);
+  wire [7:0] q_R3;
+  tpg_register #(.WIDTH(8), .SEED(8'd87)) R3 (.clk(clk), .rst(rst), .en(en_R3), .test_mode(test_mode), .d(d_R3), .q(q_R3));
+
+  wire [7:0] d_R4;
+  wire [0:0] sel_R4;
+  assign sel_R4 =
+    (test_mode && test_session == 3'd3) ? 1'd0 :
+    step == 3'd1 ? 1'd1 :
+    step == 3'd2 ? 1'd0 :
+    1'd0;
+  assign d_R4 =
+    sel_R4 == 1'd0 ? out_DIV :
+    pin_e;
+  wire en_R4;
+  assign en_R4 = (step == 3'd1) || (step == 3'd2);
+  wire [7:0] q_R4;
+  wire compact_R4 = (test_session == 3'd3);
+  bilbo_register #(.WIDTH(8), .SEED(8'd114)) R4 (.clk(clk), .rst(rst), .en(en_R4), .test_mode(test_mode), .compact(compact_R4), .d(d_R4), .q(q_R4), .sig_out(sig_R4));
+
+  wire [7:0] d_R5;
+  assign d_R5 = pin_d;
+  wire en_R5;
+  assign en_R5 = (step == 3'd0);
+  wire [7:0] q_R5;
+  tpg_register #(.WIDTH(8), .SEED(8'd4)) R5 (.clk(clk), .rst(rst), .en(en_R5), .test_mode(test_mode), .d(d_R5), .q(q_R5));
+
+  wire [7:0] l_MUL1;
+  wire [0:0] lsel_MUL1;
+  assign lsel_MUL1 =
+    (test_mode && test_session == 3'd4) ? 1'd1 :
+    step == 3'd1 ? 1'd0 :
+    step == 3'd3 ? 1'd1 :
+    1'd0;
+  assign l_MUL1 =
+    lsel_MUL1 == 1'd0 ? q_R1 :
+    q_R4;
+  wire [7:0] r_MUL1;
+  assign r_MUL1 = q_R2;
+  wire [7:0] out_MUL1;
+  dp_mul #(.WIDTH(8)) u_MUL1 (.a(l_MUL1), .b(r_MUL1), .y(out_MUL1));
+
+  wire [7:0] l_MUL2;
+  assign l_MUL2 = q_R3;
+  wire [7:0] r_MUL2;
+  assign r_MUL2 = q_R5;
+  wire [7:0] out_MUL2;
+  dp_mul #(.WIDTH(8)) u_MUL2 (.a(l_MUL2), .b(r_MUL2), .y(out_MUL2));
+
+  wire [7:0] l_DIV;
+  assign l_DIV = q_R3;
+  wire [7:0] r_DIV;
+  assign r_DIV = q_R2;
+  wire [7:0] out_DIV;
+  dp_div #(.WIDTH(8)) u_DIV (.a(l_DIV), .b(r_DIV), .y(out_DIV));
+
+  wire [7:0] l_ADD1;
+  assign l_ADD1 = q_R1;
+  wire [7:0] r_ADD1;
+  wire [1:0] rsel_ADD1;
+  assign rsel_ADD1 =
+    (test_mode && test_session == 3'd0) ? 2'd1 :
+    step == 3'd1 ? 2'd1 :
+    step == 3'd2 ? 2'd2 :
+    step == 3'd4 ? 2'd0 :
+    2'd0;
+  assign r_ADD1 =
+    rsel_ADD1 == 2'd0 ? q_R2 :
+    rsel_ADD1 == 2'd1 ? q_R3 :
+    q_R4;
+  wire [7:0] out_ADD1;
+  dp_add #(.WIDTH(8)) u_ADD1 (.a(l_ADD1), .b(r_ADD1), .y(out_ADD1));
+
+  wire [7:0] l_ADD2;
+  assign l_ADD2 = q_R4;
+  wire [7:0] r_ADD2;
+  assign r_ADD2 = q_R5;
+  wire [7:0] out_ADD2;
+  dp_add #(.WIDTH(8)) u_ADD2 (.a(l_ADD2), .b(r_ADD2), .y(out_ADD2));
+
+  wire [7:0] l_AND;
+  assign l_AND = q_R1;
+  wire [7:0] r_AND;
+  assign r_AND = q_R3;
+  wire [7:0] out_AND;
+  dp_and #(.WIDTH(8)) u_AND (.a(l_AND), .b(r_AND), .y(out_AND));
+
+  assign pout_t9 = q_R3;
+
+endmodule
+

@@ -1,0 +1,308 @@
+module dp_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (en) q <= d;
+  end
+endmodule
+
+module tpg_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module sa_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (test_mode) q <= {q[WIDTH-2:0], fb} ^ d;
+    else if (en) q <= d;
+  end
+endmodule
+
+module bilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire compact,  // 1 = signature analysis, 0 = pattern generation
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= compact ? ({q[WIDTH-2:0], fb} ^ d) : {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module cbilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  // two ranks: generator rank feeds the datapath, compactor rank
+  // absorbs responses concurrently (roughly 2x register area)
+  reg [WIDTH-1:0] sig;
+  wire fb  = q[WIDTH-1] ^ (^(q   & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  wire fb2 = sig[WIDTH-1] ^ (^(sig & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = sig;
+  always @(posedge clk) begin
+    if (rst) begin q <= SEED; sig <= {WIDTH{1'b0}}; end
+    else if (test_mode) begin
+      q   <= {q[WIDTH-2:0], fb};
+      sig <= {sig[WIDTH-2:0], fb2} ^ d;
+    end else if (en) q <= d;
+  end
+endmodule
+
+module dp_add #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a + b;
+endmodule
+module dp_sub #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a - b;
+endmodule
+module dp_mul #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a * b;
+endmodule
+module dp_div #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = (b == 0) ? {WIDTH{1'b1}} : a / b;
+endmodule
+module dp_and #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a & b;
+endmodule
+module dp_or #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a | b;
+endmodule
+module dp_xor #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a ^ b;
+endmodule
+module dp_less #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = {{(WIDTH-1){1'b0}}, a < b};
+endmodule
+
+module iir_datapath (
+  input  wire clk,
+  input  wire rst,
+  input  wire test_mode,
+  input  wire [2:0] test_session,
+  input  wire [7:0] pin_x,
+  input  wire [7:0] pin_w1,
+  input  wire [7:0] pin_w2,
+  input  wire [7:0] pin_a1,
+  input  wire [7:0] pin_a2,
+  input  wire [7:0] pin_b0,
+  input  wire [7:0] pin_b1,
+  input  wire [7:0] pin_b2,
+  output wire [7:0] pout_y,
+  output wire [7:0] pout_w,
+  output wire [7:0] sig_R3
+);
+
+  localparam NUM_STEPS = 6;
+  reg [2:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 3'd0;
+    else if (step <= 3'd6) step <= step + 3'd1;
+  end
+
+  wire [7:0] d_R1;
+  wire [1:0] sel_R1;
+  assign sel_R1 =
+    step == 3'd1 ? 2'd0 :
+    step == 3'd2 ? 2'd1 :
+    step == 3'd6 ? 2'd2 :
+    2'd0;
+  assign d_R1 =
+    sel_R1 == 2'd0 ? out__2a1 :
+    sel_R1 == 2'd1 ? out__2a2 :
+    out__2b1;
+  wire en_R1;
+  assign en_R1 = (step == 3'd1) || (step == 3'd2) || (step == 3'd6);
+  wire [7:0] q_R1;
+  tpg_register #(.WIDTH(8), .SEED(8'd138)) R1 (.clk(clk), .rst(rst), .en(en_R1), .test_mode(test_mode), .d(d_R1), .q(q_R1));
+
+  wire [7:0] d_R2;
+  assign d_R2 = out__2a1;
+  wire en_R2;
+  assign en_R2 = (step == 3'd2);
+  wire [7:0] q_R2;
+  dp_register #(.WIDTH(8)) R2 (.clk(clk), .rst(rst), .en(en_R2), .d(d_R2), .q(q_R2));
+
+  wire [7:0] d_R3;
+  wire [1:0] sel_R3;
+  assign sel_R3 =
+    (test_mode && test_session == 3'd0) ? 2'd0 :
+    (test_mode && test_session == 3'd1) ? 2'd1 :
+    (test_mode && test_session == 3'd2) ? 2'd2 :
+    (test_mode && test_session == 3'd3) ? 2'd3 :
+    step == 3'd1 ? 2'd1 :
+    step == 3'd3 ? 2'd3 :
+    step == 3'd4 ? 2'd0 :
+    step == 3'd5 ? 2'd2 :
+    2'd0;
+  assign d_R3 =
+    sel_R3 == 2'd0 ? out__2a1 :
+    sel_R3 == 2'd1 ? out__2a2 :
+    sel_R3 == 2'd2 ? out__2b1 :
+    out__2d1;
+  wire en_R3;
+  assign en_R3 = (step == 3'd1) || (step == 3'd3) || (step == 3'd4) || (step == 3'd5);
+  wire [7:0] q_R3;
+  cbilbo_register #(.WIDTH(8), .SEED(8'd87)) R3 (.clk(clk), .rst(rst), .en(en_R3), .test_mode(test_mode), .d(d_R3), .q(q_R3), .sig_out(sig_R3));
+
+  wire [7:0] d_R4;
+  assign d_R4 = out__2d1;
+  wire en_R4;
+  assign en_R4 = (step == 3'd2);
+  wire [7:0] q_R4;
+  dp_register #(.WIDTH(8)) R4 (.clk(clk), .rst(rst), .en(en_R4), .d(d_R4), .q(q_R4));
+
+  wire [7:0] d_IN_x;
+  assign d_IN_x = pin_x;
+  wire en_IN_x;
+  assign en_IN_x = (step == 3'd1);
+  wire [7:0] q_IN_x;
+  tpg_register #(.WIDTH(8), .SEED(8'd116)) IN_x (.clk(clk), .rst(rst), .en(en_IN_x), .test_mode(test_mode), .d(d_IN_x), .q(q_IN_x));
+
+  wire [7:0] d_IN_w1;
+  assign d_IN_w1 = pin_w1;
+  wire en_IN_w1;
+  assign en_IN_w1 = (step == 3'd0);
+  wire [7:0] q_IN_w1;
+  dp_register #(.WIDTH(8)) IN_w1 (.clk(clk), .rst(rst), .en(en_IN_w1), .d(d_IN_w1), .q(q_IN_w1));
+
+  wire [7:0] d_IN_w2;
+  assign d_IN_w2 = pin_w2;
+  wire en_IN_w2;
+  assign en_IN_w2 = (step == 3'd0);
+  wire [7:0] q_IN_w2;
+  tpg_register #(.WIDTH(8), .SEED(8'd48)) IN_w2 (.clk(clk), .rst(rst), .en(en_IN_w2), .test_mode(test_mode), .d(d_IN_w2), .q(q_IN_w2));
+
+  wire [7:0] d_IN_a1;
+  assign d_IN_a1 = pin_a1;
+  wire en_IN_a1;
+  assign en_IN_a1 = (step == 3'd0);
+  wire [7:0] q_IN_a1;
+  tpg_register #(.WIDTH(8), .SEED(8'd107)) IN_a1 (.clk(clk), .rst(rst), .en(en_IN_a1), .test_mode(test_mode), .d(d_IN_a1), .q(q_IN_a1));
+
+  wire [7:0] d_IN_a2;
+  assign d_IN_a2 = pin_a2;
+  wire en_IN_a2;
+  assign en_IN_a2 = (step == 3'd0);
+  wire [7:0] q_IN_a2;
+  tpg_register #(.WIDTH(8), .SEED(8'd1)) IN_a2 (.clk(clk), .rst(rst), .en(en_IN_a2), .test_mode(test_mode), .d(d_IN_a2), .q(q_IN_a2));
+
+  wire [7:0] d_IN_b0;
+  assign d_IN_b0 = pin_b0;
+  wire en_IN_b0;
+  assign en_IN_b0 = (step == 3'd3);
+  wire [7:0] q_IN_b0;
+  dp_register #(.WIDTH(8)) IN_b0 (.clk(clk), .rst(rst), .en(en_IN_b0), .d(d_IN_b0), .q(q_IN_b0));
+
+  wire [7:0] d_IN_b1;
+  assign d_IN_b1 = pin_b1;
+  wire en_IN_b1;
+  assign en_IN_b1 = (step == 3'd1);
+  wire [7:0] q_IN_b1;
+  dp_register #(.WIDTH(8)) IN_b1 (.clk(clk), .rst(rst), .en(en_IN_b1), .d(d_IN_b1), .q(q_IN_b1));
+
+  wire [7:0] d_IN_b2;
+  assign d_IN_b2 = pin_b2;
+  wire en_IN_b2;
+  assign en_IN_b2 = (step == 3'd1);
+  wire [7:0] q_IN_b2;
+  dp_register #(.WIDTH(8)) IN_b2 (.clk(clk), .rst(rst), .en(en_IN_b2), .d(d_IN_b2), .q(q_IN_b2));
+
+  wire [7:0] l__2a1;
+  wire [1:0] lsel__2a1;
+  assign lsel__2a1 =
+    (test_mode && test_session == 3'd0) ? 2'd0 :
+    step == 3'd1 ? 2'd0 :
+    step == 3'd2 ? 2'd2 :
+    step == 3'd4 ? 2'd1 :
+    2'd0;
+  assign l__2a1 =
+    lsel__2a1 == 2'd0 ? q_IN_a1 :
+    lsel__2a1 == 2'd1 ? q_IN_b0 :
+    q_IN_b1;
+  wire [7:0] r__2a1;
+  wire [0:0] rsel__2a1;
+  assign rsel__2a1 =
+    (test_mode && test_session == 3'd0) ? 1'd1 :
+    step == 3'd1 ? 1'd0 :
+    step == 3'd2 ? 1'd0 :
+    step == 3'd4 ? 1'd1 :
+    1'd0;
+  assign r__2a1 =
+    rsel__2a1 == 1'd0 ? q_IN_w1 :
+    q_R3;
+  wire [7:0] out__2a1;
+  dp_mul #(.WIDTH(8)) u__2a1 (.a(l__2a1), .b(r__2a1), .y(out__2a1));
+
+  wire [7:0] l__2a2;
+  wire [0:0] lsel__2a2;
+  assign lsel__2a2 =
+    (test_mode && test_session == 3'd1) ? 1'd0 :
+    step == 3'd1 ? 1'd0 :
+    step == 3'd2 ? 1'd1 :
+    1'd0;
+  assign l__2a2 =
+    lsel__2a2 == 1'd0 ? q_IN_a2 :
+    q_IN_b2;
+  wire [7:0] r__2a2;
+  assign r__2a2 = q_IN_w2;
+  wire [7:0] out__2a2;
+  dp_mul #(.WIDTH(8)) u__2a2 (.a(l__2a2), .b(r__2a2), .y(out__2a2));
+
+  wire [7:0] l__2b1;
+  assign l__2b1 = q_R3;
+  wire [7:0] r__2b1;
+  wire [0:0] rsel__2b1;
+  assign rsel__2b1 =
+    (test_mode && test_session == 3'd2) ? 1'd0 :
+    step == 3'd5 ? 1'd1 :
+    step == 3'd6 ? 1'd0 :
+    1'd0;
+  assign r__2b1 =
+    rsel__2b1 == 1'd0 ? q_R1 :
+    q_R2;
+  wire [7:0] out__2b1;
+  dp_add #(.WIDTH(8)) u__2b1 (.a(l__2b1), .b(r__2b1), .y(out__2b1));
+
+  wire [7:0] l__2d1;
+  wire [0:0] lsel__2d1;
+  assign lsel__2d1 =
+    (test_mode && test_session == 3'd3) ? 1'd0 :
+    step == 3'd2 ? 1'd0 :
+    step == 3'd3 ? 1'd1 :
+    1'd0;
+  assign l__2d1 =
+    lsel__2d1 == 1'd0 ? q_IN_x :
+    q_R4;
+  wire [7:0] r__2d1;
+  wire [0:0] rsel__2d1;
+  assign rsel__2d1 =
+    (test_mode && test_session == 3'd3) ? 1'd0 :
+    step == 3'd2 ? 1'd0 :
+    step == 3'd3 ? 1'd1 :
+    1'd0;
+  assign r__2d1 =
+    rsel__2d1 == 1'd0 ? q_R1 :
+    q_R3;
+  wire [7:0] out__2d1;
+  dp_sub #(.WIDTH(8)) u__2d1 (.a(l__2d1), .b(r__2d1), .y(out__2d1));
+
+  assign pout_y = q_R1;
+  assign pout_w = q_R3;
+
+endmodule
+

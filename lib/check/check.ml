@@ -39,7 +39,8 @@ type ctx = Rule.ctx = {
   model : Rtl_model.t;
 }
 
-let all_rules = Alloc_rules.rules @ Datapath_rules.rules @ Rtl_rules.rules
+let all_rules =
+  Alloc_rules.rules @ Datapath_rules.rules @ Rtl_rules.rules @ Equiv_rules.rules
 
 let rule_table =
   List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.title)) all_rules

@@ -44,6 +44,8 @@
       RTL004  error    multi-driven net
       CTL001  error    control FSM has missing or phantom states
       CTL002  error    control select or enable index out of range
+      RTL005  error    emitted RTL does not parse back structurally equivalent
+      EQ002   error    parsed-back RTL diverges from the interpreter on random vectors
 
     Framework
       CHK000  error    a rule crashed (also raised by the check.rule injection site)

@@ -7,7 +7,7 @@ let sites =
   [
     "pool.worker"; "telemetry.write"; "allocator.leaf"; "pareto.leaf";
     "service.journal"; "service.result_io"; "service.worker"; "check.rule";
-    "cache.io"; "fleet.heartbeat"; "fleet.claim";
+    "cache.io"; "fleet.heartbeat"; "fleet.claim"; "rtl.parse";
   ]
 
 type site_state = { prob : float; prng : Prng.t }

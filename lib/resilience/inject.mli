@@ -59,6 +59,10 @@
       ([Bistpath_service.Lease.claim]); the worker treats it as claim
       contention and retries on the next poll — the pending lease is
       never lost.
+    - [rtl.parse] — the Verilog parse-back front end
+      ([Bistpath_rtl.Parser.parse]) degrades to an error diagnostic
+      counted in [rtl.parse_errors]; callers see unparsable input
+      (exit 4 from [synth verify]), never a crash.
 
     Telemetry: every shot that fires increments [resilience.injected]. *)
 

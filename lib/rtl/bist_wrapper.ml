@@ -34,6 +34,8 @@ let emit ?(width = 8) ?patterns ?(golden = []) dp (sol : Allocator.solution)
   in
   let nsess = List.length sessions.Session.sessions in
   pf "// Self-test wrapper for %s_datapath.\n" name;
+  let dut_module = Verilog.module_name dp in
+  let wrapper = Verilog.mangle (dp.Datapath.dfg.Dfg.name ^ "_bist") in
   if golden = [] then begin
     pf "// Golden signature parameters default to 0: obtain the real values by\n";
     pf "// simulating the fault-free design through each session (reset, then\n";
@@ -41,7 +43,7 @@ let emit ?(width = 8) ?patterns ?(golden = []) dp (sol : Allocator.solution)
   end
   else
     pf "// Golden signatures computed by the bit-exact RTL model (Rtl_sim).\n";
-  pf "module %s_bist #(\n" name;
+  pf "module %s #(\n" wrapper;
   pf "  parameter PATTERNS = %d%s\n" patterns (if sa_regs = [] then "" else ",");
   List.iteri
     (fun si units ->
@@ -85,8 +87,8 @@ let emit ?(width = 8) ?patterns ?(golden = []) dp (sol : Allocator.solution)
   List.iter
     (fun rid -> pf "  wire [%d:0] sig_%s;\n" (width - 1) (sanitize rid))
     sa_regs;
-  pf "\n  %s_datapath dut (\n    .clk(clk), .rst(dp_rst), .test_mode(test_mode), .test_session(session),\n"
-    name;
+  pf "\n  %s dut (\n    .clk(clk), .rst(dp_rst), .test_mode(test_mode), .test_session(session),\n"
+    dut_module;
   List.iter (fun v -> pf "    .pin_%s(pin_%s),\n" (sanitize v) (sanitize v)) inputs;
   List.iter
     (fun (v, _) -> pf "    .pout_%s(pout_%s),\n" (sanitize v) (sanitize v))

@@ -1,0 +1,1300 @@
+module Datapath = Bistpath_datapath.Datapath
+module Control = Bistpath_datapath.Control
+module Interp = Bistpath_datapath.Interp
+module Dfg = Bistpath_dfg.Dfg
+module Op = Bistpath_dfg.Op
+module Massign = Bistpath_dfg.Massign
+module Resource = Bistpath_bist.Resource
+module Allocator = Bistpath_bist.Allocator
+module Session = Bistpath_bist.Session
+module Ipath = Bistpath_ipath.Ipath
+module Listx = Bistpath_util.Listx
+module Prng = Bistpath_util.Prng
+module Diagnostic = Bistpath_resilience.Diagnostic
+module Telemetry = Bistpath_telemetry.Telemetry
+
+type mismatch = {
+  vector : (string * int) list;
+  output : string;
+  expected : int;
+  actual : int;
+}
+
+type report = {
+  structural : string list;
+  functional : mismatch option;
+  vectors_run : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Canonical netlist form                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every combinational cone is partially evaluated per slot — a (test
+   context, control step) pair — into a tree over opaque atoms: input
+   ports and register instance outputs. Register instances are the only
+   cells; their identity is resolved by color refinement, never by
+   name. *)
+type tree =
+  | Pin of string
+  | RegQ of int
+  | RegSig of int
+  | Const of int
+  | Undriven
+  | Op of string * tree list
+
+type cell = {
+  kind : string;  (* primitive module name *)
+  cname : string;  (* representative name, messages only *)
+  params : (string * int) list;  (* sorted *)
+  conns : (string * tree array) list;  (* input port -> per-slot tree; sorted *)
+}
+
+type netlist = {
+  nname : string;
+  nin : (string * int) list;  (* input port -> width, sorted *)
+  nout : (string * int) list;
+  nsteps : int;
+  ncontexts : (int * int) list;  (* (test_mode, test_session) *)
+  cells : cell array;
+  outdrv : (string * tree array) list;  (* output port -> per-slot tree *)
+}
+
+(* Session contexts are bounded so a pathological session count cannot
+   make slot enumeration explode; both sides apply the same bound. *)
+let max_session_contexts = 16
+
+let contexts_of ~has_tm ~sess_bits =
+  let tms = if has_tm then [ 0; 1 ] else [ 0 ] in
+  let sess =
+    match sess_bits with
+    | None -> [ 0 ]
+    | Some b ->
+      List.init (min (1 lsl min b 30) max_session_contexts) (fun k -> k)
+  in
+  List.concat_map (fun tm -> List.map (fun k -> (tm, k)) sess) tms
+
+(* slot enumeration: for contexts [c0; c1; ...] and steps 0..nsteps+1 *)
+let slots_of ~contexts ~steps =
+  List.concat_map
+    (fun (tm, sess) -> List.init (steps + 2) (fun s -> (tm, sess, s)))
+    contexts
+
+let slot_describe ~contexts ~steps i =
+  let per = steps + 2 in
+  let tm, sess = List.nth contexts (i / per) in
+  Printf.sprintf "test_mode=%d session=%d step=%d" tm sess (i mod per)
+
+(* --- normalization ------------------------------------------------- *)
+
+(* [lt] only occurs as the data-position comparison of a Less function;
+   the emitter's zero-padded concat and guarded-division idioms collapse
+   so that formatting choices never affect the canonical form. *)
+let rec normalize t =
+  match t with
+  | Pin _ | RegQ _ | RegSig _ | Const _ | Undriven -> t
+  | Op (o, ts) -> (
+    let ts = List.map normalize ts in
+    match (o, ts) with
+    | "lt", _ -> Op ("less", ts)
+    | "concat", [ Const 0; (Op ("less", _) as l) ] -> l
+    | "cond", [ Op ("eq", [ r; Const 0 ]); Const _; Op ("udiv", [ l; r' ]) ]
+      when r = r' ->
+      Op ("div", [ l; r ])
+    | _ -> Op (o, ts))
+
+let commutative = [ "add"; "mul"; "and"; "or"; "xor" ]
+
+let rec ser colors t =
+  match t with
+  | Pin p -> "p:" ^ p
+  | RegQ i -> "q:" ^ colors i
+  | RegSig i -> "s:" ^ colors i
+  | Const c -> "c:" ^ string_of_int c
+  | Undriven -> "undriven"
+  | Op (o, ts) ->
+    let ss = List.map (ser colors) ts in
+    let ss = if List.mem o commutative then List.sort compare ss else ss in
+    o ^ "(" ^ String.concat "," ss ^ ")"
+
+let cell_signature colors c =
+  String.concat "|"
+    (c.kind
+     :: List.map (fun (p, v) -> Printf.sprintf "%s=%d" p v) c.params
+     @ List.map
+         (fun (port, slots) ->
+           port ^ ":"
+           ^ String.concat ";"
+               (Array.to_list (Array.map (ser colors) slots)))
+         c.conns)
+
+(* Weisfeiler–Leman style refinement: each register's color is the hash
+   of its local signature with neighbor registers replaced by their
+   previous colors. The color strings are pure functions of structure,
+   so they are directly comparable across netlists. *)
+let refine nl iterations =
+  let n = Array.length nl.cells in
+  let colors = Array.make n "0" in
+  for _ = 1 to iterations do
+    let get i = colors.(i) in
+    let next =
+      Array.map (fun c -> Digest.to_hex (Digest.string (cell_signature get c))) nl.cells
+    in
+    Array.blit next 0 colors 0 n
+  done;
+  colors
+
+(* ------------------------------------------------------------------ *)
+(* Reference netlist from the in-memory model                         *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize = Verilog.sanitize
+
+let op_name = function
+  | Op.Add -> "add"
+  | Op.Sub -> "sub"
+  | Op.Mul -> "mul"
+  | Op.Div -> "div"
+  | Op.And -> "and"
+  | Op.Or -> "or"
+  | Op.Xor -> "xor"
+  | Op.Less -> "less"
+
+let sess_bits_of nsess =
+  max 1 (int_of_float (ceil (log (float_of_int (nsess + 1)) /. log 2.0)))
+
+let of_datapath ?(width = 8) ?bist ?sessions (dp : Datapath.t) =
+  let dfg = dp.Datapath.dfg in
+  let control = Control.build dp in
+  let steps = Dfg.num_csteps dfg in
+  let session_list =
+    match sessions with Some (t : Session.t) -> t.Session.sessions | None -> []
+  in
+  let nsess = List.length session_list in
+  let has_tm = bist <> None in
+  let sess_bits = if nsess > 0 then Some (sess_bits_of nsess) else None in
+  let contexts = contexts_of ~has_tm ~sess_bits in
+  let slot_list = slots_of ~contexts ~steps in
+  let nslots = List.length slot_list in
+  let slot_arr = Array.of_list slot_list in
+  let style_of rid =
+    match bist with
+    | None -> Resource.Normal
+    | Some (sol : Allocator.solution) -> (
+      match List.assoc_opt rid sol.Allocator.styles with
+      | Some s -> s
+      | None -> Resource.Normal)
+  in
+  let embedding_of mid =
+    match bist with
+    | None -> None
+    | Some (sol : Allocator.solution) ->
+      List.find_opt
+        (fun (e : Ipath.embedding) ->
+          String.equal e.Ipath.mid mid && e.Ipath.l_via = None && e.Ipath.r_via = None)
+        sol.Allocator.embeddings
+  in
+  let session_of mid =
+    let rec go k = function
+      | [] -> None
+      | units :: rest -> if List.mem mid units then Some k else go (k + 1) rest
+    in
+    go 0 session_list
+  in
+  let reg_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (r : Datapath.reg) -> Hashtbl.replace reg_index r.Datapath.rid i)
+    dp.Datapath.regs;
+  let idx rid = Hashtbl.find reg_index rid in
+  let activity_of mid =
+    List.concat_map
+      (fun (s : Control.step) ->
+        List.filter_map
+          (fun (o : Control.unit_op) ->
+            if String.equal o.Control.mid mid then
+              Some (s.Control.index, (o.Control.l_select, o.Control.r_select, o.Control.f_select))
+            else None)
+          s.Control.ops)
+      control.Control.steps
+  in
+  let write_schedule_of rid =
+    List.concat_map
+      (fun (s : Control.step) ->
+        List.filter_map
+          (fun (w : Control.write) ->
+            if String.equal w.Control.rid rid then
+              Some (s.Control.index, w.Control.source_index)
+            else None)
+          s.Control.writes)
+      control.Control.steps
+  in
+  (* per-slot unit output trees, mirroring the emitted multiplexer and
+     function-select chains exactly *)
+  let unit_tree (tm, sess, s) (u : Massign.hw) =
+    let l_srcs, r_srcs = Datapath.unit_port_sources dp u.Massign.mid in
+    if l_srcs = [] && r_srcs = [] then Undriven
+    else begin
+      let activity = activity_of u.Massign.mid in
+      let port side srcs sel_of =
+        match srcs with
+        | [] -> Const 0
+        | [ src ] -> RegQ (idx src)
+        | ss ->
+          let test_idx =
+            if nsess > 0 && tm = 1 then
+              match (session_of u.Massign.mid, embedding_of u.Massign.mid) with
+              | Some k, Some e when sess = k ->
+                let tpg = if side = `L then e.Ipath.l_tpg else e.Ipath.r_tpg in
+                Listx.index_of (String.equal tpg) ss
+              | _ -> None
+            else None
+          in
+          let i =
+            match test_idx with
+            | Some i -> i
+            | None -> (
+              match List.assoc_opt s activity with
+              | Some sel -> sel_of sel
+              | None -> 0)
+          in
+          RegQ (idx (List.nth ss i))
+      in
+      let l = port `L l_srcs (fun (ls, _, _) -> ls) in
+      let r = port `R r_srcs (fun (_, rs, _) -> rs) in
+      match u.Massign.kinds with
+      | [ k ] -> Op (op_name k, [ l; r ])
+      | kinds ->
+        (* emitted chain: fsel[0] ? e0 : ... : e_last; fsel = 0 falls
+           through to the last kind *)
+        let fsel =
+          match List.assoc_opt s activity with
+          | Some (_, _, fs) -> 1 lsl fs
+          | None -> 0
+        in
+        let rec pick i = function
+          | [ k ] -> k
+          | k :: rest -> if (fsel lsr i) land 1 = 1 then k else pick (i + 1) rest
+          | [] -> assert false
+        in
+        Op (op_name (pick 0 kinds), [ l; r ])
+    end
+  in
+  let unit_by_mid mid =
+    List.find_opt
+      (fun (u : Massign.hw) -> String.equal u.Massign.mid mid)
+      dp.Datapath.massign.Massign.units
+  in
+  let cells =
+    List.map
+      (fun (r : Datapath.reg) ->
+        let rid = r.Datapath.rid in
+        let writers =
+          match List.assoc_opt rid dp.Datapath.reg_writers with
+          | Some ws -> ws
+          | None -> []
+        in
+        let sched = write_schedule_of rid in
+        let wsrc_tree slot = function
+          | Datapath.From_port v -> Pin ("pin_" ^ sanitize v)
+          | Datapath.From_unit mid -> (
+            match unit_by_mid mid with
+            | Some u -> unit_tree slot u
+            | None -> Undriven)
+        in
+        let d_at ((tm, sess, s) as slot) =
+          match writers with
+          | [] -> Const 0
+          | [ w ] -> wsrc_tree slot w
+          | ws ->
+            let sa_override =
+              if nsess > 0 && tm = 1 && sess < nsess then
+                List.find_map
+                  (fun mid ->
+                    match embedding_of mid with
+                    | Some e when String.equal e.Ipath.sa rid ->
+                      Listx.index_of (fun w -> w = Datapath.From_unit mid) ws
+                    | Some _ | None -> None)
+                  (List.nth session_list sess)
+              else None
+            in
+            let sel =
+              match sa_override with
+              | Some i -> i
+              | None -> (
+                match List.assoc_opt s sched with Some src -> src | None -> 0)
+            in
+            wsrc_tree slot (List.nth ws sel)
+        in
+        let en_at (_, _, s) = Const (if List.mem_assoc s sched then 1 else 0) in
+        let per f = Array.init nslots (fun i -> normalize (f slot_arr.(i))) in
+        let style = style_of rid in
+        let kind =
+          match style with
+          | Resource.Normal -> "dp_register"
+          | Resource.Tpg -> "tpg_register"
+          | Resource.Sa -> "sa_register"
+          | Resource.Bilbo -> "bilbo_register"
+          | Resource.Cbilbo -> "cbilbo_register"
+        in
+        let params =
+          match style with
+          | Resource.Normal | Resource.Sa -> [ ("WIDTH", width) ]
+          | Resource.Tpg | Resource.Bilbo | Resource.Cbilbo ->
+            [ ("SEED", Verilog.test_seed ~width rid); ("WIDTH", width) ]
+        in
+        let base =
+          [
+            ("clk", per (fun _ -> Pin "clk"));
+            ("rst", per (fun _ -> Const 0));
+            ("en", per en_at);
+            ("d", per d_at);
+          ]
+        in
+        let tm_conn = ("test_mode", per (fun (tm, _, _) -> Const tm)) in
+        let conns =
+          match style with
+          | Resource.Normal -> base
+          | Resource.Tpg | Resource.Sa | Resource.Cbilbo -> tm_conn :: base
+          | Resource.Bilbo ->
+            let compact_sessions =
+              List.concat
+                (List.mapi
+                   (fun k units ->
+                     List.filter_map
+                       (fun mid ->
+                         match embedding_of mid with
+                         | Some e when String.equal e.Ipath.sa rid -> Some k
+                         | Some _ | None -> None)
+                       units)
+                   session_list)
+            in
+            ("compact",
+             per (fun (_, sess, _) ->
+                 Const (if List.mem sess compact_sessions then 1 else 0)))
+            :: tm_conn :: base
+        in
+        {
+          kind;
+          cname = rid;
+          params;
+          conns = List.sort (fun (a, _) (b, _) -> compare a b) conns;
+        })
+      dp.Datapath.regs
+  in
+  let inputs =
+    List.filter (fun v -> Dfg.consumers dfg v <> []) dfg.Dfg.inputs
+  in
+  let sa_regs =
+    match bist with
+    | None -> []
+    | Some (sol : Allocator.solution) ->
+      List.filter_map
+        (fun (rid, style) ->
+          match style with
+          | Resource.Sa | Resource.Bilbo | Resource.Cbilbo -> Some rid
+          | Resource.Normal | Resource.Tpg -> None)
+        sol.Allocator.styles
+  in
+  let nin =
+    [ ("clk", 1); ("rst", 1) ]
+    @ (if has_tm then [ ("test_mode", 1) ] else [])
+    @ (match sess_bits with Some b -> [ ("test_session", b) ] | None -> [])
+    @ List.map (fun v -> ("pin_" ^ sanitize v, width)) inputs
+  in
+  let nout =
+    List.map (fun (v, _) -> ("pout_" ^ sanitize v, width)) dp.Datapath.outputs
+    @ List.map (fun rid -> ("sig_" ^ sanitize rid, width)) sa_regs
+  in
+  let outdrv =
+    List.map
+      (fun (v, rid) ->
+        ("pout_" ^ sanitize v, Array.make nslots (RegQ (idx rid))))
+      dp.Datapath.outputs
+    @ List.map
+        (fun rid -> ("sig_" ^ sanitize rid, Array.make nslots (RegSig (idx rid))))
+        sa_regs
+  in
+  let bycol l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  {
+    nname = sanitize dfg.Dfg.name ^ "_datapath";
+    nin = bycol nin;
+    nout = bycol nout;
+    nsteps = steps;
+    ncontexts = contexts;
+    cells = Array.of_list cells;
+    outdrv = List.sort (fun (a, _) (b, _) -> compare a b) outdrv;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration of a parsed module                                     *)
+(* ------------------------------------------------------------------ *)
+
+let reg_kinds =
+  [ "dp_register"; "tpg_register"; "sa_register"; "bilbo_register";
+    "cbilbo_register" ]
+
+let unit_kinds =
+  [ ("dp_add", "add"); ("dp_sub", "sub"); ("dp_mul", "mul");
+    ("dp_div", "div"); ("dp_and", "and"); ("dp_or", "or");
+    ("dp_xor", "xor"); ("dp_less", "less") ]
+
+let primitive_names = reg_kinds @ List.map fst unit_kinds
+
+type driver =
+  | Dassign of Parser.expr
+  | Dq of int  (* q of register instance i *)
+  | Dsig of int  (* sig_out of register instance i *)
+  | Dunit of int  (* y of unit instance i *)
+
+type unit_inst = { uop : string; uwidth : int; ua : Parser.expr; ub : Parser.expr }
+
+type ecell = {
+  ekind : string;
+  einst : string;
+  eparams : (string * int) list;
+  econns : (string * Parser.expr) list;  (* input connections *)
+}
+
+type elab = {
+  ename : string;
+  ein : (string * int) list;
+  eout : (string * int) list;
+  esteps : int;
+  stepvar : string;
+  always_body : Parser.stmt;
+  localparams : (string * int) list;
+  widths : (string * int) list;
+  drivers : (string, driver) Hashtbl.t;
+  units : unit_inst array;
+  ecells : ecell array;
+  has_tm : bool;
+  sess_bits : int option;
+}
+
+let binop_name : Parser.binop -> string = function
+  | Parser.Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "udiv"
+  | Mod -> "umod" | Band -> "and" | Bor -> "or" | Bxor -> "xor"
+  | Land -> "land" | Lor -> "lor" | Eq -> "eq" | Neq -> "neq"
+  | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+  | Shl -> "shl" | Shr -> "shr"
+
+let unop_name : Parser.unop -> string = function
+  | Parser.Bnot -> "bnot" | Lnot -> "lnot" | Rxor -> "rxor" | Neg -> "neg"
+
+let num_binop (op : Parser.binop) a b =
+  match op with
+  | Parser.Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Mod -> if b = 0 then 0 else a mod b
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Land -> if a <> 0 && b <> 0 then 1 else 0
+  | Lor -> if a <> 0 || b <> 0 then 1 else 0
+  | Eq -> if a = b then 1 else 0
+  | Neq -> if a <> b then 1 else 0
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+  | Shl -> a lsl min b 62
+  | Shr -> a lsr min b 62
+
+let num_unop (op : Parser.unop) a =
+  match op with
+  | Parser.Bnot -> lnot a
+  | Lnot -> if a = 0 then 1 else 0
+  | Rxor ->
+    let rec parity acc v = if v = 0 then acc else parity (acc lxor (v land 1)) (v lsr 1) in
+    parity 0 a
+  | Neg -> -a
+
+type value = VNum of int | VTree of tree
+
+let tree_of = function VNum n -> Const n | VTree t -> t
+
+(* Generic expression evaluation over a name-resolution function.
+   Numeric operands fold; anything touching an opaque atom becomes a
+   tree. Conditionals are lazy on numeric conditions, which is what
+   makes the emitted division guard safe to evaluate. *)
+let rec eval_expr lookup (e : Parser.expr) : value =
+  match e with
+  | Parser.Ident n -> lookup n
+  | Parser.Num (_, v) -> VNum v
+  | Parser.Str _ -> VTree Undriven
+  | Parser.Unop (op, a) -> (
+    match eval_expr lookup a with
+    | VNum v -> VNum (num_unop op v)
+    | VTree t -> VTree (Op (unop_name op, [ t ])))
+  | Parser.Binop (op, a, b) -> (
+    match (eval_expr lookup a, eval_expr lookup b) with
+    | VNum x, VNum y -> VNum (num_binop op x y)
+    | va, vb -> VTree (Op (binop_name op, [ tree_of va; tree_of vb ])))
+  | Parser.Cond (c, t, f) -> (
+    match eval_expr lookup c with
+    | VNum 0 -> eval_expr lookup f
+    | VNum _ -> eval_expr lookup t
+    | VTree ct ->
+      VTree
+        (Op
+           ( "cond",
+             [ ct; tree_of (eval_expr lookup t); tree_of (eval_expr lookup f) ] )))
+  | Parser.Concat es ->
+    let parts = List.map (fun e -> (e, eval_expr lookup e)) es in
+    let numeric =
+      List.for_all
+        (fun (e, v) ->
+          match (e, v) with Parser.Num (Some _, _), VNum _ -> true | _ -> false)
+        parts
+    in
+    if numeric then
+      VNum
+        (List.fold_left
+           (fun acc (e, v) ->
+             match (e, v) with
+             | Parser.Num (Some w, _), VNum v -> (acc lsl w) lor v
+             | _ -> acc)
+           0 parts)
+    else VTree (Op ("concat", List.map (fun (_, v) -> tree_of v) parts))
+  | Parser.Repl (c, e) -> (
+    match (eval_expr lookup c, e) with
+    | VNum n, Parser.Num (Some w, v) when n >= 0 && n * w <= 62 ->
+      let rec go acc i = if i = 0 then acc else go ((acc lsl w) lor v) (i - 1) in
+      VNum (go 0 n)
+    | vc, _ ->
+      VTree (Op ("repl", [ tree_of vc; tree_of (eval_expr lookup e) ])))
+  | Parser.Index (e, i) -> (
+    match (eval_expr lookup e, eval_expr lookup i) with
+    | VNum v, VNum i -> VNum ((v lsr max i 0) land 1)
+    | ve, vi -> VTree (Op ("index", [ tree_of ve; tree_of vi ])))
+  | Parser.Range (e, m, l) -> (
+    match (eval_expr lookup e, eval_expr lookup m, eval_expr lookup l) with
+    | VNum v, VNum m, VNum l when m >= l ->
+      VNum ((v lsr l) land ((1 lsl min (m - l + 1) 62) - 1))
+    | ve, vm, vl ->
+      VTree (Op ("range", [ tree_of ve; tree_of vm; tree_of vl ])))
+
+let const_eval localparams e =
+  let lookup n =
+    match List.assoc_opt n localparams with
+    | Some v -> VNum v
+    | None -> VTree Undriven
+  in
+  match eval_expr lookup e with VNum n -> Some n | VTree _ -> None
+
+(* Statement execution over numeric state: returns the nonblocking
+   assignments the body performs, or None if control flow depends on
+   something non-numeric (which the emitted step counter never does). *)
+let exec_stmts lookup body =
+  let exception Symbolic in
+  let rec exec acc (s : Parser.stmt) =
+    match s with
+    | Parser.Block ss -> List.fold_left exec acc ss
+    | Parser.Nop -> acc
+    | Parser.If (c, t, f) -> (
+      match eval_expr lookup c with
+      | VNum 0 -> ( match f with Some f -> exec acc f | None -> acc)
+      | VNum _ -> exec acc t
+      | VTree _ -> raise Symbolic)
+    | Parser.Case (scrut, arms, dflt) -> (
+      match eval_expr lookup scrut with
+      | VTree _ -> raise Symbolic
+      | VNum v -> (
+        let arm =
+          List.find_opt
+            (fun (labels, _) ->
+              List.exists
+                (fun l ->
+                  match eval_expr lookup l with VNum x -> x = v | VTree _ -> false)
+                labels)
+            arms
+        in
+        match (arm, dflt) with
+        | Some (_, s), _ -> exec acc s
+        | None, Some d -> exec acc d
+        | None, None -> acc))
+    | Parser.Nonblocking (n, e) | Parser.Blocking (n, e) -> (
+      match eval_expr lookup e with
+      | VNum v -> (n, v) :: List.remove_assoc n acc
+      | VTree _ -> raise Symbolic)
+    | Parser.Sys _ -> acc
+    | Parser.Timing _ -> raise Symbolic
+  in
+  try Some (exec [] body) with Symbolic -> None
+
+let rec stmt_targets acc (s : Parser.stmt) =
+  match s with
+  | Parser.Block ss -> List.fold_left stmt_targets acc ss
+  | Parser.If (_, t, f) -> (
+    let acc = stmt_targets acc t in
+    match f with Some f -> stmt_targets acc f | None -> acc)
+  | Parser.Case (_, arms, dflt) -> (
+    let acc = List.fold_left (fun acc (_, s) -> stmt_targets acc s) acc arms in
+    match dflt with Some d -> stmt_targets acc d | None -> acc)
+  | Parser.Nonblocking (n, _) | Parser.Blocking (n, _) ->
+    if List.mem n acc then acc else n :: acc
+  | Parser.Timing (Some s) -> stmt_targets acc s
+  | Parser.Sys _ | Parser.Timing None | Parser.Nop -> acc
+
+let pick_datapath (p : Parser.t) =
+  let candidates =
+    List.filter
+      (fun (m : Parser.module_) -> not (List.mem m.Parser.name primitive_names))
+      p.Parser.modules
+  in
+  match candidates with
+  | [ m ] -> Ok m
+  | [] -> Error [ "no datapath module found in the RTL input" ]
+  | ms -> (
+    match
+      List.filter
+        (fun (m : Parser.module_) ->
+          String.length m.Parser.name >= 9
+          && String.ends_with ~suffix:"_datapath" m.Parser.name)
+        ms
+    with
+    | [ m ] -> Ok m
+    | _ ->
+      Error
+        [
+          Printf.sprintf "ambiguous datapath module: candidates %s"
+            (String.concat ", " (List.map (fun (m : Parser.module_) -> m.Parser.name) ms));
+        ])
+
+let elaborate (m : Parser.module_) : (elab, string list) result =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let localparams = ref [] in
+  let widths = ref [] in
+  let regs_declared = ref [] in
+  let drivers : (string, driver) Hashtbl.t = Hashtbl.create 64 in
+  let set_driver name d =
+    if Hashtbl.mem drivers name then err "multiple drivers for %s" name
+    else Hashtbl.replace drivers name d
+  in
+  let width_of_range = function
+    | None -> Some 1
+    | Some (m, l) -> (
+      match (const_eval !localparams m, const_eval !localparams l) with
+      | Some m, Some l when m >= l -> Some (m - l + 1)
+      | _ -> None)
+  in
+  let ports_in = ref [] and ports_out = ref [] in
+  List.iter
+    (fun (p : Parser.port) ->
+      match width_of_range p.Parser.prange with
+      | None -> err "port %s: non-constant range" p.Parser.pname
+      | Some w ->
+        widths := (p.Parser.pname, w) :: !widths;
+        if p.Parser.dir = Parser.Input then
+          ports_in := (p.Parser.pname, w) :: !ports_in
+        else ports_out := (p.Parser.pname, w) :: !ports_out)
+    m.Parser.ports;
+  let cells = ref [] and units = ref [] in
+  let ncells = ref 0 and nunits = ref 0 in
+  let always = ref [] in
+  List.iter
+    (fun (item : Parser.item) ->
+      match item with
+      | Parser.Decl { dreg; drange; names; _ } ->
+        let w = match width_of_range drange with Some w -> w | None -> 1 in
+        List.iter
+          (fun (n, init) ->
+            widths := (n, w) :: !widths;
+            if dreg then begin
+              regs_declared := n :: !regs_declared;
+              if init <> None then err "unsupported reg initializer on %s" n
+            end
+            else
+              (* `wire x = e;` is declaration plus continuous assign *)
+              match init with
+              | Some e -> set_driver n (Dassign e)
+              | None -> ())
+          names
+      | Parser.Assign { lhs; rhs; _ } -> set_driver lhs (Dassign rhs)
+      | Parser.Localparam { name; value; _ } -> (
+        match const_eval !localparams value with
+        | Some v -> localparams := (name, v) :: !localparams
+        | None -> err "localparam %s: non-constant value" name)
+      | Parser.Always { trigger; body; _ } -> always := (trigger, body) :: !always
+      | Parser.Initial _ -> err "unsupported initial block in datapath module"
+      | Parser.Instance { module_name; params; instance_name; conns; _ } ->
+        let eparams =
+          List.filter_map
+            (fun (p, e) ->
+              match const_eval !localparams e with
+              | Some v -> Some (p, v)
+              | None ->
+                err "instance %s: non-constant parameter %s" instance_name p;
+                None)
+            params
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        if List.mem module_name reg_kinds then begin
+          let i = !ncells in
+          incr ncells;
+          let inputs =
+            List.filter
+              (fun (port, conn) ->
+                match port with
+                | "q" | "sig_out" -> (
+                  match conn with
+                  | Parser.Ident w ->
+                    set_driver w (if port = "q" then Dq i else Dsig i);
+                    false
+                  | _ ->
+                    err "instance %s: output port %s must connect a plain wire"
+                      instance_name port;
+                    false)
+                | _ -> true)
+              conns
+          in
+          cells :=
+            {
+              ekind = module_name;
+              einst = instance_name;
+              eparams;
+              econns = List.sort (fun (a, _) (b, _) -> compare a b) inputs;
+            }
+            :: !cells
+        end
+        else begin
+          match List.assoc_opt module_name unit_kinds with
+          | Some op ->
+            let j = !nunits in
+            incr nunits;
+            let get p = List.assoc_opt p conns in
+            (match get "y" with
+            | Some (Parser.Ident w) -> set_driver w (Dunit j)
+            | Some _ | None -> err "instance %s: missing wire on port y" instance_name);
+            let arg p =
+              match get p with
+              | Some e -> e
+              | None ->
+                err "instance %s: missing port %s" instance_name p;
+                Parser.Num (None, 0)
+            in
+            let uwidth =
+              match List.assoc_opt "WIDTH" eparams with Some w -> w | None -> 8
+            in
+            units := { uop = op; uwidth; ua = arg "a"; ub = arg "b" } :: !units
+          | None -> err "unknown instance module %s (%s)" module_name instance_name
+        end)
+    m.Parser.items;
+  (* step counter: exactly one posedge always block driving one reg *)
+  let stepvar, body =
+    match !always with
+    | [ (Parser.Posedge clk, body) ] ->
+      if clk <> "clk" then err "always block not clocked by clk";
+      (match stmt_targets [] body with
+      | [ v ] ->
+        if not (List.mem v !regs_declared) then
+          err "step counter %s is not a declared reg" v;
+        (v, body)
+      | vs ->
+        err "expected exactly one always-block register, found %d" (List.length vs);
+        ("step", body))
+    | [] ->
+      err "no always block (step counter) found";
+      ("step", Parser.Nop)
+    | (Parser.Delay _, _) :: _ | (Parser.Star, _) :: _ ->
+      err "unsupported always trigger in datapath module";
+      ("step", Parser.Nop)
+    | _ :: _ :: _ ->
+      err "expected exactly one always block, found %d" (List.length !always);
+      ("step", Parser.Nop)
+  in
+  let esteps =
+    match List.assoc_opt "NUM_STEPS" !localparams with
+    | Some n -> n
+    | None ->
+      err "missing NUM_STEPS localparam";
+      0
+  in
+  (* verify the counter's update rule: rst forces 0, otherwise count to
+     saturation at NUM_STEPS + 1 *)
+  if !errs = [] then begin
+    let check rst s expect =
+      let lookup n =
+        if n = stepvar then VNum s
+        else if n = "rst" then VNum rst
+        else
+          match List.assoc_opt n !localparams with
+          | Some v -> VNum v
+          | None -> VTree Undriven
+      in
+      let got =
+        match exec_stmts lookup body with
+        | None -> None
+        | Some [] -> Some s  (* no assignment: holds value *)
+        | Some [ (v, x) ] when v = stepvar -> Some x
+        | Some _ -> None
+      in
+      if got <> Some expect then
+        err "step counter diverges at rst=%d step=%d (expected %d)" rst s expect
+    in
+    for s = 0 to esteps + 1 do
+      check 1 s 0;
+      check 0 s (if s <= esteps then s + 1 else s)
+    done
+  end;
+  match !errs with
+  | [] ->
+    let ein = List.sort (fun (a, _) (b, _) -> compare a b) !ports_in in
+    Ok
+      {
+        ename = m.Parser.name;
+        ein;
+        eout = List.sort (fun (a, _) (b, _) -> compare a b) !ports_out;
+        esteps;
+        stepvar;
+        always_body = body;
+        localparams = !localparams;
+        widths = !widths;
+        drivers;
+        units = Array.of_list (List.rev !units);
+        ecells = Array.of_list (List.rev !cells);
+        has_tm = List.mem_assoc "test_mode" ein;
+        sess_bits = List.assoc_opt "test_session" ein;
+      }
+  | errs -> Error (List.rev errs)
+
+(* --- per-slot symbolic evaluation of an elaborated module ----------- *)
+
+let slot_values (e : elab) (tm, sess, s) =
+  let memo : (string, value option) Hashtbl.t = Hashtbl.create 64 in
+  let rec wire name =
+    match Hashtbl.find_opt memo name with
+    | Some (Some v) -> v
+    | Some None -> VTree Undriven (* combinational cycle *)
+    | None ->
+      Hashtbl.replace memo name None;
+      let v = compute name in
+      Hashtbl.replace memo name (Some v);
+      v
+  and compute name =
+    if name = e.stepvar then VNum s
+    else if name = "rst" then VNum 0
+    else if name = "test_mode" then VNum tm
+    else if name = "test_session" then VNum sess
+    else
+      match List.assoc_opt name e.localparams with
+      | Some v -> VNum v
+      | None -> (
+        match Hashtbl.find_opt e.drivers name with
+        | Some (Dassign ex) -> eval_expr wire ex
+        | Some (Dq i) -> VTree (RegQ i)
+        | Some (Dsig i) -> VTree (RegSig i)
+        | Some (Dunit j) ->
+          let u = e.units.(j) in
+          VTree
+            (Op
+               ( u.uop,
+                 [
+                   tree_of (eval_expr wire u.ua); tree_of (eval_expr wire u.ub);
+                 ] ))
+        | None ->
+          if List.mem_assoc name e.ein then VTree (Pin name) else VTree Undriven)
+  in
+  (wire, fun ex -> eval_expr wire ex)
+
+let netlist_of_elab (e : elab) =
+  let contexts = contexts_of ~has_tm:e.has_tm ~sess_bits:e.sess_bits in
+  let slot_list = slots_of ~contexts ~steps:e.esteps in
+  let slot_arr = Array.of_list slot_list in
+  let nslots = Array.length slot_arr in
+  let cells =
+    Array.map
+      (fun (c : ecell) ->
+        {
+          kind = c.ekind;
+          cname = c.einst;
+          params = c.eparams;
+          conns =
+            List.map
+              (fun (port, ex) ->
+                ( port,
+                  Array.init nslots (fun i ->
+                      let _, evale = slot_values e slot_arr.(i) in
+                      normalize (tree_of (evale ex))) ))
+              c.econns;
+        })
+      e.ecells
+  in
+  let outdrv =
+    List.map
+      (fun (port, _) ->
+        ( port,
+          Array.init nslots (fun i ->
+              let wire, _ = slot_values e slot_arr.(i) in
+              normalize (tree_of (wire port))) ))
+      e.eout
+  in
+  {
+    nname = e.ename;
+    nin = e.ein;
+    nout = e.eout;
+    nsteps = e.esteps;
+    ncontexts = contexts;
+    cells;
+    outdrv;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let max_diffs = 24
+
+let truncate_str n s = if String.length s <= n then s else String.sub s 0 n ^ "…"
+
+let compare_netlists ~a_label ~b_label (a : netlist) (b : netlist) =
+  let diffs = ref [] and count = ref 0 in
+  let diff fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr count;
+        if !count <= max_diffs then diffs := s :: !diffs
+        else if !count = max_diffs + 1 then diffs := "… (more differences omitted)" :: !diffs)
+      fmt
+  in
+  let compare_ports what pa pb =
+    List.iter
+      (fun (p, w) ->
+        match List.assoc_opt p pb with
+        | None -> diff "%s port %s missing in %s" what p b_label
+        | Some w' when w' <> w ->
+          diff "%s port %s: width %d in %s vs %d in %s" what p w a_label w' b_label
+        | Some _ -> ())
+      pa;
+    List.iter
+      (fun (p, _) ->
+        if not (List.mem_assoc p pa) then
+          diff "unexpected %s port %s in %s" what p b_label)
+      pb
+  in
+  if a.nname <> b.nname then
+    diff "module name: %s in %s vs %s in %s" a.nname a_label b.nname b_label;
+  compare_ports "input" a.nin b.nin;
+  compare_ports "output" a.nout b.nout;
+  if a.nsteps <> b.nsteps then
+    diff "NUM_STEPS: %d in %s vs %d in %s" a.nsteps a_label b.nsteps b_label;
+  if a.ncontexts <> b.ncontexts then
+    diff "test contexts differ (%d in %s vs %d in %s)"
+      (List.length a.ncontexts) a_label (List.length b.ncontexts) b_label;
+  if !diffs <> [] then List.rev !diffs
+  else begin
+    (* interfaces agree, so slots align: match registers by refinement *)
+    if Array.length a.cells <> Array.length b.cells then
+      diff "register count: %d in %s vs %d in %s"
+        (Array.length a.cells) a_label (Array.length b.cells) b_label;
+    let k = max (Array.length a.cells) (Array.length b.cells) + 1 in
+    let ca = refine a k and cb = refine b k in
+    let tagged colors (nl : netlist) =
+      List.sort compare
+        (Array.to_list
+           (Array.mapi (fun i (c : cell) -> (colors.(i), c.cname, c.kind)) nl.cells))
+    in
+    let rec walk xs ys =
+      match (xs, ys) with
+      | [], [] -> ()
+      | (c1, n1, k1) :: xs', ys' when ys' = [] || c1 < (match ys' with (c2, _, _) :: _ -> c2 | [] -> "") ->
+        diff "register %s (%s) in %s has no structural counterpart in %s" n1 k1
+          a_label b_label;
+        walk xs' ys'
+      | xs', (c2, n2, k2) :: ys' when xs' = [] || c2 < (match xs' with (c1, _, _) :: _ -> c1 | [] -> "") ->
+        diff "register %s (%s) in %s has no structural counterpart in %s" n2 k2
+          b_label a_label;
+        walk xs' ys'
+      | _ :: xs', _ :: ys' -> walk xs' ys'
+      | _ -> ()
+    in
+    walk (tagged ca a) (tagged cb b);
+    let steps = a.nsteps in
+    List.iter
+      (fun (port, sa) ->
+        match List.assoc_opt port b.outdrv with
+        | None -> diff "output %s is undriven in %s" port b_label
+        | Some sb ->
+          let n = min (Array.length sa) (Array.length sb) in
+          let rec first i =
+            if i >= n then None
+            else
+              let s1 = ser (fun j -> ca.(j)) sa.(i)
+              and s2 = ser (fun j -> cb.(j)) sb.(i) in
+              if s1 <> s2 then Some (i, s1, s2) else first (i + 1)
+          in
+          (match first 0 with
+          | None -> ()
+          | Some (i, s1, s2) ->
+            diff "output %s differs at %s: %s vs %s" port
+              (slot_describe ~contexts:a.ncontexts ~steps i)
+              (truncate_str 48 s1) (truncate_str 48 s2)))
+      a.outdrv;
+    List.rev !diffs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Functional simulation of the parsed AST                            *)
+(* ------------------------------------------------------------------ *)
+
+let op_eval ~width op a b =
+  let mask = (1 lsl width) - 1 in
+  match op with
+  | "add" -> Op.eval Op.Add ~width a b
+  | "sub" -> Op.eval Op.Sub ~width a b
+  | "mul" -> Op.eval Op.Mul ~width a b
+  | "div" -> Op.eval Op.Div ~width a b
+  | "and" -> Op.eval Op.And ~width a b
+  | "or" -> Op.eval Op.Or ~width a b
+  | "xor" -> Op.eval Op.Xor ~width a b
+  | "less" -> Op.eval Op.Less ~width a b
+  | _ -> 0 land mask
+
+(* One functional-mode run (test_mode = 0): reset, then num_steps + 1
+   cycles following the testbench timing convention — outputs whose
+   producing operation completes at control step [c] are sampled right
+   after cycle [c]'s latch. Register primitives follow their builtin
+   functional semantics (reset to 0 or SEED, latch d when enabled). *)
+let simulate (e : elab) ~pin_env ~capture =
+  let cellw =
+    Array.map
+      (fun c -> match List.assoc_opt "WIDTH" c.eparams with Some w -> w | None -> 8)
+      e.ecells
+  in
+  let q =
+    Array.mapi
+      (fun i (c : ecell) ->
+        let mask = (1 lsl cellw.(i)) - 1 in
+        match c.ekind with
+        | "tpg_register" | "bilbo_register" | "cbilbo_register" -> (
+          match List.assoc_opt "SEED" c.eparams with
+          | Some s -> s land mask
+          | None -> 1)
+        | _ -> 0)
+      e.ecells
+  in
+  let wirew name =
+    match List.assoc_opt name e.widths with Some w -> w | None -> 62
+  in
+  let step = ref 0 in
+  let results = Hashtbl.create 8 in
+  let cycle_values () =
+    let memo : (string, int option) Hashtbl.t = Hashtbl.create 64 in
+    let rec wire name =
+      match Hashtbl.find_opt memo name with
+      | Some (Some v) -> v
+      | Some None -> 0 (* combinational cycle: structural pass reports it *)
+      | None ->
+        Hashtbl.replace memo name None;
+        let v = compute name land ((1 lsl min (wirew name) 62) - 1) in
+        Hashtbl.replace memo name (Some v);
+        v
+    and lookup name : value = VNum (wire name)
+    and compute name =
+      if name = e.stepvar then !step
+      else if name = "rst" || name = "test_mode" || name = "test_session" then 0
+      else if name = "clk" then 0
+      else
+        match List.assoc_opt name e.localparams with
+        | Some v -> v
+        | None -> (
+          match Hashtbl.find_opt e.drivers name with
+          | Some (Dassign ex) -> (
+            match eval_expr lookup ex with VNum v -> v | VTree _ -> 0)
+          | Some (Dq i) -> q.(i)
+          | Some (Dsig _) -> 0
+          | Some (Dunit j) ->
+            let u = e.units.(j) in
+            let ev ex =
+              match eval_expr lookup ex with VNum v -> v | VTree _ -> 0
+            in
+            op_eval ~width:u.uwidth u.uop (ev u.ua) (ev u.ub)
+          | None -> ( match List.assoc_opt name pin_env with Some v -> v | None -> 0))
+    in
+    wire
+  in
+  let steps = e.esteps in
+  for c = 0 to steps do
+    let wire = cycle_values () in
+    (* latch phase: functional mode is plain enable-latch for every kind *)
+    let updates =
+      Array.mapi
+        (fun i (cell : ecell) ->
+          let conn p =
+            match List.assoc_opt p cell.econns with
+            | Some ex -> (
+              match eval_expr (fun n -> VNum (wire n)) ex with
+              | VNum v -> v
+              | VTree _ -> 0)
+            | None -> 0
+          in
+          let mask = (1 lsl cellw.(i)) - 1 in
+          if conn "en" <> 0 then conn "d" land mask else q.(i))
+        e.ecells
+    in
+    let next_step =
+      let lookup n =
+        if n = e.stepvar then VNum !step
+        else if n = "rst" then VNum 0
+        else
+          match List.assoc_opt n e.localparams with
+          | Some v -> VNum v
+          | None -> VNum (wire n)
+      in
+      match exec_stmts lookup e.always_body with
+      | Some [ (v, x) ] when v = e.stepvar -> x
+      | Some _ | None -> !step
+    in
+    Array.blit updates 0 q 0 (Array.length q);
+    step := next_step;
+    (* capture phase: sample outputs due at this control step *)
+    let wire = cycle_values () in
+    List.iter
+      (fun (port, at) -> if at = c then Hashtbl.replace results port (wire port))
+      capture
+  done;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                *)
+(* ------------------------------------------------------------------ *)
+
+let capture_step (dp : Datapath.t) v =
+  match Dfg.producer dp.Datapath.dfg v with
+  | Some op -> Dfg.cstep dp.Datapath.dfg op.Op.id
+  | None -> 0
+
+let cross_check (e : elab) (dp : Datapath.t) ~width ~vectors ~seed =
+  let rng = Prng.create seed in
+  let dfg = dp.Datapath.dfg in
+  let capture =
+    List.map
+      (fun (v, _) -> ("pout_" ^ sanitize v, capture_step dp v))
+      dp.Datapath.outputs
+  in
+  let rec go i =
+    if i >= vectors then (None, i)
+    else begin
+      let inputs =
+        List.map (fun v -> (v, Prng.int rng (1 lsl width))) dfg.Dfg.inputs
+      in
+      let expected, _ = Interp.run dp ~width ~inputs in
+      let pin_env =
+        List.map (fun (v, x) -> ("pin_" ^ sanitize v, x)) inputs
+      in
+      let results = simulate e ~pin_env ~capture in
+      let bad =
+        List.find_map
+          (fun (v, _) ->
+            let port = "pout_" ^ sanitize v in
+            match (List.assoc_opt v expected, Hashtbl.find_opt results port) with
+            | Some exp, Some act when exp <> act ->
+              Some { vector = inputs; output = v; expected = exp; actual = act }
+            | _ -> None)
+          dp.Datapath.outputs
+      in
+      match bad with Some m -> (Some m, i + 1) | None -> go (i + 1)
+    end
+  in
+  go 0
+
+let verify ?(vectors = 16) ?(seed = 7) ?(width = 8) ?bist ?sessions ~rtl dp =
+  let t0 = Telemetry.now () in
+  let finish r =
+    Telemetry.observe "rtl.verify_ns" (Int64.to_int (Int64.sub (Telemetry.now ()) t0));
+    r
+  in
+  let parsed = Parser.parse rtl in
+  match Parser.errors parsed with
+  | _ :: _ as errs -> finish (Error errs)
+  | [] ->
+    let reference = of_datapath ~width ?bist ?sessions dp in
+    let elab_result =
+      match pick_datapath parsed with
+      | Error diffs -> Error diffs
+      | Ok m -> elaborate m
+    in
+    finish
+      (Ok
+         (match elab_result with
+         | Error diffs -> { structural = diffs; functional = None; vectors_run = 0 }
+         | Ok e ->
+           let structural =
+             compare_netlists ~a_label:"model" ~b_label:"rtl" reference
+               (netlist_of_elab e)
+           in
+           let functional, vectors_run =
+             if vectors > 0 then cross_check e dp ~width ~vectors ~seed
+             else (None, 0)
+           in
+           { structural; functional; vectors_run }))
+
+(* --- golden drift -------------------------------------------------- *)
+
+let strip_item (it : Parser.item) : Parser.item =
+  match it with
+  | Parser.Decl d -> Parser.Decl { d with dline = 0 }
+  | Parser.Assign a -> Parser.Assign { a with aline = 0 }
+  | Parser.Localparam l -> Parser.Localparam { l with lline = 0 }
+  | Parser.Always a -> Parser.Always { a with bline = 0 }
+  | Parser.Initial _ -> it
+  | Parser.Instance i -> Parser.Instance { i with iline = 0 }
+
+let strip_module (m : Parser.module_) : Parser.module_ =
+  {
+    m with
+    mline = 0;
+    ports = List.map (fun (p : Parser.port) -> { p with Parser.pline = 0 }) m.Parser.ports;
+    items = List.map strip_item m.Parser.items;
+  }
+
+let drift ~golden ~current =
+  let pg = Parser.parse ~file:"golden" golden in
+  let pc = Parser.parse ~file:"current" current in
+  match (Parser.errors pg, Parser.errors pc) with
+  | ([] as _eg), [] -> (
+    let diffs = ref [] in
+    let add s = diffs := s :: !diffs in
+    let support (p : Parser.t) (dp : Parser.module_) =
+      List.filter (fun (m : Parser.module_) -> m != dp) p.Parser.modules
+    in
+    match (pick_datapath pg, pick_datapath pc) with
+    | Error eg, _ -> Ok (List.map (fun s -> "golden: " ^ s) eg)
+    | _, Error ec -> Ok (List.map (fun s -> "current: " ^ s) ec)
+    | Ok mg, Ok mc ->
+      let structural =
+        match (elaborate mg, elaborate mc) with
+        | Error eg, _ -> List.map (fun s -> "golden: " ^ s) eg
+        | _, Error ec -> List.map (fun s -> "current: " ^ s) ec
+        | Ok eg, Ok ec ->
+          compare_netlists ~a_label:"golden" ~b_label:"current"
+            (netlist_of_elab eg) (netlist_of_elab ec)
+      in
+      List.iter add structural;
+      let sg = support pg mg and sc = support pc mc in
+      List.iter
+        (fun (m : Parser.module_) ->
+          match
+            List.find_opt
+              (fun (m' : Parser.module_) -> m'.Parser.name = m.Parser.name)
+              sc
+          with
+          | None -> add (Printf.sprintf "support module %s removed" m.Parser.name)
+          | Some m' ->
+            if strip_module m <> strip_module m' then
+              add (Printf.sprintf "support module %s changed" m.Parser.name))
+        sg;
+      List.iter
+        (fun (m : Parser.module_) ->
+          if
+            not
+              (List.exists
+                 (fun (m' : Parser.module_) -> m'.Parser.name = m.Parser.name)
+                 sg)
+          then add (Printf.sprintf "support module %s added" m.Parser.name))
+        sc;
+      Ok (List.rev !diffs))
+  | eg, ec -> Error (eg @ ec)

@@ -1,0 +1,66 @@
+(** Structural and functional equivalence of emitted RTL against the
+    in-memory data path.
+
+    Closes the emission loop: {!Verilog.emit} output is parsed back
+    ({!Parser}) and elaborated into a canonical netlist — one cell per
+    register instance, with every combinational cone partially
+    evaluated per (test context, control step) into name-free
+    expression trees over the ports and register outputs. A reference
+    netlist is built the same way directly from the
+    {!Bistpath_datapath.Datapath.t} and its control table, and the two
+    are matched name-insensitively: anchored on the port interface,
+    registers paired by iterated structural color refinement (a
+    Weisfeiler–Leman style partition over the per-slot input trees),
+    with commutative operator inputs canonicalized so benign operand
+    reordering never false-alarms. A random-vector simulation
+    cross-check then runs the parsed AST cycle by cycle against
+    {!Bistpath_datapath.Interp} and reports the first distinguishing
+    vector.
+
+    Structural differences and simulation mismatches are reported as
+    data, never exceptions; unparsable input surfaces the parser's
+    accumulated diagnostics. Each verification records its latency in
+    the [rtl.verify_ns] telemetry histogram. *)
+
+type mismatch = {
+  vector : (string * int) list;  (** primary-input assignment *)
+  output : string;  (** DFG output variable that disagrees *)
+  expected : int;  (** in-memory model ({!Bistpath_datapath.Interp}) *)
+  actual : int;  (** parsed-back RTL simulation *)
+}
+
+type report = {
+  structural : string list;
+      (** human-readable structural differences; empty = equivalent *)
+  functional : mismatch option;
+      (** first distinguishing vector; [None] = all vectors agree *)
+  vectors_run : int;
+}
+
+val verify :
+  ?vectors:int ->
+  ?seed:int ->
+  ?width:int ->
+  ?bist:Bistpath_bist.Allocator.solution ->
+  ?sessions:Bistpath_bist.Session.t ->
+  rtl:string ->
+  Bistpath_datapath.Datapath.t ->
+  (report, Bistpath_resilience.Diagnostic.t list) result
+(** Parse [rtl] (expected: {!Verilog.primitives} + {!Verilog.emit}
+    output, but any text is safe) and compare it against [dp] emitted
+    with the same [width]/[bist]/[sessions] configuration. [Error]
+    means the input was unparsable (accumulated diagnostics);
+    elaboration problems in parsable input are reported as structural
+    differences instead. [vectors] (default 16) random input vectors
+    drive the simulation cross-check; 0 skips it ([functional] is
+    [None]). [seed] (default 7) seeds the vector generator. *)
+
+val drift :
+  golden:string -> current:string -> (string list, Bistpath_resilience.Diagnostic.t list) result
+(** Structural (not byte) comparison of two emitted RTL artifacts: the
+    datapath modules are elaborated and matched exactly as in
+    {!verify}, and every support (primitive) module is compared by
+    location-stripped AST so formatting and comment churn never
+    false-alarms while a semantic change always does. [Ok []] means no
+    drift; [Error] means one side failed to parse (diagnostics carry
+    the [golden:]/[current:] file tag). *)

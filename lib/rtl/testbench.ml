@@ -16,8 +16,12 @@ let capture_step (dp : Datapath.t) v =
   | None -> 0
 
 let generate ?(width = 8) ?name (dp : Datapath.t) ~vectors =
-  let dut = sanitize dp.Datapath.dfg.Dfg.name ^ "_datapath" in
-  let tb = match name with Some n -> sanitize n | None -> dut ^ "_tb" in
+  let dut = Verilog.module_name dp in
+  let tb =
+    match name with
+    | Some n -> Verilog.mangle n
+    | None -> Verilog.mangle (dp.Datapath.dfg.Dfg.name ^ "_datapath_tb")
+  in
   let ins = used_inputs dp in
   let outs = dp.Datapath.outputs in
   let steps = Dfg.num_csteps dp.Datapath.dfg in

@@ -7,13 +7,42 @@ module Allocator = Bistpath_bist.Allocator
 module Session = Bistpath_bist.Session
 module Ipath = Bistpath_ipath.Ipath
 
+(* Hex-escaping keeps the map injective for names that differ only in
+   their punctuation (greedy module binders name units "*1", "+1", ...,
+   which a collapse-to-underscore map would merge into one wire). *)
 let sanitize name =
-  String.map
+  let buf = Buffer.create (String.length name) in
+  String.iter
     (fun c ->
       match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
-      | _ -> '_')
-    name
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "_%02x" (Char.code c)))
+    name;
+  Buffer.contents buf
+
+(* Verilog-2001 reserved words a sanitized netlist name could collide
+   with when used bare (instance or module names). *)
+let keywords =
+  [ "always"; "and"; "assign"; "begin"; "buf"; "case"; "casex"; "casez";
+    "default"; "defparam"; "disable"; "edge"; "else"; "end"; "endcase";
+    "endfunction"; "endgenerate"; "endmodule"; "endtask"; "for"; "forever";
+    "function"; "generate"; "genvar"; "if"; "initial"; "inout"; "input";
+    "integer"; "localparam"; "module"; "nand"; "negedge"; "nor"; "not";
+    "or"; "output"; "parameter"; "posedge"; "real"; "reg"; "repeat";
+    "signed"; "task"; "time"; "tri"; "wait"; "while"; "wire"; "xnor"; "xor" ]
+
+(* Escaped-identifier form for names that are not legal bare Verilog
+   identifiers (reserved words, leading digit). The trailing space is
+   part of the escaped-identifier syntax. *)
+let escape s =
+  let s = if s = "" then "_" else s in
+  let digit_lead = match s.[0] with '0' .. '9' -> true | _ -> false in
+  if digit_lead || List.mem s keywords then "\\" ^ s ^ " " else s
+
+let mangle name = escape (sanitize name)
+
+let module_name (dp : Datapath.t) =
+  escape (sanitize dp.Datapath.dfg.Bistpath_dfg.Dfg.name ^ "_datapath")
 
 let unit_module (u : Massign.hw) =
   match u.kinds with
@@ -53,9 +82,8 @@ let emit ?(width = 8) ?bist ?sessions dp =
       | Some s -> s
       | None -> Resource.Normal)
   in
-  let name = sanitize dp.Datapath.dfg.Dfg.name in
   let inputs = List.filter (fun v -> Dfg.consumers dp.Datapath.dfg v <> []) dp.Datapath.dfg.Dfg.inputs in
-  pf "module %s_datapath (\n" name;
+  pf "module %s (\n" (module_name dp);
   pf "  input  wire clk,\n  input  wire rst,\n";
   if bist <> None then pf "  input  wire test_mode,\n";
   (* Session-driven test overrides: with [sessions], the wrapper selects
@@ -189,6 +217,7 @@ let emit ?(width = 8) ?bist ?sessions dp =
             else pf "    sel_%s == %d'd%d ? %s :\n" rid sel_bits i (wire_of w))
           ws);
       let style = style_of r.rid in
+      let inst = escape rid in
       pf "  wire en_%s;\n" rid;
       (match write_schedule with
       | [] -> pf "  assign en_%s = 1'b0;\n" rid
@@ -199,19 +228,19 @@ let emit ?(width = 8) ?bist ?sessions dp =
       (match style with
       | Resource.Normal ->
         pf "  dp_register #(.WIDTH(%d)) %s (.clk(clk), .rst(rst), .en(en_%s), .d(d_%s), .q(q_%s));\n"
-          width rid rid rid rid
+          width inst rid rid rid
       | Resource.Tpg ->
         pf
           "  %s #(.WIDTH(%d), .SEED(%d'd%d)) %s (.clk(clk), .rst(rst), .en(en_%s), .test_mode(test_mode), .d(d_%s), .q(q_%s));\n"
-          (reg_module style) width width (test_seed ~width r.rid) rid rid rid rid
+          (reg_module style) width width (test_seed ~width r.rid) inst rid rid rid
       | Resource.Sa ->
         pf
           "  sa_register #(.WIDTH(%d)) %s (.clk(clk), .rst(rst), .en(en_%s), .test_mode(test_mode), .d(d_%s), .q(q_%s), .sig_out(sig_%s));\n"
-          width rid rid rid rid rid
+          width inst rid rid rid rid
       | Resource.Cbilbo ->
         pf
           "  cbilbo_register #(.WIDTH(%d), .SEED(%d'd%d)) %s (.clk(clk), .rst(rst), .en(en_%s), .test_mode(test_mode), .d(d_%s), .q(q_%s), .sig_out(sig_%s));\n"
-          width width (test_seed ~width r.rid) rid rid rid rid rid
+          width width (test_seed ~width r.rid) inst rid rid rid rid
       | Resource.Bilbo ->
         (* compact whenever the active session tests a unit whose SA
            this register is; otherwise generate *)
@@ -232,7 +261,7 @@ let emit ?(width = 8) ?bist ?sessions dp =
         | ts -> pf "  wire compact_%s = %s;\n" rid (String.concat " || " (List.map (fun t -> "(" ^ t ^ ")") ts)));
         pf
           "  bilbo_register #(.WIDTH(%d), .SEED(%d'd%d)) %s (.clk(clk), .rst(rst), .en(en_%s), .test_mode(test_mode), .compact(compact_%s), .d(d_%s), .q(q_%s), .sig_out(sig_%s));\n"
-          width width (test_seed ~width r.rid) rid rid rid rid rid rid);
+          width width (test_seed ~width r.rid) inst rid rid rid rid rid);
       pf "\n")
     dp.Datapath.regs;
   (* Functional units with port muxes. *)
@@ -308,7 +337,12 @@ let emit ?(width = 8) ?bist ?sessions dp =
             | Op.And -> Printf.sprintf "l_%s & r_%s" mid mid
             | Op.Or -> Printf.sprintf "l_%s | r_%s" mid mid
             | Op.Xor -> Printf.sprintf "l_%s ^ r_%s" mid mid
-            | Op.Less -> Printf.sprintf "{%d'd0, l_%s < r_%s}" (width - 1) mid mid
+            | Op.Less ->
+              (* width 1 would make the pad a zero-width literal, which
+                 is illegal Verilog: the bare comparison already has the
+                 right width *)
+              if width = 1 then Printf.sprintf "l_%s < r_%s" mid mid
+              else Printf.sprintf "{%d'd0, l_%s < r_%s}" (width - 1) mid mid
           in
           let nf = List.length kinds in
           pf "  wire [%d:0] fsel_%s;\n" (nf - 1) mid;

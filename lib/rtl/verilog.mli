@@ -31,8 +31,22 @@ val test_seed : width:int -> string -> int
     {!Rtl_sim}. *)
 
 val sanitize : string -> string
-(** Map arbitrary netlist names to Verilog identifiers (non-alphanumeric
-    characters become underscores). *)
+(** Map arbitrary netlist names to Verilog identifiers: alphanumerics
+    and underscores pass through, any other character becomes its
+    [_&lt;hex&gt;] escape — so names that differ only in punctuation
+    (["*1"] vs ["+1"]) stay distinct instead of colliding on the same
+    wire. *)
+
+val mangle : string -> string
+(** [sanitize], then wrap in escaped-identifier syntax ([\name ],
+    trailing space included) when the result is a reserved word or
+    starts with a digit — i.e. the name as it may legally appear bare in
+    emitted source. Prefixed uses ([q_<name>] etc.) only need
+    [sanitize]. *)
+
+val module_name : Bistpath_datapath.Datapath.t -> string
+(** The emitted module's name, [<sanitized design name>_datapath],
+    escaped if necessary — use this when instantiating the module. *)
 
 val primitives : width:int -> string
 (** Library of the register/unit/mux primitives the emitted module

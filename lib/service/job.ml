@@ -1,6 +1,6 @@
 module Json = Bistpath_util.Json
 
-type pipeline = Run | Pareto | Coverage | Rtl | Export | Check
+type pipeline = Run | Pareto | Coverage | Rtl | Export | Check | Verify
 
 type t = {
   id : string;
@@ -21,6 +21,7 @@ let pipeline_name = function
   | Rtl -> "rtl"
   | Export -> "export"
   | Check -> "check"
+  | Verify -> "verify"
 
 let pipeline_of_name = function
   | "run" -> Some Run
@@ -29,6 +30,7 @@ let pipeline_of_name = function
   | "rtl" -> Some Rtl
   | "export" -> Some Export
   | "check" -> Some Check
+  | "verify" -> Some Verify
   | _ -> None
 
 let id_ok id =
@@ -86,7 +88,8 @@ let of_json ~default_id json =
         | Some p -> Ok p
         | None ->
           Error
-            (Printf.sprintf "unknown pipeline %S (want run|pareto|coverage|rtl|export|check)" s))
+            (Printf.sprintf
+               "unknown pipeline %S (want run|pareto|coverage|rtl|export|check|verify)" s))
     in
     let* width = field "width" Json.to_int "an integer" in
     let width = Option.value width ~default:8 in

@@ -15,11 +15,13 @@
     result file, so it is restricted to
     [A-Za-z0-9._-] (no path separators). ["pipeline"] defaults to
     ["run"]; ["check"] runs the static verifier over the flow's
-    artifacts ({!Bistpath_check.Check}). ["timeout"] (seconds) and ["leaf_budget"] bound the job
+    artifacts ({!Bistpath_check.Check}); ["verify"] parses the emitted
+    RTL back and proves it equivalent to the in-memory data path
+    ({!Bistpath_rtl.Equiv}). ["timeout"] (seconds) and ["leaf_budget"] bound the job
     like the [--timeout] / [--leaf-budget] CLI flags; a tripped budget
     yields a [degraded] (best-so-far) result rather than a failure. *)
 
-type pipeline = Run | Pareto | Coverage | Rtl | Export | Check
+type pipeline = Run | Pareto | Coverage | Rtl | Export | Check | Verify
 
 type t = {
   id : string;

@@ -8,6 +8,7 @@ module Frontend = Bistpath_dfg.Frontend
 module Dfg = Bistpath_dfg.Dfg
 module Diagnostic = Bistpath_resilience.Diagnostic
 module Verilog = Bistpath_rtl.Verilog
+module Equiv = Bistpath_rtl.Equiv
 module Bist_sim = Bistpath_gatelevel.Bist_sim
 module Session = Bistpath_bist.Session
 module Pareto = Bistpath_bist.Pareto
@@ -106,9 +107,61 @@ let execute ?cache ~budget (job : Job.t) =
           Flow.artifact_store ~cache ~stage ~key payload;
         Ok (payload, if key = None then None else Some `Miss)
     in
+    (* Parse-back equivalence of the emitted RTL. Never cached: the
+       point is to re-exercise the emitter/parser loop, and a stored
+       verdict would vouch for bytes it never saw. Failures are
+       deterministic for a fixed job, so they use the same give-up
+       classification as [check] (the breaker is not fed). *)
+    let verify () =
+      let r = flow () in
+      let rtl =
+        Verilog.primitives ~width ^ "\n"
+        ^ Verilog.emit ~width ~bist:r.Flow.bist r.Flow.datapath
+        ^ "\n"
+      in
+      match Equiv.verify ~width ~bist:r.Flow.bist ~rtl r.Flow.datapath with
+      | Error diags ->
+        Error
+          (Check_findings
+             (List.map
+                (fun d -> "RTL005 emitted RTL is unparsable: " ^ Diagnostic.to_string d)
+                diags))
+      | Ok rep ->
+        let structural =
+          List.map (fun d -> "RTL005 parse-back mismatch: " ^ d) rep.Equiv.structural
+        in
+        let functional =
+          match rep.Equiv.functional with
+          | None -> []
+          | Some m ->
+            [
+              Printf.sprintf
+                "EQ002 parsed RTL disagrees with the interpreter on output %s \
+                 (expected %d, got %d) for vector %s"
+                m.Equiv.output m.Equiv.expected m.Equiv.actual
+                (String.concat ", "
+                   (List.map (fun (x, v) -> Printf.sprintf "%s=%d" x v) m.Equiv.vector));
+            ]
+        in
+        if structural <> [] || functional <> [] then
+          Error (Check_findings (structural @ functional))
+        else
+          Ok
+            ( Bistpath_util.Json.to_string
+                (Bistpath_util.Json.Obj
+                   [
+                     ("design", Bistpath_util.Json.Str (inst.B.tag ^ "/" ^ job.Job.flow));
+                     ("equivalent", Bistpath_util.Json.Bool true);
+                     ( "vectors_run",
+                       Bistpath_util.Json.Num (float_of_int rep.Equiv.vectors_run) );
+                   ])
+              ^ "\n",
+              None )
+    in
     let str s = Bistpath_util.Json.Str s in
     match job.Job.pipeline with
     | Job.Check -> check ()
+    | Job.Verify -> verify ()
     | Job.Run ->
       cached ~stage:Stage.Report ~extra:[ ("artifact", str "run") ] (fun () ->
           let r = flow () in

@@ -12,7 +12,9 @@
       and records the diagnostics.
     - [Error (Check_findings lines)] — a [check] pipeline found
       error-severity violations in the synthesized artifacts
-      ({!Bistpath_check.Check}). Equally deterministic: the supervisor
+      ({!Bistpath_check.Check}), or a [verify] pipeline found the
+      emitted RTL unparsable or not equivalent to the data path
+      ({!Bistpath_rtl.Equiv}). Equally deterministic: the supervisor
       gives up immediately and records the findings, and the breaker is
       not fed (a sick design says nothing about the pipeline's health).
     - An exception (including injected faults and [Out_of_memory]) —
@@ -41,8 +43,9 @@ val execute :
     served byte-identical from the store ([Some `Hit]) without running
     the flow; a cold one runs (reusing any cached inner stages),
     renders, and commits the artifact unless its budget tripped
-    ([Some `Miss]). [check], [coverage] and [export] never cache their
-    artifact ([None] — though the flow underneath [check]/[coverage]
+    ([Some `Miss]). [check], [verify], [coverage] and [export] never
+    cache their artifact ([None] — though the flow underneath
+    [check]/[verify]/[coverage]
     still reuses cached stages). Without [cache] the second component
     is always [None] and behaviour is byte-identical to the uncached
     runner. *)

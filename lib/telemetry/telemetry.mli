@@ -86,6 +86,9 @@
       suppression).
     - [check.suppressed] — findings hidden by per-rule suppression
       ([--suppress]).
+    - [rtl.parse_errors] — error-severity diagnostics accumulated by
+      the Verilog parse-back front end ([Bistpath_rtl.Parser.parse]),
+      including injected [rtl.parse] faults.
     - [parallel.busy_ns] — summed wall time workers spent executing
       pool tasks (all lanes).
     - [parallel.idle_ns] — summed wall time workers spent parked while
@@ -141,6 +144,9 @@
     - [parallel.chunk_ns] — per-chunk (pool task) execution time.
     - [parallel.stall_ns] — per-batch submitter tail-wait time.
     - [check.rule_ns] — per-rule static-analysis evaluation time.
+    - [rtl.verify_ns] — end-to-end parse-back verification time
+      ([Bistpath_rtl.Equiv.verify]: parse, elaborate, structural
+      match, simulation cross-check).
     - [service.job_ns] — per-attempt job execution wall time
       (cache-served attempts excluded — see below).
     - [service.job_ns_cached] — wall time of attempts whose artifact

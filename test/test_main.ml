@@ -34,4 +34,5 @@ let () =
       ("cache", Test_cache.suite);
       ("compare", Test_compare.suite);
       ("check", Test_check.suite);
+      ("equiv", Test_equiv.suite);
     ]

@@ -735,6 +735,26 @@ let metrics_scrape_mid_run () =
   | None -> Alcotest.fail "queue depth sample missing");
   rm_rf d
 
+(* --- verify pipeline ----------------------------------------------- *)
+
+let service_verify_pipeline () =
+  let d = make_spool [ {|{"id":"v1","spec":"ex1","pipeline":"verify"}|} ] in
+  let stats = Service.run (quiet_config d) in
+  check Alcotest.int "completed" 1 stats.Service.completed;
+  check Alcotest.int "failed" 0 stats.Service.failed;
+  (match Json.parse (String.trim (read_file (out_file d "v1"))) with
+  | Error e -> Alcotest.failf "verify artifact is not JSON: %s" e
+  | Ok j ->
+    check
+      Alcotest.(option bool)
+      "reports equivalence" (Some true)
+      (Option.bind (Json.member "equivalent" j) Json.to_bool);
+    check Alcotest.bool "counts vectors" true
+      (match Option.bind (Json.member "vectors_run" j) Json.to_int with
+      | Some n -> n > 0
+      | None -> false));
+  rm_rf d
+
 let flags_reject_garbage () =
   let expect_4 args = check Alcotest.int (String.concat " " args) 4 (run_synth args) in
   expect_4 [ "run"; "ex1"; "--timeout=-1" ];
@@ -766,6 +786,8 @@ let suite =
       breaker_reprobe_without_verdict;
     case "service: end-to-end, deterministic, resume is idempotent" service_end_to_end;
     case "service: bad specs become typed failures" service_bad_specs;
+    case "service: verify pipeline proves the emitted RTL equivalent"
+      service_verify_pipeline;
     case "service: drain leaves pending work, resume matches clean run"
       service_drain_and_resume;
     case "service: drain does not charge the interrupted attempt"
