@@ -11,6 +11,8 @@ module Bist_sim = Bistpath_gatelevel.Bist_sim
 module Telemetry = Bistpath_telemetry.Telemetry
 module Pool = Bistpath_parallel.Pool
 module Par = Bistpath_parallel.Par
+module Absint = Bistpath_absint.Absint
+module Control = Bistpath_datapath.Control
 
 let section title body =
   Printf.printf "\n================================================================\n";
@@ -430,6 +432,58 @@ let cache_section () =
     ("[\n" ^ String.concat ",\n" records ^ "\n]\n");
   print_endline "\n(wrote BENCH_cache.json)"
 
+(* Abstract interpretation: fixpoint cost and proven width savings per
+   benchmark. Records land in BENCH_absint.json for trend inspection;
+   the compare.exe regression gate does not read this file (solver
+   iteration counts are structural, not timing, and the savings are
+   deterministic). *)
+let absint_section () =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "Abstract interpretation: fixpoint cost and narrowing savings\n";
+  Printf.printf "================================================================\n\n";
+  let records =
+    List.filter_map
+      (fun tag ->
+        match B.by_tag tag with
+        | None -> None
+        | Some inst ->
+          let r =
+            Flow.run
+              ~style:(Flow.Testable Testable_alloc.default_options)
+              inst.B.dfg inst.B.massign ~policy:inst.B.policy
+          in
+          let t0 = Telemetry.now () in
+          let (res, plan), tr =
+            Telemetry.collect (fun () ->
+                let res =
+                  Absint.solve_dfg ~width:8 ~policy:inst.B.policy inst.B.dfg
+                in
+                let control = Control.build r.Flow.datapath in
+                let plan = Absint.narrow_plan ~width:8 r.Flow.datapath control in
+                (res, plan))
+          in
+          let ns = Int64.sub (Telemetry.now ()) t0 in
+          let iterations = Telemetry.counter tr "absint.iterations" in
+          let widenings = Telemetry.counter tr "absint.widenings" in
+          let pct = Absint.saved_percent plan in
+          Printf.printf
+            "  %-8s %10Ld ns   %3d iteration(s)   %2d widening(s)   saved \
+             %3d/%3d bit(s) (%4.1f%%)\n"
+            tag ns iterations widenings plan.Absint.saved_bits
+            plan.Absint.total_bits pct;
+          Some
+            (Printf.sprintf
+               "{\"bench\":\"%s\",\"solve_ns\":%Ld,\"iterations\":%d,\
+                \"widenings\":%d,\"dfg_widened\":%b,\"saved_bits\":%d,\
+                \"total_bits\":%d,\"saved_percent\":%.1f}"
+               tag ns iterations widenings res.Absint.widened
+               plan.Absint.saved_bits plan.Absint.total_bits pct))
+      telemetry_tags
+  in
+  Telemetry.write_file "BENCH_absint.json"
+    ("[\n" ^ String.concat ",\n" records ^ "\n]\n");
+  print_endline "\n(wrote BENCH_absint.json)"
+
 (* --- Bechamel timing benches ------------------------------------- *)
 
 open Bechamel
@@ -537,6 +591,7 @@ let () =
   parallel_section ();
   service_section ();
   cache_section ();
+  absint_section ();
   match Sys.getenv_opt "BISTPATH_SKIP_TIMING" with
   | Some _ -> print_endline "\n(timing skipped: BISTPATH_SKIP_TIMING set)"
   | None -> benchmark ()

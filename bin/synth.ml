@@ -25,6 +25,10 @@ module Service = Bistpath_service.Service
 module Fleet = Bistpath_service.Fleet
 module Check = Bistpath_check.Check
 module Equiv = Bistpath_rtl.Equiv
+module Absint = Bistpath_absint.Absint
+module Interval = Bistpath_absint.Interval
+module Control = Bistpath_datapath.Control
+module Json = Bistpath_util.Json
 
 open Cmdliner
 
@@ -510,14 +514,29 @@ let rtl_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run c spec width flow bist wrapper verify check cache_o =
+  let narrow_arg =
+    let doc =
+      "Narrow each register and functional unit to the width the abstract \
+       interpreter proves sufficient (the $(b,synth analyze) plan, never \
+       assumption-based); ports keep the uniform width. Rejected with \
+       $(b,--bist)/$(b,--wrapper) — test-register semantics are \
+       width-dependent. Disables the artifact cache; combine with \
+       $(b,--verify) to prove the narrowed netlist equivalent."
+    in
+    Arg.(value & flag & info [ "narrow" ] ~doc)
+  in
+  let run c spec width flow bist wrapper verify narrow check cache_o =
     with_common c @@ fun budget ->
     let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let style = or_die (style_of_flow flow) in
     let bist = bist || wrapper in
+    if narrow && bist then
+      invalid_flag "--narrow"
+        (if wrapper then "--wrapper" else "--bist")
+        "a plain datapath (BIST register semantics are width-dependent)";
     let cache = open_cache cache_o in
     let key =
-      if check || verify then None
+      if check || verify || narrow then None
       else
         cli_artifact_key ~cache ~stage:Stage.Rtl ~width ~style
           [ ("artifact", Bistpath_util.Json.Str "rtl");
@@ -529,12 +548,34 @@ let rtl_cmd =
     | Some payload -> print_string payload
     | None ->
       let r = Flow.run ~budget ~width ?cache ~style inst.B.dfg inst.B.massign ~policy:inst.B.policy in
+      let plan =
+        if not narrow then None
+        else
+          match Control.build r.Flow.datapath with
+          | control -> Some (Absint.narrow_plan ~width r.Flow.datapath control)
+          | exception e ->
+            or_die
+              (Error
+                 (Printf.sprintf "--narrow: cannot build the control table: %s"
+                    (Printexc.to_string e)))
+      in
+      let regw = match plan with Some p -> p.Absint.regw | None -> [] in
+      let unitw = match plan with Some p -> p.Absint.unitw | None -> [] in
+      Option.iter
+        (fun (p : Absint.plan) ->
+          Printf.eprintf
+            "synth: narrow: %d of %d component bit(s) removed (%.1f%%), %d \
+             register(s) and %d unit(s) narrowed\n"
+            p.Absint.saved_bits p.Absint.total_bits (Absint.saved_percent p)
+            (List.length p.Absint.regw)
+            (List.length p.Absint.unitw))
+        plan;
       let payload =
         Verilog.primitives ~width ^ "\n"
         ^ Verilog.emit ~width
             ?bist:(if bist then Some r.Flow.bist else None)
             ?sessions:(if wrapper then Some r.Flow.sessions else None)
-            r.Flow.datapath
+            ~regw ~unitw r.Flow.datapath
         ^ "\n"
         ^
         if wrapper then begin
@@ -557,7 +598,7 @@ let rtl_cmd =
           Equiv.verify ~width
             ?bist:(if bist then Some r.Flow.bist else None)
             ?sessions:(if wrapper then Some r.Flow.sessions else None)
-            ~rtl:payload r.Flow.datapath
+            ~regw ~rtl:payload r.Flow.datapath
         with
         | Error diags ->
           List.iter
@@ -587,7 +628,7 @@ let rtl_cmd =
   Cmd.v (Cmd.info "rtl" ~doc)
     Term.(
       const run $ common_term $ instance_arg $ width_arg $ flow_arg $ bist_arg
-      $ wrapper_arg $ verify_arg $ check_gate_arg $ cache_term)
+      $ wrapper_arg $ verify_arg $ narrow_arg $ check_gate_arg $ cache_term)
 
 let dot_cmd =
   let what_arg =
@@ -759,6 +800,11 @@ let pareto_cmd =
   Cmd.v (Cmd.info "pareto" ~doc)
     Term.(const run $ common_term $ instance_arg $ width_arg $ flow_arg $ cache_term)
 
+let severity_name = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Note -> "note"
+
 let check_cmd =
   let vectors_arg =
     let doc =
@@ -769,10 +815,21 @@ let check_cmd =
   in
   let format_arg =
     let doc =
-      "Report format: $(b,text) (default) or $(b,json) (one NDJSON object \
-       per checked flow)."
+      "Report format: $(b,text) (default), $(b,json) or $(b,sarif) (one \
+       NDJSON object / SARIF 2.1.0 document per checked flow)."
     in
     Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let list_rules_arg =
+    let doc =
+      "List every rule (id, worst severity, title) and exit without \
+       checking anything; honours $(b,--format) text/json."
+    in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let spec_opt_arg =
+    let doc = "Benchmark tag (see $(b,synth list)) or path to a DFG file." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"DFG" ~doc)
   in
   let suppress_arg =
     let doc =
@@ -789,8 +846,36 @@ let check_cmd =
     in
     Arg.(value & opt string "both" & info [ "flow" ] ~docv:"FLOW" ~doc)
   in
-  let run c spec width flow transparency vectors format suppress =
+  let run c spec width flow transparency vectors format suppress list_rules =
     with_common c @@ fun budget ->
+    (match format with
+    | "text" | "json" | "sarif" -> ()
+    | s -> or_die (Error (Printf.sprintf "unknown format %S (use text, json or sarif)" s)));
+    if list_rules then begin
+      match format with
+      | "json" | "sarif" ->
+        print_endline
+          (Json.to_string
+             (Json.Arr
+                (List.map
+                   (fun (id, sev, title) ->
+                     Json.Obj
+                       [ ("id", Json.Str id);
+                         ("severity", Json.Str (severity_name sev));
+                         ("title", Json.Str title) ])
+                   Check.rule_info)))
+      | _ ->
+        List.iter
+          (fun (id, sev, title) ->
+            Printf.printf "%-8s %-8s %s\n" id (severity_name sev) title)
+          Check.rule_info
+    end
+    else begin
+    let spec =
+      match spec with
+      | Some s -> s
+      | None -> or_die (Error "missing DFG argument (or pass --list-rules)")
+    in
     let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
     let suppress =
       List.filter_map
@@ -798,12 +883,12 @@ let check_cmd =
           let s = String.trim s in
           if s = "" then None
           else if Check.known_rule s then Some s
-          else invalid_flag "--suppress" s "a known rule id (see check.mli)")
+          else
+            invalid_flag "--suppress" s
+              ("a known rule id, one of: "
+              ^ String.concat ", " (List.map fst Check.rule_table)))
         (String.split_on_char ',' suppress)
     in
-    (match format with
-    | "text" | "json" -> ()
-    | s -> or_die (Error (Printf.sprintf "unknown format %S (use text or json)" s)));
     let styles =
       match flow with
       | "both" ->
@@ -826,10 +911,12 @@ let check_cmd =
         let rep = Check.run ~suppress ~budget ctx in
         (match format with
         | "json" -> print_endline (Bistpath_util.Json.to_string (Check.to_json rep))
+        | "sarif" -> print_endline (Json.to_string (Check.to_sarif rep))
         | _ -> print_string (Check.to_text rep));
         total_errors := !total_errors + Check.errors rep)
       styles;
     if !total_errors > 0 then exit exit_findings
+    end
   in
   let doc =
     "Statically verify a design's synthesized artifacts: allocation, data \
@@ -838,8 +925,201 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ common_term $ instance_arg $ width_arg $ check_flow_arg
-      $ transparency_arg $ vectors_arg $ format_arg $ suppress_arg)
+      const run $ common_term $ spec_opt_arg $ width_arg $ check_flow_arg
+      $ transparency_arg $ vectors_arg $ format_arg $ suppress_arg
+      $ list_rules_arg)
+
+(* `synth analyze`: run the abstract interpreter on its own — per-value
+   ranges, the ABS rule family, and the width-narrowing plan with its
+   estimated area savings. Exit 0 clean, 2 on error findings, 3 when an
+   injected absint.fixpoint fault degrades the analysis. *)
+let analyze_cmd =
+  let format_arg =
+    let doc =
+      "Report format: $(b,text) (default), $(b,json) or $(b,sarif) (one \
+       NDJSON object / SARIF 2.1.0 document per analyzed flow)."
+    in
+    Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let analyze_flow_arg =
+    let doc =
+      "Which flow(s) to analyze: $(b,both) (default), $(b,testable) or \
+       $(b,traditional)."
+    in
+    Arg.(value & opt string "both" & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let assume_arg =
+    let doc =
+      "Assert that primary input $(b,VAR) only takes values in \
+       $(b,[LO,HI]) (repeatable). Unlisted inputs stay full-range. \
+       Assumptions sharpen the reported ranges and arm the May-verdict \
+       ABS001/ABS002 findings; they never feed the $(b,--narrow) plan."
+    in
+    Arg.(value & opt_all string [] & info [ "assume" ] ~docv:"VAR=LO:HI" ~doc)
+  in
+  let parse_assume ~width s =
+    let fail () =
+      invalid_flag "--assume" s "VAR=LO:HI with 0 <= LO <= HI < 2^width"
+    in
+    match String.index_opt s '=' with
+    | None -> fail ()
+    | Some i -> (
+      let v = String.sub s 0 i in
+      let range = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.split_on_char ':' range with
+      | [ lo; hi ] -> (
+        match (int_of_string_opt (String.trim lo), int_of_string_opt (String.trim hi)) with
+        | Some lo, Some hi when 0 <= lo && lo <= hi && hi < 1 lsl width ->
+          (String.trim v, (lo, hi))
+        | _ -> fail ())
+      | _ -> fail ())
+  in
+  let run c spec width flow format assumes_raw =
+    with_common c @@ fun budget ->
+    let inst = or_die_input (load_instance ?max_errors:c.max_errors spec) in
+    (match format with
+    | "text" | "json" | "sarif" -> ()
+    | s -> or_die (Error (Printf.sprintf "unknown format %S (use text, json or sarif)" s)));
+    let assumes = List.map (parse_assume ~width) assumes_raw in
+    List.iter
+      (fun (v, _) ->
+        if not (List.mem v inst.B.dfg.Bistpath_dfg.Dfg.inputs) then
+          invalid_flag "--assume" v
+            ("a primary input of the design ("
+            ^ String.concat ", " inst.B.dfg.Bistpath_dfg.Dfg.inputs
+            ^ ")"))
+      assumes;
+    let styles =
+      match flow with
+      | "both" ->
+        [ ("traditional", Flow.Traditional);
+          ("testable", Flow.Testable Testable_alloc.default_options) ]
+      | s -> [ (s, or_die (style_of_flow s)) ]
+    in
+    let total_errors = ref 0 in
+    let degraded = ref false in
+    List.iter
+      (fun (label, style) ->
+        let design = inst.B.tag ^ "/" ^ label in
+        let r =
+          Flow.run ~budget ~width ~style inst.B.dfg inst.B.massign
+            ~policy:inst.B.policy
+        in
+        let analysis =
+          try
+            let dres =
+              Absint.solve_dfg ~assumes ~width ~policy:inst.B.policy inst.B.dfg
+            in
+            let control = try Some (Control.build r.Flow.datapath) with _ -> None in
+            let plan =
+              Option.map
+                (fun ctl -> Absint.narrow_plan ~width r.Flow.datapath ctl)
+                control
+            in
+            Some (dres, plan)
+          with Inject.Injected site ->
+            Printf.eprintf "synth: analyze %s degraded: injected fault at site %s\n"
+              design site;
+            degraded := true;
+            None
+        in
+        match analysis with
+        | None -> ()
+        | Some (dres, plan) ->
+          let ctx =
+            Check.ctx_of_flow ~assumes ~design ~width inst.B.dfg inst.B.massign
+              ~policy:inst.B.policy r
+          in
+          let rep = Check.run ~budget ~rules:Check.absint_family ctx in
+          (match format with
+          | "json" ->
+            let value_json (v, (iv : Interval.t)) =
+              Json.Obj
+                [ ("name", Json.Str v);
+                  ("lo", Json.Num (float_of_int iv.Interval.lo));
+                  ("hi", Json.Num (float_of_int iv.Interval.hi));
+                  ("bits", Json.Num (float_of_int (Interval.bits iv)));
+                ]
+            in
+            let component_json (cmp : Absint.component) =
+              Json.Obj
+                [ ("name", Json.Str cmp.Absint.name);
+                  ( "kind",
+                    Json.Str
+                      (match cmp.Absint.comp with
+                      | `Register -> "register"
+                      | `Unit -> "unit") );
+                  ("full_bits", Json.Num (float_of_int cmp.Absint.full_bits));
+                  ("narrow_bits", Json.Num (float_of_int cmp.Absint.narrow_bits));
+                  ("value", Json.Str (Interval.to_string cmp.Absint.value));
+                ]
+            in
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [ ("design", Json.Str design);
+                      ("width", Json.Num (float_of_int width));
+                      ("iterations", Json.Num (float_of_int dres.Absint.iterations));
+                      ("widened", Json.Bool dres.Absint.widened);
+                      ("values", Json.Arr (List.map value_json dres.Absint.env));
+                      ( "narrow",
+                        match plan with
+                        | None -> Json.Null
+                        | Some p ->
+                          Json.Obj
+                            [ ( "components",
+                                Json.Arr (List.map component_json p.Absint.components) );
+                              ("saved_bits", Json.Num (float_of_int p.Absint.saved_bits));
+                              ("total_bits", Json.Num (float_of_int p.Absint.total_bits));
+                              ("saved_percent", Json.Num (Absint.saved_percent p));
+                            ] );
+                      ("report", Check.to_json rep);
+                    ]))
+          | "sarif" -> print_endline (Json.to_string (Check.to_sarif rep))
+          | _ ->
+            Printf.printf "analyze %s: width %d, %d value(s), %d iteration(s)%s\n"
+              design width (List.length dres.Absint.env) dres.Absint.iterations
+              (if dres.Absint.widened then " (widened)" else "");
+            Printf.printf "  value ranges:\n";
+            List.iter
+              (fun (v, (iv : Interval.t)) ->
+                Printf.printf "    %-12s %-14s %d bit(s)\n" v (Interval.to_string iv)
+                  (Interval.bits iv))
+              dres.Absint.env;
+            (match plan with
+            | None ->
+              Printf.printf
+                "  narrowing plan unavailable (control table rejected)\n"
+            | Some p ->
+              Printf.printf "  narrowing plan (full -> inferred width):\n";
+              List.iter
+                (fun (cmp : Absint.component) ->
+                  Printf.printf "    %-12s %-8s %2d -> %2d  %s\n" cmp.Absint.name
+                    (match cmp.Absint.comp with
+                    | `Register -> "register"
+                    | `Unit -> "unit")
+                    cmp.Absint.full_bits cmp.Absint.narrow_bits
+                    (Interval.to_string cmp.Absint.value))
+                p.Absint.components;
+              Printf.printf
+                "  estimated area savings: %d of %d component bit(s) (%.1f%%)\n"
+                p.Absint.saved_bits p.Absint.total_bits (Absint.saved_percent p));
+            print_string (Check.to_text rep));
+          total_errors := !total_errors + Check.errors rep)
+      styles;
+    if !degraded then exit exit_degraded;
+    if !total_errors > 0 then exit exit_findings
+  in
+  let doc =
+    "Abstract-interpretation report for a design: proven per-value ranges, \
+     the proof-carrying ABS rule family, and the register/unit width \
+     narrowing plan with its estimated area savings (exit 2 on error \
+     findings)."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ common_term $ instance_arg $ width_arg $ analyze_flow_arg
+      $ format_arg $ assume_arg)
 
 (* `synth verify`: close the RTL loop. The emitted Verilog (or a user
    file, or a committed golden artifact) is parsed back, structurally
@@ -1495,7 +1775,8 @@ let () =
   let cmds =
     [ run_cmd; compare_cmd; tables_cmd; figures_cmd; ablation_cmd; rtl_cmd;
       dot_cmd; coverage_cmd; atpg_cmd; tb_cmd; vcd_cmd; area_cmd; pareto_cmd;
-      check_cmd; verify_cmd; export_cmd; serve_cmd; cache_cmd; list_cmd ]
+      check_cmd; analyze_cmd; verify_cmd; export_cmd; serve_cmd; cache_cmd;
+      list_cmd ]
   in
   (* A first argument that is neither a subcommand nor an option is a DFG
      spec: treat `synth data/Paulin.dfg --stats` as `synth run ...`. *)

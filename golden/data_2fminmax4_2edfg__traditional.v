@@ -1,0 +1,204 @@
+module dp_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (en) q <= d;
+  end
+endmodule
+
+module tpg_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module sa_register #(parameter WIDTH = 8) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= {WIDTH{1'b0}};
+    else if (test_mode) q <= {q[WIDTH-2:0], fb} ^ d;
+    else if (en) q <= d;
+  end
+endmodule
+
+module bilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire compact,  // 1 = signature analysis, 0 = pattern generation
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  wire fb = q[WIDTH-1] ^ (^(q & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = q;
+  always @(posedge clk) begin
+    if (rst) q <= SEED;
+    else if (test_mode) q <= compact ? ({q[WIDTH-2:0], fb} ^ d) : {q[WIDTH-2:0], fb};
+    else if (en) q <= d;
+  end
+endmodule
+
+module cbilbo_register #(parameter WIDTH = 8, parameter [WIDTH-1:0] SEED = 1) (
+  input wire clk, input wire rst, input wire en, input wire test_mode,
+  input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q,
+  output wire [WIDTH-1:0] sig_out);
+  // two ranks: generator rank feeds the datapath, compactor rank
+  // absorbs responses concurrently (roughly 2x register area)
+  reg [WIDTH-1:0] sig;
+  wire fb  = q[WIDTH-1] ^ (^(q   & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  wire fb2 = sig[WIDTH-1] ^ (^(sig & {{(WIDTH-4){1'b0}}, 4'b1011}));
+  assign sig_out = sig;
+  always @(posedge clk) begin
+    if (rst) begin q <= SEED; sig <= {WIDTH{1'b0}}; end
+    else if (test_mode) begin
+      q   <= {q[WIDTH-2:0], fb};
+      sig <= {sig[WIDTH-2:0], fb2} ^ d;
+    end else if (en) q <= d;
+  end
+endmodule
+
+module dp_add #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a + b;
+endmodule
+module dp_sub #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a - b;
+endmodule
+module dp_mul #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a * b;
+endmodule
+module dp_div #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = (b == 0) ? {WIDTH{1'b1}} : a / b;
+endmodule
+module dp_and #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a & b;
+endmodule
+module dp_or #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a | b;
+endmodule
+module dp_xor #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = a ^ b;
+endmodule
+module dp_less #(parameter WIDTH = 8) (input wire [WIDTH-1:0] a, b, output wire [WIDTH-1:0] y);
+  assign y = {{(WIDTH-1){1'b0}}, a < b};
+endmodule
+
+module minmax4_datapath (
+  input  wire clk,
+  input  wire rst,
+  input  wire test_mode,
+  input  wire [2:0] test_session,
+  input  wire [7:0] pin_a,
+  input  wire [7:0] pin_b,
+  input  wire [7:0] pin_c,
+  input  wire [7:0] pin_d,
+  output wire [7:0] pout_cnt,
+  output wire [7:0] pout_all,
+  output wire [7:0] sig_R1,
+  output wire [7:0] sig_R2
+);
+
+  localparam NUM_STEPS = 5;
+  reg [2:0] step;
+  always @(posedge clk) begin
+    if (rst) step <= 3'd0;
+    else if (step <= 3'd5) step <= step + 3'd1;
+  end
+
+  wire [7:0] d_R1;
+  wire [2:0] sel_R1;
+  assign sel_R1 =
+    (test_mode && test_session == 3'd0) ? 3'd0 :
+    (test_mode && test_session == 3'd1) ? 3'd1 :
+    (test_mode && test_session == 3'd2) ? 3'd2 :
+    (test_mode && test_session == 3'd3) ? 3'd3 :
+    step == 3'd0 ? 3'd4 :
+    step == 3'd1 ? 3'd5 :
+    step == 3'd2 ? 3'd2 :
+    step == 3'd3 ? 3'd0 :
+    step == 3'd4 ? 3'd3 :
+    step == 3'd5 ? 3'd1 :
+    3'd0;
+  assign d_R1 =
+    sel_R1 == 3'd0 ? out__261 :
+    sel_R1 == 3'd1 ? out__2b1 :
+    sel_R1 == 3'd2 ? out__3c1 :
+    sel_R1 == 3'd3 ? out__5e1 :
+    sel_R1 == 3'd4 ? pin_a :
+    pin_c;
+  wire en_R1;
+  assign en_R1 = (step == 3'd0) || (step == 3'd1) || (step == 3'd2) || (step == 3'd3) || (step == 3'd4) || (step == 3'd5);
+  wire [7:0] q_R1;
+  cbilbo_register #(.WIDTH(8), .SEED(8'd138)) R1 (.clk(clk), .rst(rst), .en(en_R1), .test_mode(test_mode), .d(d_R1), .q(q_R1), .sig_out(sig_R1));
+
+  wire [7:0] d_R2;
+  wire [1:0] sel_R2;
+  assign sel_R2 =
+    (test_mode && test_session == 3'd0) ? 2'd0 :
+    step == 3'd0 ? 2'd1 :
+    step == 3'd1 ? 2'd2 :
+    step == 3'd3 ? 2'd0 :
+    2'd0;
+  assign d_R2 =
+    sel_R2 == 2'd0 ? out__7c1 :
+    sel_R2 == 2'd1 ? pin_b :
+    pin_d;
+  wire en_R2;
+  assign en_R2 = (step == 3'd0) || (step == 3'd1) || (step == 3'd3);
+  wire [7:0] q_R2;
+  wire compact_R2 = (test_session == 3'd0);
+  bilbo_register #(.WIDTH(8), .SEED(8'd234)) R2 (.clk(clk), .rst(rst), .en(en_R2), .test_mode(test_mode), .compact(compact_R2), .d(d_R2), .q(q_R2), .sig_out(sig_R2));
+
+  wire [7:0] d_R3;
+  assign d_R3 = out__3c1;
+  wire en_R3;
+  assign en_R3 = (step == 3'd1);
+  wire [7:0] q_R3;
+  tpg_register #(.WIDTH(8), .SEED(8'd87)) R3 (.clk(clk), .rst(rst), .en(en_R3), .test_mode(test_mode), .d(d_R3), .q(q_R3));
+
+  wire [7:0] l__3c1;
+  assign l__3c1 = q_R1;
+  wire [7:0] r__3c1;
+  assign r__3c1 = q_R2;
+  wire [7:0] out__3c1;
+  dp_less #(.WIDTH(8)) u__3c1 (.a(l__3c1), .b(r__3c1), .y(out__3c1));
+
+  wire [7:0] l__7c1;
+  assign l__7c1 = q_R3;
+  wire [7:0] r__7c1;
+  assign r__7c1 = q_R1;
+  wire [7:0] out__7c1;
+  dp_or #(.WIDTH(8)) u__7c1 (.a(l__7c1), .b(r__7c1), .y(out__7c1));
+
+  wire [7:0] l__261;
+  assign l__261 = q_R3;
+  wire [7:0] r__261;
+  assign r__261 = q_R1;
+  wire [7:0] out__261;
+  dp_and #(.WIDTH(8)) u__261 (.a(l__261), .b(r__261), .y(out__261));
+
+  wire [7:0] l__5e1;
+  assign l__5e1 = q_R2;
+  wire [7:0] r__5e1;
+  assign r__5e1 = q_R1;
+  wire [7:0] out__5e1;
+  dp_xor #(.WIDTH(8)) u__5e1 (.a(l__5e1), .b(r__5e1), .y(out__5e1));
+
+  wire [7:0] l__2b1;
+  assign l__2b1 = q_R2;
+  wire [7:0] r__2b1;
+  assign r__2b1 = q_R1;
+  wire [7:0] out__2b1;
+  dp_add #(.WIDTH(8)) u__2b1 (.a(l__2b1), .b(r__2b1), .y(out__2b1));
+
+  assign pout_cnt = q_R1;
+  assign pout_all = q_R1;
+
+endmodule
+

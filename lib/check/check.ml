@@ -27,6 +27,7 @@ type ctx = Rule.ctx = {
   width : int;
   transparency : bool;
   vectors : int;
+  assumes : (string * (int * int)) list;
   dfg : Dfg.t;
   massign : Massign.t;
   policy : Policy.t;
@@ -41,6 +42,9 @@ type ctx = Rule.ctx = {
 
 let all_rules =
   Alloc_rules.rules @ Datapath_rules.rules @ Rtl_rules.rules @ Equiv_rules.rules
+  @ Absint_rules.rules
+
+let absint_family = Absint_rules.rules
 
 let rule_table =
   List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.title)) all_rules
@@ -48,15 +52,19 @@ let rule_table =
 
 let known_rule id = List.mem_assoc id rule_table
 
-let make_ctx ?bist ?sessions ?order ?(transparency = false) ?(vectors = 0) ~design ~width dfg
-    massign ~policy regalloc datapath =
+let rule_info =
+  List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.severity, r.Rule.title)) all_rules
+  @ [ ("CHK000", Diagnostic.Error, "rule crashed while evaluating") ]
+
+let make_ctx ?bist ?sessions ?order ?(transparency = false) ?(vectors = 0) ?(assumes = [])
+    ~design ~width dfg massign ~policy regalloc datapath =
   let control = try Some (Control.build datapath) with _ -> None in
   let model = Rtl_model.of_datapath ~width datapath in
-  { design; width; transparency; vectors; dfg; massign; policy; regalloc; datapath;
+  { design; width; transparency; vectors; assumes; dfg; massign; policy; regalloc; datapath;
     bist; sessions; order; control; model }
 
-let ctx_of_flow ?(vectors = 0) ?(transparency = false) ~design ~width dfg massign ~policy
-    (r : Flow.result) =
+let ctx_of_flow ?(vectors = 0) ?(transparency = false) ?(assumes = []) ~design ~width dfg
+    massign ~policy (r : Flow.result) =
   let order =
     match r.Flow.style with
     | Flow.Traditional -> None
@@ -68,8 +76,8 @@ let ctx_of_flow ?(vectors = 0) ?(transparency = false) ~design ~width dfg massig
                (snd (Testable_alloc.allocate ~options dfg massign ~policy)))
         with _ -> None)
   in
-  make_ctx ~bist:r.Flow.bist ~sessions:r.Flow.sessions ?order ~transparency ~vectors ~design
-    ~width dfg massign ~policy r.Flow.regalloc r.Flow.datapath
+  make_ctx ~bist:r.Flow.bist ~sessions:r.Flow.sessions ?order ~transparency ~vectors ~assumes
+    ~design ~width dfg massign ~policy r.Flow.regalloc r.Flow.datapath
 
 type report = {
   design : string;
@@ -84,7 +92,7 @@ type report = {
 
 type outcome = Evaluated of finding list | Crashed of string
 
-let run ?(suppress = []) ?(budget = Budget.unlimited) ctx =
+let run ?(suppress = []) ?(budget = Budget.unlimited) ?(rules = all_rules) ctx =
   let eval (r : Rule.t) =
     (* Per-rule latency distribution (crashed rules included: the time
        until the raise is still time the checker spent in the rule). *)
@@ -101,7 +109,7 @@ let run ?(suppress = []) ?(budget = Budget.unlimited) ctx =
       Telemetry.observe "check.rule_ns" (Int64.to_int (Int64.sub (Telemetry.now ()) t0));
     result
   in
-  let results = Par.map_list_budget ~budget eval all_rules in
+  let results = Par.map_list_budget ~budget eval rules in
   let findings, run_count, crashed, skipped =
     List.fold_left2
       (fun (fs, run_count, crashed, skipped) (r : Rule.t) result ->
@@ -114,7 +122,7 @@ let run ?(suppress = []) ?(budget = Budget.unlimited) ctx =
               run_count + 1,
               crashed + 1,
               skipped ))
-      ([], 0, 0, 0) all_rules results
+      ([], 0, 0, 0) rules results
   in
   let active, suppressed = List.partition (fun f -> not (List.mem f.rule suppress)) findings in
   Telemetry.incr ~by:run_count "check.rules_run";
@@ -123,7 +131,7 @@ let run ?(suppress = []) ?(budget = Budget.unlimited) ctx =
   Telemetry.incr ~by:(List.length active) "check.findings";
   Telemetry.incr ~by:(List.length suppressed) "check.suppressed";
   { design = ctx.design;
-    total_rules = List.length all_rules;
+    total_rules = List.length rules;
     rules_run = run_count;
     rules_crashed = crashed;
     rules_skipped = skipped;
@@ -186,6 +194,61 @@ let to_json r =
         Json.Arr
           (List.map (finding_json false) r.findings
           @ List.map (finding_json true) r.suppressed) );
+    ]
+
+(* SARIF 2.1.0 — the minimal schema GitHub code scanning ingests: one
+   run, the full rule catalogue in the driver, one result per finding
+   (suppressed findings are omitted; SARIF suppression objects are a
+   per-result attribute most consumers ignore). *)
+let sarif_level = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Note -> "note"
+
+let to_sarif r =
+  let rule_json (id, severity, title) =
+    Json.Obj
+      [ ("id", Json.Str id);
+        ("shortDescription", Json.Obj [ ("text", Json.Str title) ]);
+        ( "defaultConfiguration",
+          Json.Obj [ ("level", Json.Str (sarif_level severity)) ] );
+      ]
+  in
+  let result_json f =
+    Json.Obj
+      [ ("ruleId", Json.Str f.rule);
+        ("level", Json.Str (sarif_level f.severity));
+        ( "message",
+          Json.Obj [ ("text", Json.Str (Printf.sprintf "%s: %s" f.subject f.detail)) ] );
+        ( "locations",
+          Json.Arr
+            [ Json.Obj
+                [ ( "physicalLocation",
+                    Json.Obj
+                      [ ( "artifactLocation",
+                          Json.Obj [ ("uri", Json.Str r.design) ] )
+                      ] )
+                ]
+            ] );
+      ]
+  in
+  Json.Obj
+    [ ("$schema", Json.Str "https://json.schemastore.org/sarif-2.1.0.json");
+      ("version", Json.Str "2.1.0");
+      ( "runs",
+        Json.Arr
+          [ Json.Obj
+              [ ( "tool",
+                  Json.Obj
+                    [ ( "driver",
+                        Json.Obj
+                          [ ("name", Json.Str "bistpath-synth");
+                            ("rules", Json.Arr (List.map rule_json rule_info));
+                          ] )
+                    ] );
+                ("results", Json.Arr (List.map result_json r.findings));
+              ]
+          ] );
     ]
 
 let diagnostics r =

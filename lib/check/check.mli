@@ -47,6 +47,18 @@
       RTL005  error    emitted RTL does not parse back structurally equivalent
       EQ002   error    parsed-back RTL diverges from the interpreter on random vectors
 
+    Abstract interpretation (proof-carrying; findings embed the
+    interval witness that justifies them)
+      ABS001  error    arithmetic provably wraps mod 2^width (warning when
+                       asserted --assume ranges still admit a wrap)
+      ABS002  error    reachable division by zero (warning under --assume)
+      ABS003  warning  dead multiplexer leg — never selected by any
+                       reachable control step
+      ABS004  error    unreachable controller state (reachability superset
+                       of CTL001's syntactic index check)
+      ABS005  warning  provably constant net
+      ABS006  error    register read before its first write
+
     Framework
       CHK000  error    a rule crashed (also raised by the check.rule injection site)
     v} *)
@@ -65,6 +77,7 @@ type ctx = Rule.ctx = {
   width : int;
   transparency : bool;
   vectors : int;
+  assumes : (string * (int * int)) list;
   dfg : Bistpath_dfg.Dfg.t;
   massign : Bistpath_dfg.Massign.t;
   policy : Bistpath_dfg.Policy.t;
@@ -84,12 +97,22 @@ val rule_table : (string * string) list
 val known_rule : string -> bool
 (** Is this a valid id for [~suppress]? *)
 
+val rule_info : (string * severity * string) list
+(** Every rule as (id, worst severity, title), registration order,
+    CHK000 included — the catalogue behind [--list-rules] and the SARIF
+    driver block. *)
+
+val absint_family : Rule.t list
+(** Just the ABS001..ABS006 rules — the subset [synth analyze] runs. *)
+
+
 val make_ctx :
   ?bist:Bistpath_bist.Allocator.solution ->
   ?sessions:Bistpath_bist.Session.t ->
   ?order:string list ->
   ?transparency:bool ->
   ?vectors:int ->
+  ?assumes:(string * (int * int)) list ->
   design:string ->
   width:int ->
   Bistpath_dfg.Dfg.t ->
@@ -108,6 +131,7 @@ val make_ctx :
 val ctx_of_flow :
   ?vectors:int ->
   ?transparency:bool ->
+  ?assumes:(string * (int * int)) list ->
   design:string ->
   width:int ->
   Bistpath_dfg.Dfg.t ->
@@ -133,9 +157,10 @@ type report = {
 val run :
   ?suppress:string list ->
   ?budget:Bistpath_resilience.Budget.t ->
+  ?rules:Rule.t list ->
   ctx ->
   report
-(** Evaluate every rule, in parallel via {!Bistpath_parallel.Par} under
+(** Evaluate [rules] (default: every rule), in parallel via {!Bistpath_parallel.Par} under
     the budget (a tripped budget skips the remaining rules and marks the
     report degraded). A rule that raises — including an injected
     [check.rule] fault — degrades to a CHK000 finding naming the rule;
@@ -155,6 +180,12 @@ val to_text : report -> string
 val to_json : report -> Bistpath_util.Json.t
 (** Machine-readable report (suppressed findings carried inline with
     ["suppressed": true]). *)
+
+val to_sarif : report -> Bistpath_util.Json.t
+(** SARIF 2.1.0 document (the minimal shape GitHub code scanning
+    ingests): the full rule catalogue in the driver block, one result
+    per active finding, located at the design name. Suppressed findings
+    are omitted. *)
 
 val diagnostics : report -> Bistpath_resilience.Diagnostic.t list
 (** Active findings as diagnostics ("[ALC001] subject: detail"). *)

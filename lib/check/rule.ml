@@ -16,6 +16,7 @@ type ctx = {
   width : int;
   transparency : bool;
   vectors : int;
+  assumes : (string * (int * int)) list;
   dfg : Dfg.t;
   massign : Massign.t;
   policy : Policy.t;
@@ -28,7 +29,13 @@ type ctx = {
   model : Rtl_model.t;
 }
 
-type t = { id : string; title : string; pass : pass; run : ctx -> finding list }
+type t = {
+  id : string;
+  title : string;
+  severity : severity;
+  pass : pass;
+  run : ctx -> finding list;
+}
 
 let v rule severity subject fmt =
   Printf.ksprintf (fun detail -> { rule; severity; subject; detail }) fmt

@@ -26,6 +26,10 @@ type ctx = {
   width : int;
   transparency : bool;
   vectors : int;  (** random vectors for the dynamic-equivalence rule; 0 disables *)
+  assumes : (string * (int * int)) list;
+      (** asserted primary-input ranges for the abstract-interpretation
+          rules ([--assume] on [synth analyze]); unlisted inputs are
+          full-range *)
   dfg : Bistpath_dfg.Dfg.t;
   massign : Bistpath_dfg.Massign.t;
   policy : Bistpath_dfg.Policy.t;
@@ -42,7 +46,13 @@ type ctx = {
   model : Rtl_model.t;
 }
 
-type t = { id : string; title : string; pass : pass; run : ctx -> finding list }
+type t = {
+  id : string;
+  title : string;
+  severity : severity;  (** worst severity the rule can report *)
+  pass : pass;
+  run : ctx -> finding list;
+}
 
 val v : string -> severity -> string -> ('a, unit, string, finding) format4 -> 'a
 (** [v rule severity subject fmt ...] builds a finding. *)

@@ -163,7 +163,8 @@ let op_name = function
 let sess_bits_of nsess =
   max 1 (int_of_float (ceil (log (float_of_int (nsess + 1)) /. log 2.0)))
 
-let of_datapath ?(width = 8) ?bist ?sessions (dp : Datapath.t) =
+let of_datapath ?(width = 8) ?bist ?sessions ?(regw = []) (dp : Datapath.t) =
+  let rw rid = match List.assoc_opt rid regw with Some w -> w | None -> width in
   let dfg = dp.Datapath.dfg in
   let control = Control.build dp in
   let steps = Dfg.num_csteps dfg in
@@ -338,7 +339,7 @@ let of_datapath ?(width = 8) ?bist ?sessions (dp : Datapath.t) =
         in
         let params =
           match style with
-          | Resource.Normal | Resource.Sa -> [ ("WIDTH", width) ]
+          | Resource.Normal | Resource.Sa -> [ ("WIDTH", rw rid) ]
           | Resource.Tpg | Resource.Bilbo | Resource.Cbilbo ->
             [ ("SEED", Verilog.test_seed ~width rid); ("WIDTH", width) ]
         in
@@ -1201,7 +1202,7 @@ let cross_check (e : elab) (dp : Datapath.t) ~width ~vectors ~seed =
   in
   go 0
 
-let verify ?(vectors = 16) ?(seed = 7) ?(width = 8) ?bist ?sessions ~rtl dp =
+let verify ?(vectors = 16) ?(seed = 7) ?(width = 8) ?bist ?sessions ?(regw = []) ~rtl dp =
   let t0 = Telemetry.now () in
   let finish r =
     Telemetry.observe "rtl.verify_ns" (Int64.to_int (Int64.sub (Telemetry.now ()) t0));
@@ -1211,7 +1212,7 @@ let verify ?(vectors = 16) ?(seed = 7) ?(width = 8) ?bist ?sessions ~rtl dp =
   match Parser.errors parsed with
   | _ :: _ as errs -> finish (Error errs)
   | [] ->
-    let reference = of_datapath ~width ?bist ?sessions dp in
+    let reference = of_datapath ~width ?bist ?sessions ~regw dp in
     let elab_result =
       match pick_datapath parsed with
       | Error diffs -> Error diffs

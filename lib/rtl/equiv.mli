@@ -43,12 +43,16 @@ val verify :
   ?width:int ->
   ?bist:Bistpath_bist.Allocator.solution ->
   ?sessions:Bistpath_bist.Session.t ->
+  ?regw:(string * int) list ->
   rtl:string ->
   Bistpath_datapath.Datapath.t ->
   (report, Bistpath_resilience.Diagnostic.t list) result
 (** Parse [rtl] (expected: {!Verilog.primitives} + {!Verilog.emit}
     output, but any text is safe) and compare it against [dp] emitted
-    with the same [width]/[bist]/[sessions] configuration. [Error]
+    with the same [width]/[bist]/[sessions]/[regw] configuration
+    ([regw] mirrors {!Verilog.emit}'s narrowed register widths so the
+    reference register cells carry the same [WIDTH] parameters the
+    narrowed RTL declares). [Error]
     means the input was unparsable (accumulated diagnostics);
     elaboration problems in parsable input are reported as structural
     differences instead. [vectors] (default 16) random input vectors

@@ -71,9 +71,15 @@ let reg_module = function
   | Resource.Bilbo -> "bilbo_register"
   | Resource.Cbilbo -> "cbilbo_register"
 
-let emit ?(width = 8) ?bist ?sessions dp =
+let emit ?(width = 8) ?bist ?sessions ?(regw = []) ?(unitw = []) dp =
   let buf = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* Per-component narrowed widths (synth rtl --narrow). Ports stay at
+     the uniform width; Verilog's implicit zero-extension / truncation
+     on assignment does the width adaptation at every boundary, so the
+     expression structure is identical to the uniform-width netlist. *)
+  let rw rid = match List.assoc_opt rid regw with Some w -> w | None -> width in
+  let uw mid = match List.assoc_opt mid unitw with Some w -> w | None -> width in
   let style_of rid =
     match bist with
     | None -> Resource.Normal
@@ -176,9 +182,9 @@ let emit ?(width = 8) ?bist ?sessions dp =
               s.Bistpath_datapath.Control.writes)
           control.Bistpath_datapath.Control.steps
       in
-      pf "  wire [%d:0] d_%s;\n" (width - 1) rid;
+      pf "  wire [%d:0] d_%s;\n" (rw r.rid - 1) rid;
       (match writers with
-      | [] -> pf "  assign d_%s = {%d{1'b0}};\n" rid width
+      | [] -> pf "  assign d_%s = {%d{1'b0}};\n" rid (rw r.rid)
       | [ w ] -> pf "  assign d_%s = %s;\n" rid (wire_of w)
       | ws ->
         let n = List.length ws in
@@ -224,11 +230,11 @@ let emit ?(width = 8) ?bist ?sessions dp =
       | sched ->
         pf "  assign en_%s = %s;\n" rid
           (String.concat " || " (List.map (fun (st, _) -> "(" ^ step_eq st ^ ")") sched)));
-      pf "  wire [%d:0] q_%s;\n" (width - 1) rid;
+      pf "  wire [%d:0] q_%s;\n" (rw r.rid - 1) rid;
       (match style with
       | Resource.Normal ->
         pf "  dp_register #(.WIDTH(%d)) %s (.clk(clk), .rst(rst), .en(en_%s), .d(d_%s), .q(q_%s));\n"
-          width inst rid rid rid
+          (rw r.rid) inst rid rid rid
       | Resource.Tpg ->
         pf
           "  %s #(.WIDTH(%d), .SEED(%d'd%d)) %s (.clk(clk), .rst(rst), .en(en_%s), .test_mode(test_mode), .d(d_%s), .q(q_%s));\n"
@@ -287,9 +293,9 @@ let emit ?(width = 8) ?bist ?sessions dp =
             control.Bistpath_datapath.Control.steps
         in
         let port side select_of srcs =
-          pf "  wire [%d:0] %s_%s;\n" (width - 1) side mid;
+          pf "  wire [%d:0] %s_%s;\n" (uw u.mid - 1) side mid;
           match srcs with
-          | [] -> pf "  assign %s_%s = {%d{1'b0}};\n" side mid width
+          | [] -> pf "  assign %s_%s = {%d{1'b0}};\n" side mid (uw u.mid)
           | [ s ] -> pf "  assign %s_%s = q_%s;\n" side mid (sanitize s)
           | ss ->
             let n = List.length ss in
@@ -320,20 +326,21 @@ let emit ?(width = 8) ?bist ?sessions dp =
         in
         port "l" (fun (_, ls, _, _) -> ls) l;
         port "r" (fun (_, _, rs, _) -> rs) rr;
-        pf "  wire [%d:0] out_%s;\n" (width - 1) mid;
+        pf "  wire [%d:0] out_%s;\n" (uw u.mid - 1) mid;
         (match u.kinds with
         | [ _ ] ->
           pf "  %s #(.WIDTH(%d)) u_%s (.a(l_%s), .b(r_%s), .y(out_%s));\n"
-            (unit_module u) width mid mid mid mid
+            (unit_module u) (uw u.mid) mid mid mid mid
         | kinds ->
           (* multifunction unit: one-hot select, specialized inline *)
+          let w = uw u.mid in
           let expr kind =
             match kind with
             | Op.Add -> Printf.sprintf "l_%s + r_%s" mid mid
             | Op.Sub -> Printf.sprintf "l_%s - r_%s" mid mid
             | Op.Mul -> Printf.sprintf "l_%s * r_%s" mid mid
             | Op.Div ->
-              Printf.sprintf "(r_%s == 0 ? {%d{1'b1}} : l_%s / r_%s)" mid width mid mid
+              Printf.sprintf "(r_%s == 0 ? {%d{1'b1}} : l_%s / r_%s)" mid w mid mid
             | Op.And -> Printf.sprintf "l_%s & r_%s" mid mid
             | Op.Or -> Printf.sprintf "l_%s | r_%s" mid mid
             | Op.Xor -> Printf.sprintf "l_%s ^ r_%s" mid mid
@@ -341,8 +348,8 @@ let emit ?(width = 8) ?bist ?sessions dp =
               (* width 1 would make the pad a zero-width literal, which
                  is illegal Verilog: the bare comparison already has the
                  right width *)
-              if width = 1 then Printf.sprintf "l_%s < r_%s" mid mid
-              else Printf.sprintf "{%d'd0, l_%s < r_%s}" (width - 1) mid mid
+              if w = 1 then Printf.sprintf "l_%s < r_%s" mid mid
+              else Printf.sprintf "{%d'd0, l_%s < r_%s}" (w - 1) mid mid
           in
           let nf = List.length kinds in
           pf "  wire [%d:0] fsel_%s;\n" (nf - 1) mid;

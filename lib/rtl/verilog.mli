@@ -12,9 +12,16 @@ val emit :
   ?width:int ->
   ?bist:Bistpath_bist.Allocator.solution ->
   ?sessions:Bistpath_bist.Session.t ->
+  ?regw:(string * int) list ->
+  ?unitw:(string * int) list ->
   Bistpath_datapath.Datapath.t ->
   string
-(** Verilog source text. With [bist], registers are emitted as the
+(** Verilog source text. [regw] / [unitw] narrow individual registers /
+    functional units below the uniform [width] (the [synth rtl
+    --narrow] plan from {!Bistpath_absint.Absint.narrow_plan}); ports
+    stay at full width and every width boundary is adapted by Verilog's
+    implicit zero-extension/truncation on assignment, so the netlist
+    structure is unchanged. With [bist], registers are emitted as the
     allocated test-register variants (tpg_register, sa_register,
     bilbo_register, cbilbo_register), a [test_mode] port is added, and
     every signature-capable register's compactor is exported on a

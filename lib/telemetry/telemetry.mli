@@ -89,6 +89,12 @@
     - [rtl.parse_errors] — error-severity diagnostics accumulated by
       the Verilog parse-back front end ([Bistpath_rtl.Parser.parse]),
       including injected [rtl.parse] faults.
+    - [absint.solves] — abstract-interpretation fixpoint solves
+      completed ([Bistpath_absint.Absint.solve_dfg] /
+      [solve_control]).
+    - [absint.iterations] — total fixpoint passes across all solves.
+    - [absint.widenings] — abstract values widened to break an
+      ascending chain (loop write-back kernels).
     - [parallel.busy_ns] — summed wall time workers spent executing
       pool tasks (all lanes).
     - [parallel.idle_ns] — summed wall time workers spent parked while
@@ -144,6 +150,8 @@
     - [parallel.chunk_ns] — per-chunk (pool task) execution time.
     - [parallel.stall_ns] — per-batch submitter tail-wait time.
     - [check.rule_ns] — per-rule static-analysis evaluation time.
+    - [absint.solve_ns] — per-solve abstract-interpretation fixpoint
+      time (both solvers).
     - [rtl.verify_ns] — end-to-end parse-back verification time
       ([Bistpath_rtl.Equiv.verify]: parse, elaborate, structural
       match, simulation cross-check).
